@@ -1,0 +1,25 @@
+//! Network analysis routines used by the paper's evaluation.
+//!
+//! * [`clustering`] — local clustering coefficients and the average
+//!   clustering coefficient per degree (Figure 2).
+//! * [`paths`] — distribution of shortest path lengths (Figure 3).
+//! * [`assortativity`] — Newman's degree assortativity coefficient, used in
+//!   the paper's discussion of why the biological networks behave
+//!   differently from the R-MAT inputs.
+//! * [`chordal_fraction`] — percentage of edges retained in the maximal
+//!   chordal subgraph (Section V).
+//! * [`table`] — the structural summary rows of Table I.
+
+#![deny(missing_docs)]
+
+pub mod assortativity;
+pub mod chordal_fraction;
+pub mod clustering;
+pub mod paths;
+pub mod table;
+
+pub use assortativity::degree_assortativity;
+pub use chordal_fraction::chordal_edge_fraction;
+pub use clustering::{average_clustering_by_degree, local_clustering_coefficients};
+pub use paths::shortest_path_distribution;
+pub use table::TableRow;

@@ -1,0 +1,66 @@
+//! Algorithm 1 versus the baselines it is motivated by: the serial
+//! Dearing–Shier–Warner algorithm and the partitioned "nearly chordal"
+//! approach from the authors' earlier distributed work.
+
+use chordal_bench::workloads::{bio_suite, rmat_graph};
+use chordal_core::dearing::extract_dearing;
+use chordal_core::partitioned::{extract_partitioned, PartitionStrategy};
+use chordal_core::{AdjacencyMode, ExtractorConfig, MaximalChordalExtractor, Semantics};
+use chordal_generators::rmat::RmatKind;
+use chordal_runtime::{available_threads, Engine};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+const SCALE: u32 = 11;
+const GENES: usize = 500;
+
+fn bench_baselines(c: &mut Criterion) {
+    let threads = available_threads().min(8);
+    let mut group = c.benchmark_group("baselines");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(1));
+    group.warm_up_time(Duration::from_millis(300));
+
+    let mut workloads = vec![
+        rmat_graph(RmatKind::Er, SCALE),
+        rmat_graph(RmatKind::B, SCALE),
+    ];
+    workloads.extend(bio_suite(GENES).into_iter().take(1));
+
+    for named in workloads {
+        let graph = named.graph;
+        // Algorithm 1, parallel.
+        let parallel = MaximalChordalExtractor::new(ExtractorConfig {
+            engine: Engine::rayon(threads),
+            adjacency: AdjacencyMode::Sorted,
+            semantics: Semantics::Asynchronous,
+            record_stats: false,
+        });
+        group.bench_with_input(
+            BenchmarkId::new("algorithm1_parallel", &named.name),
+            &graph,
+            |b, g| b.iter(|| parallel.extract(g)),
+        );
+        // Algorithm 1, single thread.
+        let serial = MaximalChordalExtractor::new(ExtractorConfig::serial(AdjacencyMode::Sorted));
+        group.bench_with_input(
+            BenchmarkId::new("algorithm1_serial", &named.name),
+            &graph,
+            |b, g| b.iter(|| serial.extract(g)),
+        );
+        // Dearing baseline.
+        group.bench_with_input(BenchmarkId::new("dearing", &named.name), &graph, |b, g| {
+            b.iter(|| extract_dearing(g))
+        });
+        // Partitioned baseline.
+        group.bench_with_input(
+            BenchmarkId::new("partitioned_8", &named.name),
+            &graph,
+            |b, g| b.iter(|| extract_partitioned(g, 8, PartitionStrategy::Blocks)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_baselines);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Criterion counterpart of Figure 6: the two engines (pool = XMT analogue,
+//! rayon = multicore analogue) on the *same* RMAT-ER and RMAT-B inputs at
+//! full parallelism, Opt and Unopt variants.
+
+use chordal_bench::workloads::rmat_graph;
+use chordal_core::{AdjacencyMode, ExtractorConfig, MaximalChordalExtractor, Semantics};
+use chordal_generators::rmat::RmatKind;
+use chordal_runtime::{available_threads, Engine};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+const SCALE: u32 = 12;
+
+fn bench_relative(c: &mut Criterion) {
+    let threads = available_threads().min(8);
+    let mut group = c.benchmark_group("figure6_relative_engines");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(1));
+    group.warm_up_time(Duration::from_millis(300));
+
+    for kind in [RmatKind::Er, RmatKind::B] {
+        let named = rmat_graph(kind, SCALE);
+        let sorted = named.graph.clone();
+        let scrambled = named.graph.with_scrambled_adjacency(0xC0FFEE);
+        for (engine_name, engine) in [
+            ("pool", Engine::chunked(threads)),
+            ("rayon", Engine::rayon(threads)),
+        ] {
+            for (variant, graph, mode) in [
+                ("Opt", &sorted, AdjacencyMode::Sorted),
+                ("Unopt", &scrambled, AdjacencyMode::Unsorted),
+            ] {
+                let config = ExtractorConfig {
+                    engine: engine.clone(),
+                    adjacency: mode,
+                    semantics: Semantics::Asynchronous,
+                    record_stats: false,
+                };
+                let extractor = MaximalChordalExtractor::new(config);
+                let id = BenchmarkId::new(format!("{}-{engine_name}", kind.name()), variant);
+                group.bench_with_input(id, graph, |b, g| {
+                    b.iter(|| extractor.extract(g));
+                });
+            }
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_relative);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! Micro-benchmarks of the substrate the extraction builds on: graph
+//! construction, R-MAT generation, correlation-network construction, BFS,
+//! clustering coefficients and the chordality checker.
+
+use chordal_analysis::clustering::local_clustering_coefficients;
+use chordal_bench::workloads::rmat_graph;
+use chordal_core::verify::is_chordal;
+use chordal_generators::bio::CorrelationNetworkParams;
+use chordal_generators::chordal_gen::k_tree;
+use chordal_generators::rmat::{RmatKind, RmatParams};
+use chordal_graph::traversal::{bfs_levels, connected_components};
+use chordal_graph::CsrGraph;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+fn bench_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrate_generation");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(1));
+    group.warm_up_time(Duration::from_millis(300));
+
+    group.bench_function("rmat_er_scale12", |b| {
+        b.iter(|| RmatParams::preset(RmatKind::Er, 12, 1).generate())
+    });
+    group.bench_function("rmat_b_scale12", |b| {
+        b.iter(|| RmatParams::preset(RmatKind::B, 12, 1).generate())
+    });
+    group.bench_function("gene_network_400", |b| {
+        let params = CorrelationNetworkParams {
+            genes: 400,
+            ..CorrelationNetworkParams::default()
+        };
+        b.iter(|| params.build_network())
+    });
+    group.finish();
+}
+
+fn bench_graph_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrate_graph_ops");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(1));
+    group.warm_up_time(Duration::from_millis(300));
+
+    let graph = rmat_graph(RmatKind::G, 13).graph;
+    let edges: Vec<_> = graph.edges().collect();
+    group.bench_function("csr_from_edges_scale13", |b| {
+        b.iter(|| CsrGraph::from_canonical_edges(graph.num_vertices(), &edges))
+    });
+    group.bench_with_input(BenchmarkId::new("bfs", "RMAT-G(13)"), &graph, |b, g| {
+        b.iter(|| bfs_levels(g, 0))
+    });
+    group.bench_with_input(
+        BenchmarkId::new("connected_components", "RMAT-G(13)"),
+        &graph,
+        |b, g| b.iter(|| connected_components(g)),
+    );
+    let small = rmat_graph(RmatKind::G, 10).graph;
+    group.bench_with_input(
+        BenchmarkId::new("clustering_coefficients", "RMAT-G(10)"),
+        &small,
+        |b, g| b.iter(|| local_clustering_coefficients(g)),
+    );
+    let chordal = k_tree(2_000, 4, 7);
+    group.bench_with_input(
+        BenchmarkId::new("chordality_check", "k_tree_2000"),
+        &chordal,
+        |b, g| b.iter(|| is_chordal(g)),
+    );
+    group.finish();
+}
+
+criterion_group!(benches, bench_generation, bench_graph_ops);
+criterion_main!(benches);

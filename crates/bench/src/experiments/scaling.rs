@@ -1,0 +1,264 @@
+//! Scaling experiments: Figures 4, 5 and 6.
+//!
+//! * **Figure 4** — strong and weak scaling of the Opt/Unopt variants on the
+//!   three R-MAT presets, on both execution engines (the paper's two
+//!   hardware platforms map to the `pool` and `rayon` engines, see
+//!   DESIGN.md).
+//! * **Figure 5** — the same sweep on the four gene-correlation networks.
+//! * **Figure 6** — relative performance of the two engines on the *same*
+//!   RMAT-ER / RMAT-B input.
+
+use super::HarnessOptions;
+use crate::records::ScalingPoint;
+use crate::timing::time_best_of;
+use crate::workloads::{bio_suite, rmat_graph, NamedGraph};
+use chordal_core::{AdjacencyMode, ExtractorConfig, MaximalChordalExtractor, Semantics};
+use chordal_generators::rmat::RmatKind;
+use chordal_graph::CsrGraph;
+use chordal_runtime::Engine;
+
+/// The two parallel engines the harness compares, standing in for the
+/// paper's two hardware platforms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineKind {
+    /// Fine-grained dynamic self-scheduling pool (XMT analogue).
+    Pool,
+    /// Rayon work-stealing pool (Opteron analogue).
+    Rayon,
+}
+
+impl EngineKind {
+    /// Both engines.
+    pub fn all() -> [EngineKind; 2] {
+        [EngineKind::Pool, EngineKind::Rayon]
+    }
+
+    /// Builds an [`Engine`] with the requested number of threads.
+    pub fn build(self, threads: usize) -> Engine {
+        match self {
+            EngineKind::Pool => Engine::chunked(threads),
+            EngineKind::Rayon => Engine::rayon(threads.max(1)),
+        }
+    }
+
+    /// Label used in output ("pool" / "rayon").
+    pub fn label(self) -> &'static str {
+        match self {
+            EngineKind::Pool => "pool",
+            EngineKind::Rayon => "rayon",
+        }
+    }
+}
+
+/// A prepared workload: the sorted graph for the Opt variant and a
+/// deterministically scrambled copy for the Unopt variant (the paper's
+/// unoptimised code stores neighbour lists in generator order).
+pub struct PreparedGraph {
+    /// Display name.
+    pub name: String,
+    /// Sorted-adjacency graph (Opt input).
+    pub sorted: CsrGraph,
+    /// Scrambled-adjacency graph (Unopt input).
+    pub scrambled: CsrGraph,
+}
+
+impl PreparedGraph {
+    /// Prepares a named graph for both variants.
+    pub fn new(named: NamedGraph) -> Self {
+        let scrambled = named.graph.with_scrambled_adjacency(0xC0FFEE);
+        Self {
+            name: named.name,
+            sorted: named.graph,
+            scrambled,
+        }
+    }
+}
+
+/// Measures one timing point.
+pub fn measure_point(
+    experiment: &str,
+    prepared: &PreparedGraph,
+    engine_kind: EngineKind,
+    variant: AdjacencyMode,
+    threads: usize,
+    repeats: usize,
+) -> ScalingPoint {
+    let engine = engine_kind.build(threads);
+    let config = ExtractorConfig {
+        engine,
+        adjacency: variant,
+        semantics: Semantics::Asynchronous,
+        record_stats: false,
+    };
+    let extractor = MaximalChordalExtractor::new(config);
+    let graph = match variant {
+        AdjacencyMode::Sorted => &prepared.sorted,
+        AdjacencyMode::Unsorted => &prepared.scrambled,
+    };
+    let (elapsed, result) = time_best_of(repeats, || extractor.extract(graph));
+    ScalingPoint {
+        experiment: experiment.to_string(),
+        graph: prepared.name.clone(),
+        engine: engine_kind.label().to_string(),
+        variant: variant.label().to_string(),
+        threads,
+        seconds: elapsed.as_secs_f64(),
+        chordal_edges: result.num_chordal_edges(),
+        iterations: result.iterations,
+    }
+}
+
+/// Runs a full strong-scaling sweep over one prepared graph.
+pub fn sweep_graph(
+    experiment: &str,
+    prepared: &PreparedGraph,
+    options: &HarnessOptions,
+) -> Vec<ScalingPoint> {
+    let mut points = Vec::new();
+    for engine_kind in EngineKind::all() {
+        for variant in [AdjacencyMode::Sorted, AdjacencyMode::Unsorted] {
+            for &threads in &options.threads() {
+                points.push(measure_point(
+                    experiment,
+                    prepared,
+                    engine_kind,
+                    variant,
+                    threads,
+                    options.repeats,
+                ));
+            }
+        }
+    }
+    points
+}
+
+fn print_points(points: &[ScalingPoint]) {
+    println!(
+        "  {:<16} {:>6} {:>7} {:>8} {:>10} {:>12} {:>6}",
+        "graph", "engine", "variant", "threads", "seconds", "EC edges", "iters"
+    );
+    for p in points {
+        println!(
+            "  {:<16} {:>6} {:>7} {:>8} {:>10.4} {:>12} {:>6}",
+            p.graph, p.engine, p.variant, p.threads, p.seconds, p.chordal_edges, p.iterations
+        );
+    }
+}
+
+/// Figure 4: strong + weak scaling on the R-MAT presets.
+pub fn figure4(options: &HarnessOptions) -> Vec<ScalingPoint> {
+    let mut all = Vec::new();
+    for kind in [RmatKind::Er, RmatKind::G, RmatKind::B] {
+        for scale in options.weak_scaling_scales() {
+            let prepared = PreparedGraph::new(rmat_graph(kind, scale));
+            all.extend(sweep_graph("figure4", &prepared, options));
+        }
+    }
+    all
+}
+
+/// Figure 4 with printing and record output.
+pub fn figure4_and_print(options: &HarnessOptions) -> Vec<ScalingPoint> {
+    println!("Figure 4: scaling of Algorithm 1 on the R-MAT suite");
+    let points = figure4(options);
+    print_points(&points);
+    options.write_records(&points);
+    points
+}
+
+/// Figure 5: scaling on the gene-correlation networks.
+pub fn figure5(options: &HarnessOptions) -> Vec<ScalingPoint> {
+    let mut all = Vec::new();
+    for named in bio_suite(options.genes) {
+        let prepared = PreparedGraph::new(named);
+        all.extend(sweep_graph("figure5", &prepared, options));
+    }
+    all
+}
+
+/// Figure 5 with printing and record output.
+pub fn figure5_and_print(options: &HarnessOptions) -> Vec<ScalingPoint> {
+    println!("Figure 5: scaling of Algorithm 1 on the gene-correlation networks");
+    let points = figure5(options);
+    print_points(&points);
+    options.write_records(&points);
+    points
+}
+
+/// Figure 6: relative performance of the two engines on the same RMAT-ER and
+/// RMAT-B inputs.
+pub fn figure6(options: &HarnessOptions) -> Vec<ScalingPoint> {
+    let mut all = Vec::new();
+    for kind in [RmatKind::Er, RmatKind::B] {
+        let prepared = PreparedGraph::new(rmat_graph(kind, options.rmat_scale));
+        all.extend(sweep_graph("figure6", &prepared, options));
+    }
+    all
+}
+
+/// Figure 6 with printing and record output.
+pub fn figure6_and_print(options: &HarnessOptions) -> Vec<ScalingPoint> {
+    println!("Figure 6: relative performance of the pool and rayon engines");
+    let points = figure6(options);
+    print_points(&points);
+    options.write_records(&points);
+    points
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workloads::rmat_graph;
+
+    #[test]
+    fn measure_point_produces_consistent_metadata() {
+        let prepared = PreparedGraph::new(rmat_graph(RmatKind::Er, 8));
+        let p = measure_point(
+            "test",
+            &prepared,
+            EngineKind::Rayon,
+            AdjacencyMode::Sorted,
+            2,
+            1,
+        );
+        assert_eq!(p.threads, 2);
+        assert_eq!(p.engine, "rayon");
+        assert_eq!(p.variant, "Opt");
+        assert!(p.seconds > 0.0);
+        assert!(p.chordal_edges > 0);
+        assert!(p.iterations > 0);
+    }
+
+    #[test]
+    fn opt_and_unopt_find_subgraphs_of_similar_size() {
+        let prepared = PreparedGraph::new(rmat_graph(RmatKind::G, 8));
+        let opt = measure_point(
+            "test",
+            &prepared,
+            EngineKind::Pool,
+            AdjacencyMode::Sorted,
+            2,
+            1,
+        );
+        let unopt = measure_point(
+            "test",
+            &prepared,
+            EngineKind::Pool,
+            AdjacencyMode::Unsorted,
+            2,
+            1,
+        );
+        let ratio = opt.chordal_edges as f64 / unopt.chordal_edges as f64;
+        assert!(ratio > 0.9 && ratio < 1.1, "ratio {ratio}");
+    }
+
+    #[test]
+    fn quick_figure6_produces_points_for_both_engines() {
+        let options = HarnessOptions::tiny();
+        let points = figure6(&options);
+        assert!(points.iter().any(|p| p.engine == "pool"));
+        assert!(points.iter().any(|p| p.engine == "rayon"));
+        assert!(points.iter().any(|p| p.variant == "Opt"));
+        assert!(points.iter().any(|p| p.variant == "Unopt"));
+    }
+}

@@ -1,0 +1,19 @@
+//! Shared infrastructure for the benchmark harness.
+//!
+//! The `experiments` binary (in `src/bin`) regenerates every table and
+//! figure of the paper; the Criterion benches (in `benches/`) provide
+//! statistically robust micro- and macro-benchmarks of the same code paths.
+//! Both are built on the helpers in this library: workload construction at a
+//! configurable scale, simple wall-clock timing, and serialisable experiment
+//! records.
+
+#![deny(missing_docs)]
+
+pub mod experiments;
+pub mod records;
+pub mod timing;
+pub mod workloads;
+
+pub use records::{ExperimentRecord, ScalingPoint};
+pub use timing::time_best_of;
+pub use workloads::{bio_suite, rmat_suite, thread_sweep, NamedGraph};

@@ -1,0 +1,105 @@
+//! Serialisable experiment records.
+//!
+//! Every experiment run by the `experiments` binary prints a human-readable
+//! table *and* appends machine-readable JSON-lines records, so that
+//! EXPERIMENTS.md and any downstream plotting can be regenerated without
+//! re-running the sweeps.
+
+use serde::Serialize;
+use std::io::Write;
+use std::path::Path;
+
+/// One timing point of a scaling experiment (Figures 4–6).
+#[derive(Debug, Clone, Serialize, PartialEq)]
+pub struct ScalingPoint {
+    /// Experiment id (e.g. `"figure4"`).
+    pub experiment: String,
+    /// Graph name (e.g. `"RMAT-B(14)"`).
+    pub graph: String,
+    /// Execution engine (`"serial"`, `"pool"`, `"rayon"`).
+    pub engine: String,
+    /// Algorithm variant (`"Opt"` / `"Unopt"`).
+    pub variant: String,
+    /// Number of worker threads.
+    pub threads: usize,
+    /// Wall-clock seconds of the extraction.
+    pub seconds: f64,
+    /// Number of chordal edges found.
+    pub chordal_edges: usize,
+    /// Number of outer iterations.
+    pub iterations: usize,
+}
+
+/// A free-form experiment record: an id plus a JSON value payload. Used for
+/// the non-timing experiments (Table I, Figures 2-3, 7, Table II, chordal
+/// fractions).
+#[derive(Debug, Clone, Serialize)]
+pub struct ExperimentRecord<T: Serialize> {
+    /// Experiment id (e.g. `"table1"`).
+    pub experiment: String,
+    /// Payload.
+    pub data: T,
+}
+
+/// Appends serialisable records to a JSON-lines file, creating it (and its
+/// parent directory) if needed.
+pub fn append_jsonl<T: Serialize>(path: &Path, records: &[T]) -> std::io::Result<()> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    let mut file = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)?;
+    for r in records {
+        let line = serde_json::to_string(r).expect("experiment records serialise");
+        writeln!(file, "{line}")?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaling_point_serialises_to_json() {
+        let p = ScalingPoint {
+            experiment: "figure4".into(),
+            graph: "RMAT-ER(10)".into(),
+            engine: "rayon".into(),
+            variant: "Opt".into(),
+            threads: 4,
+            seconds: 0.125,
+            chordal_edges: 1000,
+            iterations: 3,
+        };
+        let json = serde_json::to_string(&p).unwrap();
+        assert!(json.contains("\"threads\":4"));
+        assert!(json.contains("RMAT-ER"));
+    }
+
+    #[test]
+    fn append_jsonl_writes_one_line_per_record() {
+        let dir = std::env::temp_dir().join("chordal_bench_records_test");
+        let path = dir.join("records.jsonl");
+        let _ = std::fs::remove_file(&path);
+        let records = vec![
+            ExperimentRecord {
+                experiment: "t".into(),
+                data: 1,
+            },
+            ExperimentRecord {
+                experiment: "t".into(),
+                data: 2,
+            },
+        ];
+        append_jsonl(&path, &records).unwrap();
+        append_jsonl(&path, &records).unwrap();
+        let contents = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(contents.lines().count(), 4);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,262 @@
+//! `chordal` — command-line front end for the maximal chordal subgraph
+//! library.
+//!
+//! ```text
+//! chordal generate --kind rmat-b --scale 14 --out graph.txt
+//! chordal generate --kind bio-unt --genes 2000 --out genes.txt
+//! chordal extract  --in graph.txt --out chordal.txt [--threads 8] [--engine pool|rayon|serial]
+//!                  [--variant opt|unopt] [--semantics async|sync] [--stats] [--stitch]
+//! chordal analyze  --in graph.txt
+//! chordal verify   --graph graph.txt --subgraph chordal.txt
+//! ```
+
+use chordal_analysis::clustering::average_clustering;
+use chordal_analysis::degree_assortativity;
+use chordal_analysis::TableRow;
+use chordal_core::connect::stitch_components;
+use chordal_core::verify::{check_maximality, is_chordal, MaximalityReport};
+use chordal_core::{AdjacencyMode, ExtractorConfig, MaximalChordalExtractor, Semantics};
+use chordal_generators::bio::GeneNetworkKind;
+use chordal_generators::rmat::{RmatKind, RmatParams};
+use chordal_graph::io::{read_edge_list_file, write_edge_list_file};
+use chordal_graph::subgraph::{edge_subgraph, edges_subset_of_graph};
+use chordal_graph::CsrGraph;
+use chordal_runtime::Engine;
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        print_usage();
+        return ExitCode::FAILURE;
+    }
+    let command = args[0].clone();
+    let options = match parse_flags(&args[1..]) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let outcome = match command.as_str() {
+        "generate" => cmd_generate(&options),
+        "extract" => cmd_extract(&options),
+        "analyze" => cmd_analyze(&options),
+        "verify" => cmd_verify(&options),
+        "help" | "--help" | "-h" => {
+            print_usage();
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`")),
+    };
+    match outcome {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn print_usage() {
+    println!(
+        "chordal — maximal chordal subgraph toolkit\n\
+         \n\
+         commands:\n\
+         \x20 generate --kind <rmat-er|rmat-g|rmat-b|bio-crt|bio-unt|bio-ctl|bio-non> \n\
+         \x20          [--scale N] [--genes N] [--seed N] --out FILE\n\
+         \x20 extract  --in FILE [--out FILE] [--threads N] [--engine serial|pool|rayon]\n\
+         \x20          [--variant opt|unopt] [--semantics async|sync] [--stats] [--stitch]\n\
+         \x20 analyze  --in FILE\n\
+         \x20 verify   --graph FILE --subgraph FILE [--maximality N]\n\
+         \x20 help"
+    );
+}
+
+type Flags = HashMap<String, String>;
+
+fn parse_flags(args: &[String]) -> Result<Flags, String> {
+    let mut flags = Flags::new();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        let Some(name) = arg.strip_prefix("--") else {
+            return Err(format!("unexpected argument `{arg}`"));
+        };
+        // Boolean flags.
+        if matches!(name, "stats" | "stitch" | "quick") {
+            flags.insert(name.to_string(), "true".to_string());
+            continue;
+        }
+        let value = iter
+            .next()
+            .ok_or_else(|| format!("--{name} requires a value"))?;
+        flags.insert(name.to_string(), value.clone());
+    }
+    Ok(flags)
+}
+
+fn require<'a>(flags: &'a Flags, key: &str) -> Result<&'a str, String> {
+    flags
+        .get(key)
+        .map(String::as_str)
+        .ok_or_else(|| format!("missing required option --{key}"))
+}
+
+fn parse_number<T: std::str::FromStr>(flags: &Flags, key: &str, default: T) -> Result<T, String> {
+    match flags.get(key) {
+        None => Ok(default),
+        Some(v) => v
+            .parse::<T>()
+            .map_err(|_| format!("invalid value `{v}` for --{key}")),
+    }
+}
+
+fn cmd_generate(flags: &Flags) -> Result<(), String> {
+    let kind = require(flags, "kind")?;
+    let out = require(flags, "out")?;
+    let seed: u64 = parse_number(flags, "seed", 1)?;
+    let graph = match kind {
+        "rmat-er" | "rmat-g" | "rmat-b" => {
+            let scale: u32 = parse_number(flags, "scale", 14)?;
+            let preset = match kind {
+                "rmat-er" => RmatKind::Er,
+                "rmat-g" => RmatKind::G,
+                _ => RmatKind::B,
+            };
+            RmatParams::preset(preset, scale, seed).generate()
+        }
+        "bio-crt" | "bio-unt" | "bio-ctl" | "bio-non" => {
+            let genes: usize = parse_number(flags, "genes", 1_200)?;
+            let preset = match kind {
+                "bio-crt" => GeneNetworkKind::Gse5140Crt,
+                "bio-unt" => GeneNetworkKind::Gse5140Unt,
+                "bio-ctl" => GeneNetworkKind::Gse17072Ctl,
+                _ => GeneNetworkKind::Gse17072Non,
+            };
+            preset.network(genes, seed)
+        }
+        other => return Err(format!("unknown graph kind `{other}`")),
+    };
+    write_edge_list_file(&graph, out).map_err(|e| e.to_string())?;
+    println!(
+        "generated {kind}: {} vertices, {} edges -> {out}",
+        graph.num_vertices(),
+        graph.num_edges()
+    );
+    Ok(())
+}
+
+fn load_graph(path: &str) -> Result<CsrGraph, String> {
+    read_edge_list_file(path).map_err(|e| format!("failed to read {path}: {e}"))
+}
+
+fn cmd_extract(flags: &Flags) -> Result<(), String> {
+    let input = require(flags, "in")?;
+    let graph = load_graph(input)?;
+    let threads: usize = parse_number(flags, "threads", chordal_runtime::available_threads())?;
+    let engine = match flags.get("engine").map(String::as_str).unwrap_or("rayon") {
+        "serial" => Engine::serial(),
+        "pool" => Engine::chunked(threads),
+        "rayon" => Engine::rayon(threads.max(1)),
+        other => return Err(format!("unknown engine `{other}`")),
+    };
+    let adjacency = match flags.get("variant").map(String::as_str).unwrap_or("opt") {
+        "opt" => AdjacencyMode::Sorted,
+        "unopt" => AdjacencyMode::Unsorted,
+        other => return Err(format!("unknown variant `{other}`")),
+    };
+    let semantics = match flags.get("semantics").map(String::as_str).unwrap_or("async") {
+        "async" => Semantics::Asynchronous,
+        "sync" => Semantics::Synchronous,
+        other => return Err(format!("unknown semantics `{other}`")),
+    };
+    let record_stats = flags.contains_key("stats");
+    let config = ExtractorConfig {
+        engine,
+        adjacency,
+        semantics,
+        record_stats,
+    };
+    let start = std::time::Instant::now();
+    let result = MaximalChordalExtractor::new(config).extract(&graph);
+    let elapsed = start.elapsed();
+    println!(
+        "extracted {} chordal edges out of {} ({:.2}%) in {} iterations, {:.4}s",
+        result.num_chordal_edges(),
+        graph.num_edges(),
+        100.0 * result.chordal_fraction(&graph),
+        result.iterations,
+        elapsed.as_secs_f64()
+    );
+    if let Some(stats) = &result.stats {
+        println!("queue sizes per iteration: {:?}", stats.queue_sizes);
+    }
+    let mut edges = result.edges().to_vec();
+    if flags.contains_key("stitch") {
+        let stitched = stitch_components(&graph, &edges);
+        println!(
+            "stitching: {} -> {} components, {} edges added",
+            stitched.components_before,
+            stitched.components_after,
+            stitched.added_edges.len()
+        );
+        edges.extend(stitched.added_edges);
+    }
+    if let Some(out) = flags.get("out") {
+        let sub = edge_subgraph(&graph, &edges);
+        write_edge_list_file(&sub, out).map_err(|e| e.to_string())?;
+        println!("chordal subgraph written to {out}");
+    }
+    Ok(())
+}
+
+fn cmd_analyze(flags: &Flags) -> Result<(), String> {
+    let input = require(flags, "in")?;
+    let graph = load_graph(input)?;
+    let row = TableRow::compute(input, &graph);
+    println!("{}", TableRow::header());
+    println!("{}", row.format());
+    println!(
+        "average clustering coefficient: {:.4}",
+        average_clustering(&graph)
+    );
+    println!(
+        "degree assortativity:           {:.4}",
+        degree_assortativity(&graph)
+    );
+    let components = chordal_graph::traversal::connected_components(&graph);
+    println!("connected components:           {}", components.count);
+    println!("already chordal:                {}", is_chordal(&graph));
+    Ok(())
+}
+
+fn cmd_verify(flags: &Flags) -> Result<(), String> {
+    let graph = load_graph(require(flags, "graph")?)?;
+    let sub = load_graph(require(flags, "subgraph")?)?;
+    if sub.num_vertices() > graph.num_vertices() {
+        return Err("subgraph has more vertices than the host graph".to_string());
+    }
+    let edges: Vec<_> = sub.edges().collect();
+    if !edges_subset_of_graph(&graph, &edges) {
+        println!("FAIL: subgraph contains edges that are not in the host graph");
+        return Err("subgraph is not contained in the host graph".to_string());
+    }
+    let chordal = is_chordal(&sub);
+    println!("chordal: {chordal}");
+    let sample: usize = parse_number(flags, "maximality", 0)?;
+    if sample > 0 {
+        let report = check_maximality(&graph, &edges, Some(sample), 7);
+        match report {
+            MaximalityReport::Maximal => println!("maximal: true (sampled {sample} edges)"),
+            MaximalityReport::Violations(v) => {
+                println!("maximal: false ({} of {sample} sampled edges addable)", v.len())
+            }
+        }
+    }
+    if chordal {
+        Ok(())
+    } else {
+        Err("subgraph is not chordal".to_string())
+    }
+}

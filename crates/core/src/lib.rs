@@ -1,0 +1,85 @@
+//! Maximal chordal subgraph extraction.
+//!
+//! This crate implements the contribution of *"A Novel Multithreaded
+//! Algorithm for Extracting Maximal Chordal Subgraphs"* (Halappanavar, Feo,
+//! Dempsey, Ali, Bhowmick — ICPP 2012) together with the baselines it is
+//! evaluated against and the verification machinery needed to test it:
+//!
+//! * [`parallel::MaximalChordalExtractor`] — the paper's Algorithm 1: an
+//!   iterative, fine-grained multithreaded extraction where every vertex
+//!   tracks its *lowest parent* and a growing set of *chordal neighbors*.
+//!   Both the paper's variants are available: **Opt** (sorted adjacency,
+//!   cursor-based parent advance) and **Unopt** (unsorted adjacency, scan
+//!   based parent advance), on any [`chordal_runtime::Engine`].
+//! * [`reference`] — a plain sequential implementation of the same
+//!   algorithm used as the determinism oracle.
+//! * [`dearing`] — the serial maximal chordal subgraph algorithm of
+//!   Dearing, Shier and Warner (1988), the baseline the paper builds on.
+//! * [`partitioned`] — the earlier distributed-memory "nearly chordal"
+//!   approach (partition, solve locally, re-add border edges) that the paper
+//!   discusses and rejects for multithreaded use; included for comparison.
+//! * [`verify`] — chordality (MCS + perfect elimination ordering) and
+//!   maximality checkers.
+//! * [`connect`] — the component-stitching post-pass described alongside
+//!   Theorem 2.
+//!
+//! # Quick start
+//!
+//! ```
+//! use chordal_core::prelude::*;
+//! use chordal_graph::builder::graph_from_edges;
+//!
+//! // A 4-cycle with one chord plus a pendant vertex.
+//! let graph = graph_from_edges(5, vec![(0, 1), (1, 2), (2, 3), (0, 3), (0, 2), (3, 4)]);
+//! let result = extract_maximal_chordal(&graph);
+//! assert!(verify::is_chordal(&result.subgraph(&graph)));
+//! assert_eq!(result.num_chordal_edges(), 6); // the whole graph is chordal
+//! ```
+
+#![deny(missing_docs)]
+
+pub mod config;
+pub mod connect;
+pub mod dearing;
+pub mod parallel;
+pub mod parent;
+pub mod partitioned;
+pub mod reference;
+pub mod repair;
+pub mod result;
+pub mod stats;
+pub mod verify;
+
+pub use config::{AdjacencyMode, ExtractorConfig, Semantics};
+pub use parallel::MaximalChordalExtractor;
+pub use result::ChordalResult;
+pub use stats::IterationStats;
+
+/// Commonly used items.
+pub mod prelude {
+    pub use crate::config::{AdjacencyMode, ExtractorConfig, Semantics};
+    pub use crate::extract_maximal_chordal;
+    pub use crate::parallel::MaximalChordalExtractor;
+    pub use crate::result::ChordalResult;
+    pub use crate::verify;
+    pub use chordal_runtime::Engine;
+}
+
+use chordal_graph::CsrGraph;
+
+/// Extracts a maximal chordal subgraph with the default configuration
+/// (sorted adjacency, rayon engine over all available cores, deterministic
+/// synchronous iteration semantics).
+pub fn extract_maximal_chordal(graph: &CsrGraph) -> ChordalResult {
+    MaximalChordalExtractor::new(ExtractorConfig::default()).extract(graph)
+}
+
+/// Extracts a maximal chordal subgraph serially (no worker threads); useful
+/// for small graphs and for single-thread baselines.
+pub fn extract_maximal_chordal_serial(graph: &CsrGraph) -> ChordalResult {
+    let config = ExtractorConfig {
+        engine: chordal_runtime::Engine::serial(),
+        ..ExtractorConfig::default()
+    };
+    MaximalChordalExtractor::new(config).extract(graph)
+}

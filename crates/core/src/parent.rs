@@ -1,0 +1,165 @@
+//! Lowest-parent helpers.
+//!
+//! A vertex's *parents* are its neighbours with a smaller identification
+//! number; its *lowest parent* (LP) is the smallest of these. Algorithm 1
+//! walks every vertex through its parents in increasing order, one parent
+//! per iteration. The two variants of the paper differ only in how the next
+//! parent is located:
+//!
+//! * **Sorted (Opt)** — parents form a prefix of the ascending adjacency
+//!   list, so a cursor into that prefix yields the next parent in O(1).
+//! * **Unsorted (Unopt)** — the whole neighbour list is scanned for the
+//!   smallest id that is larger than the current parent and smaller than the
+//!   vertex itself.
+
+use chordal_graph::{CsrGraph, VertexId, NO_VERTEX};
+
+/// Finds the lowest parent of `v` in a graph with *sorted* adjacency, along
+/// with the cursor position of that parent. Returns `(NO_VERTEX, 0)` when
+/// `v` has no parent.
+#[inline]
+pub fn first_parent_sorted(graph: &CsrGraph, v: VertexId) -> (VertexId, u32) {
+    let adj = graph.neighbors(v);
+    match adj.first() {
+        Some(&w) if w < v => (w, 0),
+        _ => (NO_VERTEX, 0),
+    }
+}
+
+/// Given the cursor of the current parent of `v`, finds the next parent in a
+/// graph with sorted adjacency. Returns `(NO_VERTEX, cursor)` when no parent
+/// remains.
+#[inline]
+pub fn next_parent_sorted(graph: &CsrGraph, v: VertexId, cursor: u32) -> (VertexId, u32) {
+    let adj = graph.neighbors(v);
+    let next = cursor as usize + 1;
+    match adj.get(next) {
+        Some(&w) if w < v => (w, next as u32),
+        _ => (NO_VERTEX, cursor),
+    }
+}
+
+/// Finds the lowest parent of `v` by scanning an arbitrarily ordered
+/// adjacency list (the Unopt variant).
+#[inline]
+pub fn first_parent_scan(graph: &CsrGraph, v: VertexId) -> VertexId {
+    let mut best = NO_VERTEX;
+    for &w in graph.neighbors(v) {
+        if w < v && (best == NO_VERTEX || w < best) {
+            best = w;
+        }
+    }
+    best
+}
+
+/// Finds the next parent of `v` after `current` by scanning the adjacency
+/// list: the smallest neighbour strictly between `current` and `v`.
+#[inline]
+pub fn next_parent_scan(graph: &CsrGraph, v: VertexId, current: VertexId) -> VertexId {
+    let mut best = NO_VERTEX;
+    for &w in graph.neighbors(v) {
+        if w > current && w < v && (best == NO_VERTEX || w < best) {
+            best = w;
+        }
+    }
+    best
+}
+
+/// Tests whether sorted slice `a` is a subset of sorted slice `b`
+/// (ascending, duplicate-free). Linear in `|a| + |b|`, which is the
+/// "efficient, linear in terms of the size of the smallest set" test the
+/// paper describes (Section V) — both chordal-neighbour sets are built in
+/// ascending order by construction.
+#[inline]
+pub fn sorted_subset(a: &[VertexId], b: &[VertexId]) -> bool {
+    if a.len() > b.len() {
+        return false;
+    }
+    let mut j = 0usize;
+    for &x in a {
+        loop {
+            if j >= b.len() {
+                return false;
+            }
+            match b[j].cmp(&x) {
+                std::cmp::Ordering::Less => j += 1,
+                std::cmp::Ordering::Equal => {
+                    j += 1;
+                    break;
+                }
+                std::cmp::Ordering::Greater => return false,
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chordal_graph::builder::graph_from_edges;
+
+    fn sample_graph() -> CsrGraph {
+        // vertex 4 adjacent to 0, 2, 3, 5; vertex 2 adjacent to 4 only; etc.
+        graph_from_edges(6, vec![(0, 4), (2, 4), (3, 4), (4, 5), (0, 1)])
+    }
+
+    #[test]
+    fn sorted_parent_walk() {
+        let g = sample_graph();
+        // vertex 4: sorted neighbours [0, 2, 3, 5]; parents 0, 2, 3.
+        let (p0, c0) = first_parent_sorted(&g, 4);
+        assert_eq!(p0, 0);
+        let (p1, c1) = next_parent_sorted(&g, 4, c0);
+        assert_eq!(p1, 2);
+        let (p2, c2) = next_parent_sorted(&g, 4, c1);
+        assert_eq!(p2, 3);
+        let (p3, _) = next_parent_sorted(&g, 4, c2);
+        assert_eq!(p3, NO_VERTEX);
+    }
+
+    #[test]
+    fn sorted_no_parent_cases() {
+        let g = sample_graph();
+        // vertex 0 has neighbours 1 and 4, both larger.
+        assert_eq!(first_parent_sorted(&g, 0).0, NO_VERTEX);
+        // vertex 1's only neighbour is 0, which is smaller.
+        assert_eq!(first_parent_sorted(&g, 1).0, 0);
+    }
+
+    #[test]
+    fn scan_parent_walk_matches_sorted_walk() {
+        let g = sample_graph();
+        let scrambled = g.with_scrambled_adjacency(17);
+        for v in 0..6u32 {
+            // Walk parents with both strategies and compare sequences.
+            let mut sorted_seq = Vec::new();
+            let (mut p, mut c) = first_parent_sorted(&g, v);
+            while p != NO_VERTEX {
+                sorted_seq.push(p);
+                let (np, nc) = next_parent_sorted(&g, v, c);
+                p = np;
+                c = nc;
+            }
+            let mut scan_seq = Vec::new();
+            let mut p = first_parent_scan(&scrambled, v);
+            while p != NO_VERTEX {
+                scan_seq.push(p);
+                p = next_parent_scan(&scrambled, v, p);
+            }
+            assert_eq!(sorted_seq, scan_seq, "vertex {v}");
+        }
+    }
+
+    #[test]
+    fn sorted_subset_basic_cases() {
+        assert!(sorted_subset(&[], &[]));
+        assert!(sorted_subset(&[], &[1, 2]));
+        assert!(sorted_subset(&[2], &[1, 2, 3]));
+        assert!(sorted_subset(&[1, 3], &[1, 2, 3]));
+        assert!(!sorted_subset(&[1, 4], &[1, 2, 3]));
+        assert!(!sorted_subset(&[0], &[1, 2, 3]));
+        assert!(!sorted_subset(&[1, 2, 3], &[1, 2]));
+        assert!(sorted_subset(&[1, 2, 3], &[1, 2, 3]));
+    }
+}

@@ -1,0 +1,179 @@
+//! Sequential reference implementation of Algorithm 1.
+//!
+//! This follows the paper's pseudocode line by line with plain (non-atomic)
+//! data structures and the deterministic bulk-synchronous interpretation of
+//! an iteration: subset tests observe the chordal-neighbour sets and lowest
+//! parents as they stood when the iteration began. The parallel extractor
+//! in [`crate::parallel`] must produce exactly this edge set under
+//! [`crate::Semantics::Synchronous`] for every engine and thread count; the
+//! test-suite enforces that equivalence.
+
+use crate::parent::{first_parent_scan, next_parent_scan, sorted_subset};
+use crate::result::ChordalResult;
+use crate::stats::IterationStats;
+use chordal_graph::{CsrGraph, VertexId, NO_VERTEX};
+
+/// Runs the sequential reference extraction.
+///
+/// The result is independent of the order in which adjacency lists are
+/// stored (parents are always discovered by scanning), so this single
+/// routine is the oracle for both the Opt and Unopt parallel variants.
+pub fn extract_reference(graph: &CsrGraph) -> ChordalResult {
+    extract_reference_with_stats(graph, false)
+}
+
+/// Reference extraction with optional per-iteration statistics.
+pub fn extract_reference_with_stats(graph: &CsrGraph, record_stats: bool) -> ChordalResult {
+    let n = graph.num_vertices();
+    let mut lp: Vec<VertexId> = vec![NO_VERTEX; n];
+    let mut chordal: Vec<Vec<VertexId>> = vec![Vec::new(); n];
+    let mut stats = record_stats.then(IterationStats::new);
+
+    // Initialisation (lines 4-10): every vertex finds its lowest parent; the
+    // initial queue holds every vertex that is the lowest parent of someone.
+    let mut in_queue = vec![false; n];
+    let mut q1: Vec<VertexId> = Vec::new();
+    for v in 0..n as VertexId {
+        let w = first_parent_scan(graph, v);
+        if w != NO_VERTEX {
+            lp[v as usize] = w;
+            if !in_queue[w as usize] {
+                in_queue[w as usize] = true;
+                q1.push(w);
+            }
+        }
+    }
+
+    let mut iterations = 0usize;
+    while !q1.is_empty() {
+        iterations += 1;
+        // Freeze the state the iteration is allowed to observe.
+        let lp_frozen = lp.clone();
+        let clen_frozen: Vec<usize> = chordal.iter().map(Vec::len).collect();
+        let mut in_next = vec![false; n];
+        let mut q2: Vec<VertexId> = Vec::new();
+        let mut edges_added = 0usize;
+
+        for &v in &q1 {
+            for &w in graph.neighbors(v) {
+                if lp_frozen[w as usize] != v {
+                    continue;
+                }
+                // Subset test C[w] ⊆ C[v] against the frozen prefix of C[v].
+                let cv = &chordal[v as usize][..clen_frozen[v as usize]];
+                // `w`'s set cannot have been touched this iteration: only its
+                // (unique) lowest parent v writes to it, and that is us.
+                let accept = sorted_subset(&chordal[w as usize], cv);
+                if accept {
+                    chordal[w as usize].push(v);
+                    edges_added += 1;
+                }
+                // Advance w's lowest parent regardless of acceptance.
+                let x = next_parent_scan(graph, w, v);
+                if x != NO_VERTEX {
+                    lp[w as usize] = x;
+                    if !in_next[x as usize] {
+                        in_next[x as usize] = true;
+                        q2.push(x);
+                    }
+                } else {
+                    lp[w as usize] = NO_VERTEX;
+                }
+            }
+        }
+
+        if let Some(s) = stats.as_mut() {
+            s.record(q1.len(), edges_added);
+        }
+        q1 = q2;
+    }
+
+    let mut edges = Vec::new();
+    for (w, parents) in chordal.iter().enumerate() {
+        for &p in parents {
+            edges.push((p, w as VertexId));
+        }
+    }
+    ChordalResult::new(n, edges, iterations, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify;
+    use chordal_graph::builder::graph_from_edges;
+    use chordal_generators::structured;
+
+    #[test]
+    fn empty_graph_yields_empty_result() {
+        let g = CsrGraph::empty(5);
+        let r = extract_reference(&g);
+        assert_eq!(r.num_chordal_edges(), 0);
+        assert_eq!(r.iterations, 0);
+    }
+
+    #[test]
+    fn triangle_is_fully_retained() {
+        let g = structured::complete(3);
+        let r = extract_reference(&g);
+        assert_eq!(r.num_chordal_edges(), 3);
+    }
+
+    #[test]
+    fn four_cycle_drops_exactly_one_edge() {
+        let g = structured::cycle(4);
+        let r = extract_reference(&g);
+        assert_eq!(r.num_chordal_edges(), 3);
+        let sub = r.subgraph(&g);
+        assert!(verify::is_chordal(&sub));
+    }
+
+    #[test]
+    fn clique_is_fully_retained_and_needs_k_minus_one_iterations() {
+        // The paper notes a k-clique requires k-1 lowest-parent steps.
+        let k = 6;
+        let g = structured::complete(k);
+        let r = extract_reference_with_stats(&g, true);
+        assert_eq!(r.num_chordal_edges(), k * (k - 1) / 2);
+        assert_eq!(r.iterations, k - 1);
+        let stats = r.stats.as_ref().unwrap();
+        assert_eq!(stats.iterations(), k - 1);
+        assert_eq!(stats.total_edges(), k * (k - 1) / 2);
+    }
+
+    #[test]
+    fn paper_figure1_style_example() {
+        // A small graph with a 4-cycle and a chord, plus a pendant triangle.
+        // The input is chordal. The bulk-synchronous reference drops edge
+        // (2,3) because iteration 2 tests C[3] = {1} against the *frozen*
+        // C[2] = {0}; the paper-faithful asynchronous extractor (which lets
+        // vertex 2 observe that (1,2) was accepted earlier in the same
+        // iteration) keeps every edge — see the companion test in
+        // `crate::parallel`. Both outputs are chordal.
+        let g = graph_from_edges(
+            6,
+            vec![(0, 1), (0, 2), (1, 2), (1, 3), (2, 3), (3, 4), (4, 5), (3, 5)],
+        );
+        let r = extract_reference(&g);
+        let sub = r.subgraph(&g);
+        assert!(verify::is_chordal(&sub));
+        assert_eq!(r.num_chordal_edges(), g.num_edges() - 1);
+        assert!(!r.contains_edge(2, 3));
+    }
+
+    #[test]
+    fn stats_are_absent_unless_requested() {
+        let g = structured::cycle(5);
+        assert!(extract_reference(&g).stats.is_none());
+        assert!(extract_reference_with_stats(&g, true).stats.is_some());
+    }
+
+    #[test]
+    fn result_is_independent_of_adjacency_order() {
+        let g = structured::grid(5, 5);
+        let scrambled = g.with_scrambled_adjacency(23);
+        let a = extract_reference(&g);
+        let b = extract_reference(&scrambled);
+        assert_eq!(a.edges(), b.edges());
+    }
+}

@@ -1,0 +1,29 @@
+//! Graph generators for the maximal chordal subgraph workspace.
+//!
+//! Three families of inputs are needed to reproduce the paper's evaluation:
+//!
+//! * **R-MAT graphs** ([`rmat`]) with the paper's three probability presets —
+//!   RMAT-ER (Erdős–Rényi-like), RMAT-G and RMAT-B (increasingly skewed
+//!   scale-free graphs) — at a configurable SCALE with an edge factor of 8.
+//! * **Synthetic gene-correlation networks** ([`bio`]) standing in for the
+//!   GEO microarray datasets (GSE5140, GSE17072) used by the paper: a
+//!   module-structured expression matrix is synthesised and gene pairs with
+//!   Pearson correlation above a threshold are connected, exactly the
+//!   construction the paper describes.
+//! * **Structured graphs** ([`structured`], [`chordal_gen`]) — paths, cycles,
+//!   cliques, grids, trees, and *known-chordal* families (k-trees, interval
+//!   graphs) used by the test suite to validate correctness properties.
+//!
+//! All generators are deterministic given a seed.
+
+#![deny(missing_docs)]
+
+pub mod bio;
+pub mod chordal_gen;
+pub mod erdos_renyi;
+pub mod rmat;
+pub mod structured;
+
+pub use bio::{CorrelationNetworkParams, ExpressionMatrix, GeneNetworkKind};
+pub use erdos_renyi::{gnm, gnp};
+pub use rmat::{RmatKind, RmatParams};

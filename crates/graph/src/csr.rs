@@ -1,0 +1,430 @@
+//! Compressed-sparse-row adjacency structure.
+
+use crate::{EdgeList, GraphError, VertexId};
+use rayon::prelude::*;
+
+/// An immutable undirected graph in compressed-sparse-row form.
+///
+/// Every undirected edge `{u, v}` is stored twice, once in the adjacency of
+/// `u` and once in the adjacency of `v`. The structure records whether every
+/// adjacency list is sorted ascending; the "Opt" variant of the paper's
+/// algorithm requires sorted adjacency while the "Unopt" variant operates on
+/// generator-ordered lists.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct CsrGraph {
+    num_vertices: usize,
+    /// `offsets[v]..offsets[v + 1]` indexes `neighbors` for vertex `v`.
+    offsets: Vec<usize>,
+    neighbors: Vec<VertexId>,
+    sorted: bool,
+}
+
+impl CsrGraph {
+    /// Builds a graph from a (possibly non-canonical) edge list. Duplicates
+    /// and self loops are removed. Adjacency lists are sorted ascending.
+    pub fn from_edge_list(edges: &EdgeList) -> Self {
+        let canon = edges.canonicalized();
+        Self::from_canonical_edges(canon.num_vertices(), canon.edges())
+    }
+
+    /// Builds a graph from edges that are already canonical (deduplicated,
+    /// no self loops, `u < v`). Adjacency is sorted ascending.
+    pub fn from_canonical_edges(num_vertices: usize, edges: &[(VertexId, VertexId)]) -> Self {
+        // Count degrees.
+        let mut degrees = vec![0usize; num_vertices];
+        for &(u, v) in edges {
+            degrees[u as usize] += 1;
+            degrees[v as usize] += 1;
+        }
+        // Prefix sum.
+        let mut offsets = Vec::with_capacity(num_vertices + 1);
+        offsets.push(0usize);
+        let mut acc = 0usize;
+        for &d in &degrees {
+            acc += d;
+            offsets.push(acc);
+        }
+        // Fill.
+        let mut cursor = offsets[..num_vertices].to_vec();
+        let mut neighbors = vec![0 as VertexId; acc];
+        for &(u, v) in edges {
+            neighbors[cursor[u as usize]] = v;
+            cursor[u as usize] += 1;
+            neighbors[cursor[v as usize]] = u;
+            cursor[v as usize] += 1;
+        }
+        let mut graph = Self {
+            num_vertices,
+            offsets,
+            neighbors,
+            sorted: false,
+        };
+        graph.sort_adjacency();
+        graph
+    }
+
+    /// Constructs a graph directly from CSR arrays.
+    ///
+    /// `offsets` must have length `num_vertices + 1`, start at 0, be
+    /// non-decreasing and end at `neighbors.len()`; every neighbour must be a
+    /// valid vertex id. The adjacency is *not* required to be sorted or
+    /// symmetric; [`CsrGraph::validate_symmetry`] can check symmetry
+    /// separately.
+    pub fn from_parts(
+        num_vertices: usize,
+        offsets: Vec<usize>,
+        neighbors: Vec<VertexId>,
+    ) -> Result<Self, GraphError> {
+        if offsets.len() != num_vertices + 1 {
+            return Err(GraphError::Inconsistent(format!(
+                "offsets length {} does not match num_vertices + 1 = {}",
+                offsets.len(),
+                num_vertices + 1
+            )));
+        }
+        if offsets.first() != Some(&0) {
+            return Err(GraphError::Inconsistent(
+                "offsets must start at 0".to_string(),
+            ));
+        }
+        if *offsets.last().unwrap() != neighbors.len() {
+            return Err(GraphError::Inconsistent(format!(
+                "last offset {} does not match adjacency length {}",
+                offsets.last().unwrap(),
+                neighbors.len()
+            )));
+        }
+        if offsets.windows(2).any(|w| w[0] > w[1]) {
+            return Err(GraphError::Inconsistent(
+                "offsets must be non-decreasing".to_string(),
+            ));
+        }
+        if let Some(&bad) = neighbors.iter().find(|&&v| v as usize >= num_vertices) {
+            return Err(GraphError::VertexOutOfRange {
+                vertex: bad as u64,
+                num_vertices: num_vertices as u64,
+            });
+        }
+        let sorted = (0..num_vertices).all(|v| {
+            let range = offsets[v]..offsets[v + 1];
+            neighbors[range].windows(2).all(|w| w[0] <= w[1])
+        });
+        Ok(Self {
+            num_vertices,
+            offsets,
+            neighbors,
+            sorted,
+        })
+    }
+
+    /// An empty graph on `num_vertices` isolated vertices.
+    pub fn empty(num_vertices: usize) -> Self {
+        Self {
+            num_vertices,
+            offsets: vec![0; num_vertices + 1],
+            neighbors: Vec::new(),
+            sorted: true,
+        }
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.num_vertices
+    }
+
+    /// Number of undirected edges (half the stored adjacency entries).
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.neighbors.len() / 2
+    }
+
+    /// Number of directed adjacency entries (twice the edge count).
+    #[inline]
+    pub fn num_directed_edges(&self) -> usize {
+        self.neighbors.len()
+    }
+
+    /// Degree of vertex `v`.
+    #[inline]
+    pub fn degree(&self, v: VertexId) -> usize {
+        let v = v as usize;
+        self.offsets[v + 1] - self.offsets[v]
+    }
+
+    /// Neighbours of `v` as a slice.
+    #[inline]
+    pub fn neighbors(&self, v: VertexId) -> &[VertexId] {
+        let v = v as usize;
+        &self.neighbors[self.offsets[v]..self.offsets[v + 1]]
+    }
+
+    /// The raw offset array (length `num_vertices + 1`).
+    #[inline]
+    pub fn offsets(&self) -> &[usize] {
+        &self.offsets
+    }
+
+    /// The raw adjacency array.
+    #[inline]
+    pub fn adjacency(&self) -> &[VertexId] {
+        &self.neighbors
+    }
+
+    /// Whether every adjacency list is sorted ascending.
+    #[inline]
+    pub fn is_sorted(&self) -> bool {
+        self.sorted
+    }
+
+    /// Sorts every adjacency list ascending (in parallel). Afterwards
+    /// [`CsrGraph::is_sorted`] returns `true`.
+    pub fn sort_adjacency(&mut self) {
+        let offsets = &self.offsets;
+        // Split the adjacency into per-vertex chunks without aliasing.
+        let mut slices: Vec<&mut [VertexId]> = Vec::with_capacity(self.num_vertices);
+        let mut rest: &mut [VertexId] = &mut self.neighbors;
+        let mut consumed = 0usize;
+        for v in 0..self.num_vertices {
+            let len = offsets[v + 1] - offsets[v];
+            let (head, tail) = rest.split_at_mut(len);
+            slices.push(head);
+            rest = tail;
+            consumed += len;
+        }
+        debug_assert_eq!(consumed, offsets[self.num_vertices]);
+        slices.par_iter_mut().for_each(|s| s.sort_unstable());
+        self.sorted = true;
+    }
+
+    /// Returns a copy of this graph whose adjacency lists are shuffled into a
+    /// deterministic "unordered" arrangement. This models the paper's
+    /// unoptimised variant, where neighbour lists are stored in generator
+    /// order rather than ascending order.
+    pub fn with_scrambled_adjacency(&self, seed: u64) -> Self {
+        let mut clone = self.clone();
+        for v in 0..self.num_vertices {
+            let start = clone.offsets[v];
+            let end = clone.offsets[v + 1];
+            let slice = &mut clone.neighbors[start..end];
+            // Deterministic Fisher-Yates driven by a splitmix64 stream.
+            let mut state = seed ^ (v as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            let mut next = || {
+                state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = state;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            for i in (1..slice.len()).rev() {
+                let j = (next() % (i as u64 + 1)) as usize;
+                slice.swap(i, j);
+            }
+        }
+        clone.sorted = clone.check_sorted();
+        clone
+    }
+
+    fn check_sorted(&self) -> bool {
+        (0..self.num_vertices).all(|v| {
+            self.neighbors(v as VertexId)
+                .windows(2)
+                .all(|w| w[0] <= w[1])
+        })
+    }
+
+    /// Tests whether the edge `{u, v}` exists. Uses binary search when the
+    /// adjacency is sorted, linear scan otherwise.
+    pub fn has_edge(&self, u: VertexId, v: VertexId) -> bool {
+        if u as usize >= self.num_vertices || v as usize >= self.num_vertices {
+            return false;
+        }
+        let (a, b) = if self.degree(u) <= self.degree(v) {
+            (u, v)
+        } else {
+            (v, u)
+        };
+        let adj = self.neighbors(a);
+        if self.sorted {
+            adj.binary_search(&b).is_ok()
+        } else {
+            adj.contains(&b)
+        }
+    }
+
+    /// Maximum degree over all vertices (0 for an empty graph).
+    pub fn max_degree(&self) -> usize {
+        (0..self.num_vertices)
+            .into_par_iter()
+            .map(|v| self.offsets[v + 1] - self.offsets[v])
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Iterates over every undirected edge once, in canonical orientation
+    /// `(u, v)` with `u < v`.
+    pub fn edges(&self) -> impl Iterator<Item = (VertexId, VertexId)> + '_ {
+        (0..self.num_vertices as VertexId).flat_map(move |u| {
+            self.neighbors(u)
+                .iter()
+                .copied()
+                .filter(move |&v| u < v)
+                .map(move |v| (u, v))
+        })
+    }
+
+    /// Collects every undirected edge into an [`EdgeList`] (canonical form).
+    pub fn to_edge_list(&self) -> EdgeList {
+        let mut el = EdgeList::with_capacity(self.num_vertices, self.num_edges());
+        for (u, v) in self.edges() {
+            el.push(u, v);
+        }
+        el
+    }
+
+    /// Checks that the adjacency structure is symmetric: `v ∈ adj(u)` iff
+    /// `u ∈ adj(v)`, with matching multiplicity. Returns a description of the
+    /// first violation found.
+    pub fn validate_symmetry(&self) -> Result<(), GraphError> {
+        for u in 0..self.num_vertices as VertexId {
+            for &v in self.neighbors(u) {
+                let back = self.neighbors(v).iter().filter(|&&x| x == u).count();
+                let fwd = self.neighbors(u).iter().filter(|&&x| x == v).count();
+                if back != fwd {
+                    return Err(GraphError::Inconsistent(format!(
+                        "asymmetric adjacency between {u} and {v}: {fwd} vs {back}"
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Sum of all degrees (equals `2 * num_edges`).
+    pub fn total_degree(&self) -> usize {
+        self.neighbors.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path4() -> CsrGraph {
+        // 0 - 1 - 2 - 3
+        CsrGraph::from_canonical_edges(4, &[(0, 1), (1, 2), (2, 3)])
+    }
+
+    #[test]
+    fn from_canonical_edges_builds_symmetric_csr() {
+        let g = path4();
+        assert_eq!(g.num_vertices(), 4);
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.num_directed_edges(), 6);
+        assert_eq!(g.neighbors(0), &[1]);
+        assert_eq!(g.neighbors(1), &[0, 2]);
+        assert_eq!(g.neighbors(2), &[1, 3]);
+        assert_eq!(g.neighbors(3), &[2]);
+        assert!(g.is_sorted());
+        g.validate_symmetry().unwrap();
+    }
+
+    #[test]
+    fn from_edge_list_dedupes() {
+        let mut el = EdgeList::new(3);
+        el.push(0, 1);
+        el.push(1, 0);
+        el.push(1, 1);
+        el.push(1, 2);
+        let g = CsrGraph::from_edge_list(&el);
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.degree(1), 2);
+    }
+
+    #[test]
+    fn degrees_and_max_degree() {
+        let g = CsrGraph::from_canonical_edges(5, &[(0, 1), (0, 2), (0, 3), (0, 4)]);
+        assert_eq!(g.degree(0), 4);
+        assert_eq!(g.degree(4), 1);
+        assert_eq!(g.max_degree(), 4);
+    }
+
+    #[test]
+    fn has_edge_sorted_and_unsorted() {
+        let g = path4();
+        assert!(g.has_edge(0, 1));
+        assert!(g.has_edge(1, 0));
+        assert!(!g.has_edge(0, 2));
+        assert!(!g.has_edge(0, 99));
+        let scrambled = g.with_scrambled_adjacency(7);
+        assert!(scrambled.has_edge(0, 1));
+        assert!(!scrambled.has_edge(0, 3));
+    }
+
+    #[test]
+    fn edges_iterates_each_edge_once() {
+        let g = path4();
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(edges, vec![(0, 1), (1, 2), (2, 3)]);
+    }
+
+    #[test]
+    fn to_edge_list_roundtrip() {
+        let g = path4();
+        let el = g.to_edge_list();
+        let g2 = CsrGraph::from_edge_list(&el);
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn from_parts_validates() {
+        assert!(CsrGraph::from_parts(2, vec![0, 1, 2], vec![1, 0]).is_ok());
+        // wrong offsets length
+        assert!(CsrGraph::from_parts(2, vec![0, 2], vec![1, 0]).is_err());
+        // decreasing offsets
+        assert!(CsrGraph::from_parts(2, vec![0, 2, 1], vec![1, 0]).is_err());
+        // neighbor out of range
+        assert!(CsrGraph::from_parts(2, vec![0, 1, 2], vec![1, 5]).is_err());
+        // last offset mismatch
+        assert!(CsrGraph::from_parts(2, vec![0, 1, 1], vec![1, 0]).is_err());
+        // does not start at zero
+        assert!(CsrGraph::from_parts(2, vec![1, 1, 2], vec![1, 0]).is_err());
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = CsrGraph::empty(5);
+        assert_eq!(g.num_vertices(), 5);
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.max_degree(), 0);
+        assert!(g.is_sorted());
+        assert_eq!(g.edges().count(), 0);
+    }
+
+    #[test]
+    fn scrambled_adjacency_preserves_edge_set() {
+        let g = CsrGraph::from_canonical_edges(
+            6,
+            &[(0, 1), (0, 2), (0, 3), (1, 2), (2, 3), (3, 4), (4, 5)],
+        );
+        let s = g.with_scrambled_adjacency(42);
+        assert_eq!(g.num_edges(), s.num_edges());
+        for (u, v) in g.edges() {
+            assert!(s.has_edge(u, v));
+        }
+        // Degrees unchanged.
+        for v in 0..6 {
+            assert_eq!(g.degree(v), s.degree(v));
+        }
+    }
+
+    #[test]
+    fn sort_adjacency_after_scramble_restores_order() {
+        let g = CsrGraph::from_canonical_edges(5, &[(0, 1), (0, 2), (0, 3), (0, 4)]);
+        let mut s = g.with_scrambled_adjacency(3);
+        s.sort_adjacency();
+        assert_eq!(s.neighbors(0), &[1, 2, 3, 4]);
+        assert!(s.is_sorted());
+    }
+}

@@ -1,0 +1,93 @@
+//! Error type shared by the graph substrate.
+
+use std::fmt;
+
+/// Errors produced while constructing or loading graphs.
+#[derive(Debug)]
+pub enum GraphError {
+    /// A vertex id was outside the declared vertex range.
+    VertexOutOfRange {
+        /// The offending vertex id.
+        vertex: u64,
+        /// The number of vertices in the graph.
+        num_vertices: u64,
+    },
+    /// The input described an inconsistent graph (e.g. CSR offsets that do
+    /// not match the adjacency length).
+    Inconsistent(String),
+    /// An I/O error while reading or writing a graph file.
+    Io(std::io::Error),
+    /// A parse error while reading a textual graph format.
+    Parse {
+        /// Line number (1-based) where the error occurred.
+        line: usize,
+        /// Description of what went wrong.
+        message: String,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::VertexOutOfRange {
+                vertex,
+                num_vertices,
+            } => write!(
+                f,
+                "vertex id {vertex} out of range for a graph with {num_vertices} vertices"
+            ),
+            GraphError::Inconsistent(msg) => write!(f, "inconsistent graph input: {msg}"),
+            GraphError::Io(err) => write!(f, "graph I/O error: {err}"),
+            GraphError::Parse { line, message } => {
+                write!(f, "parse error on line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GraphError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            GraphError::Io(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for GraphError {
+    fn from(err: std::io::Error) -> Self {
+        GraphError::Io(err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_are_informative() {
+        let e = GraphError::VertexOutOfRange {
+            vertex: 10,
+            num_vertices: 5,
+        };
+        assert!(e.to_string().contains("10"));
+        assert!(e.to_string().contains('5'));
+
+        let e = GraphError::Parse {
+            line: 3,
+            message: "bad token".into(),
+        };
+        assert!(e.to_string().contains("line 3"));
+
+        let e = GraphError::Inconsistent("offsets".into());
+        assert!(e.to_string().contains("offsets"));
+    }
+
+    #[test]
+    fn io_error_converts() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "missing");
+        let e: GraphError = io.into();
+        assert!(matches!(e, GraphError::Io(_)));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

@@ -1,0 +1,176 @@
+//! Plain-text edge-list I/O.
+//!
+//! Format: an optional header line `# vertices <n>`, then one edge per line
+//! as two whitespace-separated vertex ids. Lines starting with `#` or `%`
+//! (Matrix-Market style comments) are ignored. This is sufficient for the
+//! CLI and for persisting generated test graphs; it intentionally avoids a
+//! dependency on any serialization framework for the hot path.
+
+use crate::{CsrGraph, EdgeList, GraphError, VertexId};
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+/// Writes a graph as a text edge list.
+pub fn write_edge_list<W: Write>(graph: &CsrGraph, writer: W) -> Result<(), GraphError> {
+    let mut w = BufWriter::new(writer);
+    writeln!(w, "# vertices {}", graph.num_vertices())?;
+    writeln!(w, "# edges {}", graph.num_edges())?;
+    for (u, v) in graph.edges() {
+        writeln!(w, "{u} {v}")?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Writes a graph to a file path.
+pub fn write_edge_list_file<P: AsRef<Path>>(graph: &CsrGraph, path: P) -> Result<(), GraphError> {
+    let file = std::fs::File::create(path)?;
+    write_edge_list(graph, file)
+}
+
+/// Reads a graph from a text edge list. If no `# vertices` header is present
+/// the vertex count is inferred as `max id + 1`.
+pub fn read_edge_list<R: Read>(reader: R) -> Result<CsrGraph, GraphError> {
+    let buf = BufReader::new(reader);
+    let mut declared_vertices: Option<usize> = None;
+    let mut edges: Vec<(VertexId, VertexId)> = Vec::new();
+    let mut max_id: u64 = 0;
+    for (idx, line) in buf.lines().enumerate() {
+        let line = line?;
+        let line_no = idx + 1;
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        if let Some(rest) = trimmed.strip_prefix('#') {
+            let mut tokens = rest.split_whitespace();
+            if tokens.next() == Some("vertices") {
+                if let Some(v) = tokens.next() {
+                    declared_vertices =
+                        Some(v.parse::<usize>().map_err(|e| GraphError::Parse {
+                            line: line_no,
+                            message: format!("bad vertex count: {e}"),
+                        })?);
+                }
+            }
+            continue;
+        }
+        if trimmed.starts_with('%') {
+            continue;
+        }
+        let mut parts = trimmed.split_whitespace();
+        let u: u64 = parts
+            .next()
+            .ok_or_else(|| GraphError::Parse {
+                line: line_no,
+                message: "missing first endpoint".into(),
+            })?
+            .parse()
+            .map_err(|e| GraphError::Parse {
+                line: line_no,
+                message: format!("bad vertex id: {e}"),
+            })?;
+        let v: u64 = parts
+            .next()
+            .ok_or_else(|| GraphError::Parse {
+                line: line_no,
+                message: "missing second endpoint".into(),
+            })?
+            .parse()
+            .map_err(|e| GraphError::Parse {
+                line: line_no,
+                message: format!("bad vertex id: {e}"),
+            })?;
+        if u >= u32::MAX as u64 || v >= u32::MAX as u64 {
+            return Err(GraphError::Parse {
+                line: line_no,
+                message: "vertex id exceeds u32 range".into(),
+            });
+        }
+        max_id = max_id.max(u).max(v);
+        edges.push((u as VertexId, v as VertexId));
+    }
+    let num_vertices = match declared_vertices {
+        Some(n) => n,
+        None => {
+            if edges.is_empty() {
+                0
+            } else {
+                (max_id + 1) as usize
+            }
+        }
+    };
+    let el = EdgeList::from_edges(num_vertices, edges)?;
+    Ok(CsrGraph::from_edge_list(&el))
+}
+
+/// Reads a graph from a file path.
+pub fn read_edge_list_file<P: AsRef<Path>>(path: P) -> Result<CsrGraph, GraphError> {
+    let file = std::fs::File::open(path)?;
+    read_edge_list(file)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::graph_from_edges;
+
+    #[test]
+    fn write_then_read_roundtrips() {
+        let g = graph_from_edges(5, vec![(0, 1), (1, 2), (2, 3), (3, 4), (0, 4)]);
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let g2 = read_edge_list(buf.as_slice()).unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn read_without_header_infers_vertex_count() {
+        let text = "0 1\n1 2\n";
+        let g = read_edge_list(text.as_bytes()).unwrap();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    fn read_skips_comments_and_blank_lines() {
+        let text = "# vertices 4\n% a matrix-market style comment\n\n0 1\n# another comment\n2 3\n";
+        let g = read_edge_list(text.as_bytes()).unwrap();
+        assert_eq!(g.num_vertices(), 4);
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    fn read_reports_parse_errors_with_line_numbers() {
+        let text = "0 1\nnot-a-number 2\n";
+        let err = read_edge_list(text.as_bytes()).unwrap_err();
+        match err {
+            GraphError::Parse { line, .. } => assert_eq!(line, 2),
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn read_rejects_missing_endpoint() {
+        let text = "0\n";
+        assert!(read_edge_list(text.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn read_empty_input_gives_empty_graph() {
+        let g = read_edge_list("".as_bytes()).unwrap();
+        assert_eq!(g.num_vertices(), 0);
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let g = graph_from_edges(3, vec![(0, 1), (1, 2)]);
+        let dir = std::env::temp_dir();
+        let path = dir.join("chordal_graph_io_test.txt");
+        write_edge_list_file(&g, &path).unwrap();
+        let g2 = read_edge_list_file(&path).unwrap();
+        assert_eq!(g, g2);
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -1,0 +1,138 @@
+//! Structural statistics reproducing the columns of Table I of the paper:
+//! vertex count, edge count, average degree, maximum degree, degree variance
+//! and edges-per-vertex ratio.
+
+use crate::CsrGraph;
+use rayon::prelude::*;
+
+/// Structural summary of a graph (one row of Table I).
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct GraphStats {
+    /// Number of vertices.
+    pub vertices: usize,
+    /// Number of undirected edges.
+    pub edges: usize,
+    /// Average degree (2E / V).
+    pub avg_degree: f64,
+    /// Maximum degree.
+    pub max_degree: usize,
+    /// Population variance of the degree distribution.
+    pub degree_variance: f64,
+    /// Edges divided by vertices (the paper's last column).
+    pub edges_per_vertex: f64,
+}
+
+impl GraphStats {
+    /// Computes the summary for a graph.
+    pub fn compute(graph: &CsrGraph) -> Self {
+        let n = graph.num_vertices();
+        let m = graph.num_edges();
+        if n == 0 {
+            return Self {
+                vertices: 0,
+                edges: 0,
+                avg_degree: 0.0,
+                max_degree: 0,
+                degree_variance: 0.0,
+                edges_per_vertex: 0.0,
+            };
+        }
+        let degrees: Vec<usize> = (0..n)
+            .into_par_iter()
+            .map(|v| graph.degree(v as u32))
+            .collect();
+        let max_degree = degrees.par_iter().copied().max().unwrap_or(0);
+        let sum: usize = degrees.par_iter().sum();
+        let avg = sum as f64 / n as f64;
+        let variance = degrees
+            .par_iter()
+            .map(|&d| {
+                let diff = d as f64 - avg;
+                diff * diff
+            })
+            .sum::<f64>()
+            / n as f64;
+        Self {
+            vertices: n,
+            edges: m,
+            avg_degree: avg,
+            max_degree,
+            degree_variance: variance,
+            edges_per_vertex: m as f64 / n as f64,
+        }
+    }
+}
+
+/// Histogram of vertex degrees: `hist[d]` is the number of vertices with
+/// degree `d`.
+pub fn degree_histogram(graph: &CsrGraph) -> Vec<usize> {
+    let max_deg = graph.max_degree();
+    let mut hist = vec![0usize; max_deg + 1];
+    for v in 0..graph.num_vertices() {
+        hist[graph.degree(v as u32)] += 1;
+    }
+    hist
+}
+
+/// The degree sequence of the graph (unsorted, indexed by vertex).
+pub fn degree_sequence(graph: &CsrGraph) -> Vec<usize> {
+    (0..graph.num_vertices())
+        .map(|v| graph.degree(v as u32))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::graph_from_edges;
+    use crate::CsrGraph;
+
+    #[test]
+    fn stats_of_star_graph() {
+        // star K_{1,4}: center 0.
+        let g = graph_from_edges(5, vec![(0, 1), (0, 2), (0, 3), (0, 4)]);
+        let s = GraphStats::compute(&g);
+        assert_eq!(s.vertices, 5);
+        assert_eq!(s.edges, 4);
+        assert_eq!(s.max_degree, 4);
+        assert!((s.avg_degree - 1.6).abs() < 1e-12);
+        assert!((s.edges_per_vertex - 0.8).abs() < 1e-12);
+        // degrees: 4,1,1,1,1 → mean 1.6, variance = (5.76 + 4*0.36)/5 = 1.44
+        assert!((s.degree_variance - 1.44).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stats_of_empty_graph() {
+        let g = CsrGraph::empty(0);
+        let s = GraphStats::compute(&g);
+        assert_eq!(s.vertices, 0);
+        assert_eq!(s.edges, 0);
+        assert_eq!(s.max_degree, 0);
+    }
+
+    #[test]
+    fn stats_of_regular_graph_have_zero_variance() {
+        // 4-cycle is 2-regular.
+        let g = graph_from_edges(4, vec![(0, 1), (1, 2), (2, 3), (0, 3)]);
+        let s = GraphStats::compute(&g);
+        assert!((s.avg_degree - 2.0).abs() < 1e-12);
+        assert!(s.degree_variance.abs() < 1e-12);
+    }
+
+    #[test]
+    fn degree_histogram_counts_correctly() {
+        let g = graph_from_edges(5, vec![(0, 1), (0, 2), (0, 3), (0, 4)]);
+        let hist = degree_histogram(&g);
+        assert_eq!(hist.len(), 5);
+        assert_eq!(hist[1], 4);
+        assert_eq!(hist[4], 1);
+        assert_eq!(hist[0], 0);
+    }
+
+    #[test]
+    fn degree_sequence_matches_degrees() {
+        let g = graph_from_edges(4, vec![(0, 1), (1, 2), (2, 3)]);
+        assert_eq!(degree_sequence(&g), vec![1, 2, 2, 1]);
+    }
+}

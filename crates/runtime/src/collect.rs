@@ -1,0 +1,106 @@
+//! Lock-amortised parallel collection of per-worker buffers.
+
+use parking_lot::Mutex;
+
+/// Collects locally-buffered items produced by parallel workers.
+///
+/// Each worker accumulates results into its own `Vec` and appends the whole
+/// buffer under a short critical section; contention is therefore one lock
+/// acquisition per *chunk*, not per item. The frontier construction of
+/// Algorithm 1 (building queue `Q2` from the vertices whose lowest parent
+/// advanced) uses this to avoid a concurrent queue.
+#[derive(Debug, Default)]
+pub struct ParallelCollector<T> {
+    inner: Mutex<Vec<T>>,
+}
+
+impl<T> ParallelCollector<T> {
+    /// Creates an empty collector.
+    pub fn new() -> Self {
+        Self {
+            inner: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Creates a collector with pre-reserved capacity.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            inner: Mutex::new(Vec::with_capacity(capacity)),
+        }
+    }
+
+    /// Appends a worker-local buffer (consuming it).
+    pub fn append(&self, mut local: Vec<T>) {
+        if local.is_empty() {
+            return;
+        }
+        let mut guard = self.inner.lock();
+        guard.append(&mut local);
+    }
+
+    /// Pushes a single item. Prefer [`ParallelCollector::append`] on hot
+    /// paths.
+    pub fn push(&self, item: T) {
+        self.inner.lock().push(item);
+    }
+
+    /// Number of items collected so far.
+    pub fn len(&self) -> usize {
+        self.inner.lock().len()
+    }
+
+    /// Whether nothing has been collected.
+    pub fn is_empty(&self) -> bool {
+        self.inner.lock().is_empty()
+    }
+
+    /// Consumes the collector and returns the gathered items (order
+    /// unspecified).
+    pub fn into_vec(self) -> Vec<T> {
+        self.inner.into_inner()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn collects_appended_buffers() {
+        let c = ParallelCollector::new();
+        c.append(vec![1, 2, 3]);
+        c.append(vec![]);
+        c.append(vec![4]);
+        c.push(5);
+        assert_eq!(c.len(), 5);
+        assert!(!c.is_empty());
+        let mut v = c.into_vec();
+        v.sort_unstable();
+        assert_eq!(v, vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn empty_collector() {
+        let c: ParallelCollector<u32> = ParallelCollector::with_capacity(16);
+        assert!(c.is_empty());
+        assert_eq!(c.into_vec(), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn concurrent_appends_from_many_threads() {
+        let c = Arc::new(ParallelCollector::new());
+        std::thread::scope(|s| {
+            for t in 0..8 {
+                let c = Arc::clone(&c);
+                s.spawn(move || {
+                    c.append((0..100).map(|i| t * 100 + i).collect());
+                });
+            }
+        });
+        let c = Arc::try_unwrap(c).unwrap();
+        let mut v = c.into_vec();
+        v.sort_unstable();
+        assert_eq!(v, (0..800).collect::<Vec<_>>());
+    }
+}

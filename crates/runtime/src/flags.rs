@@ -1,0 +1,146 @@
+//! A fixed-size array of atomic flags with test-and-set semantics.
+//!
+//! Algorithm 1 must insert each vertex into the next-iteration queue at most
+//! once ("if x ∉ Q2 then Q2 ← Q2 ∪ {x}", lines 21–22). The parallel
+//! implementation realises the membership test with one atomic flag per
+//! vertex; `test_and_set` returns whether the caller is the first to claim
+//! the vertex this iteration.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A dense array of atomic booleans packed 64 per word.
+#[derive(Debug)]
+pub struct AtomicFlags {
+    words: Vec<AtomicU64>,
+    len: usize,
+}
+
+impl AtomicFlags {
+    /// Creates `len` flags, all clear.
+    pub fn new(len: usize) -> Self {
+        let words = (0..len.div_ceil(64)).map(|_| AtomicU64::new(0)).collect();
+        Self { words, len }
+    }
+
+    /// Number of flags.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the array holds zero flags.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Atomically sets flag `idx`, returning `true` when the flag was
+    /// previously clear (i.e. the caller won the race).
+    #[inline]
+    pub fn test_and_set(&self, idx: usize) -> bool {
+        debug_assert!(idx < self.len);
+        let mask = 1u64 << (idx % 64);
+        let prev = self.words[idx / 64].fetch_or(mask, Ordering::AcqRel);
+        prev & mask == 0
+    }
+
+    /// Reads flag `idx`.
+    #[inline]
+    pub fn get(&self, idx: usize) -> bool {
+        debug_assert!(idx < self.len);
+        let mask = 1u64 << (idx % 64);
+        self.words[idx / 64].load(Ordering::Acquire) & mask != 0
+    }
+
+    /// Clears flag `idx`.
+    #[inline]
+    pub fn clear(&self, idx: usize) {
+        debug_assert!(idx < self.len);
+        let mask = !(1u64 << (idx % 64));
+        self.words[idx / 64].fetch_and(mask, Ordering::AcqRel);
+    }
+
+    /// Clears every flag. Not atomic as a whole; callers must ensure no
+    /// concurrent setters (the algorithm clears between iterations, outside
+    /// the parallel region).
+    pub fn clear_all(&self) {
+        for w in &self.words {
+            w.store(0, Ordering::Release);
+        }
+    }
+
+    /// Number of set flags (linear scan; diagnostic use only).
+    pub fn count_set(&self) -> usize {
+        self.words
+            .iter()
+            .map(|w| w.load(Ordering::Acquire).count_ones() as usize)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn test_and_set_reports_first_setter() {
+        let flags = AtomicFlags::new(100);
+        assert!(flags.test_and_set(5));
+        assert!(!flags.test_and_set(5));
+        assert!(flags.get(5));
+        assert!(!flags.get(6));
+    }
+
+    #[test]
+    fn clear_and_clear_all() {
+        let flags = AtomicFlags::new(130);
+        flags.test_and_set(0);
+        flags.test_and_set(64);
+        flags.test_and_set(129);
+        assert_eq!(flags.count_set(), 3);
+        flags.clear(64);
+        assert!(!flags.get(64));
+        assert_eq!(flags.count_set(), 2);
+        flags.clear_all();
+        assert_eq!(flags.count_set(), 0);
+    }
+
+    #[test]
+    fn len_and_empty() {
+        assert_eq!(AtomicFlags::new(0).len(), 0);
+        assert!(AtomicFlags::new(0).is_empty());
+        assert_eq!(AtomicFlags::new(65).len(), 65);
+        assert!(!AtomicFlags::new(65).is_empty());
+    }
+
+    #[test]
+    fn concurrent_test_and_set_admits_exactly_one_winner_per_flag() {
+        let flags = AtomicFlags::new(1000);
+        let winners = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    for i in 0..1000 {
+                        if flags.test_and_set(i) {
+                            winners.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(winners.load(Ordering::Relaxed), 1000);
+        assert_eq!(flags.count_set(), 1000);
+    }
+
+    #[test]
+    fn boundary_indices_across_words() {
+        let flags = AtomicFlags::new(128);
+        assert!(flags.test_and_set(63));
+        assert!(flags.test_and_set(64));
+        assert!(flags.test_and_set(127));
+        assert!(flags.get(63));
+        assert!(flags.get(64));
+        assert!(flags.get(127));
+        assert!(!flags.get(62));
+        assert!(!flags.get(65));
+    }
+}

@@ -1,0 +1,312 @@
+//! Parallel execution engines for the maximal chordal subgraph workspace.
+//!
+//! The ICPP 2012 paper evaluates its algorithm on two very different
+//! shared-memory machines: a Cray XMT (massive fine-grained multithreading,
+//! 100+ hardware streams per processor, dynamic interleaved scheduling) and a
+//! 48-core AMD Magny-Cours (conventional cache-based multicore). Neither
+//! machine is available here, so this crate provides two software execution
+//! engines with analogous scheduling behaviour plus a serial reference:
+//!
+//! * [`Engine::Chunked`] — a fine-grained dynamic self-scheduling executor:
+//!   worker threads repeatedly claim small chunks of the iteration space from
+//!   an atomic counter, the software analogue of the XMT's interleaved
+//!   scheduling over many thread streams.
+//! * [`Engine::Rayon`] — a work-stealing executor backed by a dedicated
+//!   [`rayon::ThreadPool`], the analogue of running one software thread per
+//!   core on the Opteron.
+//! * [`Engine::Serial`] — single-threaded reference used for speedup
+//!   baselines and determinism tests.
+//!
+//! All engines present the same `parallel_for` interface so the algorithm in
+//! `chordal-core` is written once and scheduled three ways.
+
+#![deny(missing_docs)]
+
+pub mod chunked;
+pub mod collect;
+pub mod flags;
+
+pub use chunked::ChunkedEngine;
+pub use collect::ParallelCollector;
+pub use flags::AtomicFlags;
+
+use std::ops::Range;
+use std::sync::Arc;
+
+/// Default chunk (grain) size for the dynamic self-scheduling engine.
+pub const DEFAULT_GRAIN: usize = 256;
+
+/// A parallel execution engine. Cheap to clone (the rayon pool is shared
+/// behind an [`Arc`]).
+#[derive(Clone)]
+pub enum Engine {
+    /// Single-threaded execution, in index order.
+    Serial,
+    /// Fine-grained dynamic self-scheduling over scoped OS threads
+    /// (XMT-style analogue).
+    Chunked(ChunkedEngine),
+    /// Work-stealing execution on a dedicated rayon thread pool
+    /// (multicore/Opteron-style analogue).
+    Rayon {
+        /// The dedicated pool this engine submits to.
+        pool: Arc<rayon::ThreadPool>,
+        /// Number of worker threads in the pool.
+        threads: usize,
+        /// Minimum number of indices a stolen task will process.
+        grain: usize,
+    },
+}
+
+impl std::fmt::Debug for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Engine::Serial => write!(f, "Engine::Serial"),
+            Engine::Chunked(c) => write!(
+                f,
+                "Engine::Chunked(threads={}, grain={})",
+                c.threads(),
+                c.grain()
+            ),
+            Engine::Rayon { threads, grain, .. } => {
+                write!(f, "Engine::Rayon(threads={threads}, grain={grain})")
+            }
+        }
+    }
+}
+
+impl Engine {
+    /// The serial reference engine.
+    pub fn serial() -> Self {
+        Engine::Serial
+    }
+
+    /// A dynamic self-scheduling engine with `threads` workers and the
+    /// default grain.
+    pub fn chunked(threads: usize) -> Self {
+        Engine::Chunked(ChunkedEngine::new(threads, DEFAULT_GRAIN))
+    }
+
+    /// A dynamic self-scheduling engine with an explicit grain size.
+    pub fn chunked_with_grain(threads: usize, grain: usize) -> Self {
+        Engine::Chunked(ChunkedEngine::new(threads, grain))
+    }
+
+    /// A work-stealing engine with `threads` rayon workers.
+    ///
+    /// # Panics
+    /// Panics if the rayon pool cannot be built (e.g. `threads == 0`).
+    pub fn rayon(threads: usize) -> Self {
+        Self::rayon_with_grain(threads, DEFAULT_GRAIN)
+    }
+
+    /// A work-stealing engine with explicit grain size.
+    pub fn rayon_with_grain(threads: usize, grain: usize) -> Self {
+        assert!(threads > 0, "rayon engine needs at least one thread");
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .thread_name(|i| format!("chordal-rayon-{i}"))
+            .build()
+            .expect("failed to build rayon thread pool");
+        Engine::Rayon {
+            pool: Arc::new(pool),
+            threads,
+            grain: grain.max(1),
+        }
+    }
+
+    /// Number of worker threads this engine uses (1 for serial).
+    pub fn threads(&self) -> usize {
+        match self {
+            Engine::Serial => 1,
+            Engine::Chunked(c) => c.threads(),
+            Engine::Rayon { threads, .. } => *threads,
+        }
+    }
+
+    /// Short human-readable name used in benchmark output
+    /// (`"serial"`, `"pool"`, `"rayon"`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Engine::Serial => "serial",
+            Engine::Chunked(_) => "pool",
+            Engine::Rayon { .. } => "rayon",
+        }
+    }
+
+    /// Runs `f` for every index in `0..n`. Iteration order is unspecified for
+    /// the parallel engines; `f` must be safe to call concurrently.
+    pub fn parallel_for<F>(&self, n: usize, f: F)
+    where
+        F: Fn(usize) + Sync,
+    {
+        self.parallel_for_chunks(n, |range| {
+            for i in range {
+                f(i);
+            }
+        });
+    }
+
+    /// Runs `f` on disjoint chunks covering `0..n`. This is the primitive the
+    /// other helpers are built on.
+    pub fn parallel_for_chunks<F>(&self, n: usize, f: F)
+    where
+        F: Fn(Range<usize>) + Sync,
+    {
+        if n == 0 {
+            return;
+        }
+        match self {
+            Engine::Serial => f(0..n),
+            Engine::Chunked(c) => c.for_chunks(n, &f),
+            Engine::Rayon { pool, grain, .. } => {
+                let grain = *grain;
+                pool.install(|| {
+                    use rayon::prelude::*;
+                    let chunks = n.div_ceil(grain);
+                    (0..chunks).into_par_iter().for_each(|c| {
+                        let start = c * grain;
+                        let end = (start + grain).min(n);
+                        f(start..end);
+                    });
+                });
+            }
+        }
+    }
+
+    /// Runs `f` for every index, collecting the items each call appends to a
+    /// thread-local buffer into one output vector. Ordering of the result is
+    /// unspecified for parallel engines.
+    pub fn parallel_collect<T, F>(&self, n: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize, &mut Vec<T>) + Sync,
+    {
+        let collector = ParallelCollector::new();
+        self.parallel_for_chunks(n, |range| {
+            let mut local = Vec::new();
+            for i in range {
+                f(i, &mut local);
+            }
+            collector.append(local);
+        });
+        collector.into_vec()
+    }
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Engine::Serial
+    }
+}
+
+/// Returns the number of logical CPUs available to this process (at least 1).
+pub fn available_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn engines() -> Vec<Engine> {
+        vec![
+            Engine::serial(),
+            Engine::chunked(4),
+            Engine::chunked_with_grain(3, 7),
+            Engine::rayon(4),
+            Engine::rayon_with_grain(2, 5),
+        ]
+    }
+
+    #[test]
+    fn parallel_for_visits_every_index_exactly_once() {
+        for engine in engines() {
+            let n = 10_000;
+            let counters: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+            engine.parallel_for(n, |i| {
+                counters[i].fetch_add(1, Ordering::Relaxed);
+            });
+            assert!(
+                counters
+                    .iter()
+                    .all(|c| c.load(Ordering::Relaxed) == 1),
+                "engine {:?} missed or repeated an index",
+                engine
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_for_chunks_covers_range_disjointly() {
+        for engine in engines() {
+            let n = 4_321;
+            let sum = AtomicUsize::new(0);
+            engine.parallel_for_chunks(n, |r| {
+                sum.fetch_add(r.len(), Ordering::Relaxed);
+            });
+            assert_eq!(sum.load(Ordering::Relaxed), n, "engine {:?}", engine);
+        }
+    }
+
+    #[test]
+    fn parallel_for_empty_range_is_noop() {
+        for engine in engines() {
+            let called = AtomicUsize::new(0);
+            engine.parallel_for(0, |_| {
+                called.fetch_add(1, Ordering::Relaxed);
+            });
+            assert_eq!(called.load(Ordering::Relaxed), 0);
+        }
+    }
+
+    #[test]
+    fn parallel_collect_gathers_all_items() {
+        for engine in engines() {
+            let n = 1000;
+            let mut out = engine.parallel_collect(n, |i, buf| {
+                if i % 3 == 0 {
+                    buf.push(i);
+                }
+            });
+            out.sort_unstable();
+            let expected: Vec<usize> = (0..n).filter(|i| i % 3 == 0).collect();
+            assert_eq!(out, expected, "engine {:?}", engine);
+        }
+    }
+
+    #[test]
+    fn engine_metadata() {
+        assert_eq!(Engine::serial().threads(), 1);
+        assert_eq!(Engine::serial().name(), "serial");
+        assert_eq!(Engine::chunked(8).threads(), 8);
+        assert_eq!(Engine::chunked(8).name(), "pool");
+        assert_eq!(Engine::rayon(2).threads(), 2);
+        assert_eq!(Engine::rayon(2).name(), "rayon");
+        assert!(available_threads() >= 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rayon_engine_rejects_zero_threads() {
+        let _ = Engine::rayon(0);
+    }
+
+    #[test]
+    fn default_engine_is_serial() {
+        assert!(matches!(Engine::default(), Engine::Serial));
+    }
+
+    #[test]
+    fn engines_are_cloneable_and_share_pools() {
+        let e = Engine::rayon(2);
+        let e2 = e.clone();
+        let sum = AtomicUsize::new(0);
+        e2.parallel_for(100, |i| {
+            sum.fetch_add(i, Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 4950);
+    }
+}

@@ -1,0 +1,86 @@
+//! # maximal-chordal
+//!
+//! A multithreaded toolkit for extracting **maximal chordal subgraphs** from
+//! large sparse graphs — a Rust reproduction of *"A Novel Multithreaded
+//! Algorithm for Extracting Maximal Chordal Subgraphs"* (Halappanavar, Feo,
+//! Dempsey, Ali, Bhowmick; ICPP 2012).
+//!
+//! This facade crate re-exports the workspace crates so applications can
+//! depend on a single package:
+//!
+//! * [`graph`] — CSR graph substrate (construction, traversal, statistics).
+//! * [`generators`] — R-MAT, Erdős–Rényi, structured graphs and synthetic
+//!   gene-correlation networks.
+//! * [`runtime`] — execution engines (serial, dynamic self-scheduling pool,
+//!   rayon).
+//! * [`core`] — the extraction algorithms (the paper's Algorithm 1, the
+//!   Dearing serial baseline, the partitioned baseline), verification and
+//!   component stitching.
+//! * [`analysis`] — clustering coefficients, shortest-path distributions,
+//!   assortativity and chordal-fraction reporting.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use maximal_chordal::prelude::*;
+//!
+//! // Generate a small scale-free graph (R-MAT "B" preset, 2^9 vertices).
+//! let graph = RmatParams::preset(RmatKind::B, 9, 42).generate();
+//!
+//! // Extract a maximal chordal subgraph with the default configuration
+//! // (rayon engine over all cores, sorted adjacency, asynchronous
+//! // semantics — the paper-faithful setup).
+//! let result = extract_maximal_chordal(&graph);
+//!
+//! // The extracted edge set always induces a chordal subgraph.
+//! assert!(is_chordal(&result.subgraph(&graph)));
+//! assert!(result.num_chordal_edges() <= graph.num_edges());
+//! ```
+
+#![deny(missing_docs)]
+
+pub use chordal_analysis as analysis;
+pub use chordal_core as core;
+pub use chordal_generators as generators;
+pub use chordal_graph as graph;
+pub use chordal_runtime as runtime;
+
+pub use chordal_core::{
+    extract_maximal_chordal, extract_maximal_chordal_serial, AdjacencyMode, ChordalResult,
+    ExtractorConfig, MaximalChordalExtractor, Semantics,
+};
+
+/// The most commonly used items across the workspace, re-exported for
+/// applications and examples.
+pub mod prelude {
+    pub use chordal_analysis::chordal_fraction::chordal_edge_percentage;
+    pub use chordal_analysis::clustering::average_clustering;
+    pub use chordal_analysis::degree_assortativity;
+    pub use chordal_core::connect::{stitch_components, stitched_edge_set};
+    pub use chordal_core::dearing::extract_dearing;
+    pub use chordal_core::verify::{check_maximality, is_chordal};
+    pub use chordal_core::{
+        extract_maximal_chordal, extract_maximal_chordal_serial, AdjacencyMode, ChordalResult,
+        ExtractorConfig, MaximalChordalExtractor, Semantics,
+    };
+    pub use chordal_generators::bio::{CorrelationNetworkParams, GeneNetworkKind};
+    pub use chordal_generators::rmat::{RmatKind, RmatParams};
+    pub use chordal_graph::builder::graph_from_edges;
+    pub use chordal_graph::{CsrGraph, EdgeList, GraphBuilder, GraphStats};
+    pub use chordal_runtime::Engine;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn facade_reexports_compose() {
+        let graph = graph_from_edges(4, vec![(0, 1), (1, 2), (2, 3), (0, 3)]);
+        let result = extract_maximal_chordal_serial(&graph);
+        assert_eq!(result.num_chordal_edges(), 3);
+        assert!(is_chordal(&result.subgraph(&graph)));
+        let stats = GraphStats::compute(&graph);
+        assert_eq!(stats.edges, 4);
+    }
+}

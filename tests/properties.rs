@@ -1,0 +1,154 @@
+//! Property-based tests over the core invariants of the workspace, using
+//! randomly generated graphs.
+
+use maximal_chordal::graph::subgraph::edge_subgraph;
+use maximal_chordal::graph::traversal::connected_components;
+use maximal_chordal::prelude::*;
+use proptest::prelude::*;
+
+/// Strategy: a random simple graph given as (n, edge list) with n in 2..40.
+fn arbitrary_graph() -> impl Strategy<Value = CsrGraph> {
+    (2usize..40).prop_flat_map(|n| {
+        let max_edges = n * (n - 1) / 2;
+        proptest::collection::vec((0..n as u32, 0..n as u32), 0..=max_edges.min(160)).prop_map(
+            move |pairs| {
+                let mut builder = GraphBuilder::new(n);
+                for (u, v) in pairs {
+                    if u != v {
+                        builder.add_edge(u, v);
+                    }
+                }
+                builder.build()
+            },
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Algorithm 1 always returns a chordal subgraph whose edges come from
+    /// the input, for every engine and both semantics.
+    #[test]
+    fn extraction_always_chordal(graph in arbitrary_graph(), use_async in any::<bool>(), threads in 1usize..5) {
+        let config = ExtractorConfig {
+            engine: Engine::rayon(threads),
+            adjacency: AdjacencyMode::Sorted,
+            semantics: if use_async { Semantics::Asynchronous } else { Semantics::Synchronous },
+            record_stats: false,
+        };
+        let result = MaximalChordalExtractor::new(config).extract(&graph);
+        let sub = result.subgraph(&graph);
+        prop_assert!(is_chordal(&sub));
+        for &(u, v) in result.edges() {
+            prop_assert!(graph.has_edge(u, v));
+        }
+    }
+
+    /// The synchronous parallel result equals the sequential reference.
+    #[test]
+    fn synchronous_matches_reference(graph in arbitrary_graph(), threads in 1usize..5) {
+        let reference = maximal_chordal::core::reference::extract_reference(&graph);
+        let config = ExtractorConfig {
+            engine: Engine::chunked_with_grain(threads, 4),
+            adjacency: AdjacencyMode::Sorted,
+            semantics: Semantics::Synchronous,
+            record_stats: false,
+        };
+        let result = MaximalChordalExtractor::new(config).extract(&graph);
+        prop_assert_eq!(result.edges(), reference.edges());
+    }
+
+    /// The Dearing baseline returns a chordal and maximal subgraph.
+    #[test]
+    fn dearing_is_chordal_and_maximal(graph in arbitrary_graph()) {
+        let result = extract_dearing(&graph);
+        let sub = result.subgraph(&graph);
+        prop_assert!(is_chordal(&sub));
+        prop_assert!(check_maximality(&graph, result.edges(), None, 0).is_maximal());
+    }
+
+    /// Stitching never breaks chordality and never merges further than the
+    /// host graph's own components.
+    #[test]
+    fn stitching_preserves_chordality(graph in arbitrary_graph()) {
+        let result = extract_maximal_chordal_serial(&graph);
+        let stitched = stitched_edge_set(&graph, result.edges());
+        let sub = edge_subgraph(&graph, &stitched);
+        prop_assert!(is_chordal(&sub));
+        prop_assert_eq!(
+            connected_components(&sub).count,
+            connected_components(&graph).count
+        );
+    }
+
+    /// CSR construction, edge listing and reconstruction round-trip.
+    #[test]
+    fn csr_roundtrip(graph in arbitrary_graph()) {
+        let edges: Vec<_> = graph.edges().collect();
+        let rebuilt = CsrGraph::from_canonical_edges(graph.num_vertices(), &edges);
+        prop_assert_eq!(&graph, &rebuilt);
+        prop_assert_eq!(graph.num_edges(), edges.len());
+    }
+
+    /// The chordality checker agrees with a brute-force chordless-cycle
+    /// search on small graphs.
+    #[test]
+    fn chordality_checker_matches_bruteforce(graph in (2usize..9).prop_flat_map(|n| {
+        proptest::collection::vec((0..n as u32, 0..n as u32), 0..=n * (n - 1) / 2)
+            .prop_map(move |pairs| {
+                let mut b = GraphBuilder::new(n);
+                for (u, v) in pairs {
+                    if u != v {
+                        b.add_edge(u, v);
+                    }
+                }
+                b.build()
+            })
+    })) {
+        prop_assert_eq!(is_chordal(&graph), bruteforce_is_chordal(&graph));
+    }
+}
+
+/// Exponential-time oracle: a graph is chordal iff it has no chordless cycle
+/// of length ≥ 4. Searches all simple cycles via DFS (fine for ≤ 8 vertices).
+fn bruteforce_is_chordal(graph: &CsrGraph) -> bool {
+    let n = graph.num_vertices();
+    // Enumerate all subsets of size >= 4 and check whether the induced
+    // subgraph is a cycle (every vertex degree 2, connected) without chords.
+    let vertices: Vec<u32> = (0..n as u32).collect();
+    let mut found_chordless_cycle = false;
+    let total_subsets = 1usize << n;
+    for mask in 0..total_subsets {
+        let subset: Vec<u32> = vertices
+            .iter()
+            .copied()
+            .filter(|&v| mask & (1 << v) != 0)
+            .collect();
+        if subset.len() < 4 {
+            continue;
+        }
+        // Induced subgraph degrees.
+        let mut degrees = vec![0usize; subset.len()];
+        let mut edge_count = 0usize;
+        for (i, &u) in subset.iter().enumerate() {
+            for (j, &v) in subset.iter().enumerate().skip(i + 1) {
+                if graph.has_edge(u, v) {
+                    degrees[i] += 1;
+                    degrees[j] += 1;
+                    edge_count += 1;
+                }
+            }
+        }
+        // An induced chordless cycle has exactly |S| edges, every degree 2,
+        // and is connected.
+        if edge_count == subset.len() && degrees.iter().all(|&d| d == 2) {
+            let induced = maximal_chordal::graph::subgraph::induced_subgraph(graph, &subset);
+            if connected_components(&induced.graph).count == 1 {
+                found_chordless_cycle = true;
+                break;
+            }
+        }
+    }
+    !found_chordless_cycle
+}
