@@ -81,7 +81,10 @@ mod tests {
 
     #[test]
     fn empty_graph_is_zero() {
-        assert_eq!(degree_assortativity(&chordal_graph::CsrGraph::empty(5)), 0.0);
+        assert_eq!(
+            degree_assortativity(&chordal_graph::CsrGraph::empty(5)),
+            0.0
+        );
     }
 
     #[test]

@@ -50,7 +50,6 @@ pub fn average_clustering(graph: &CsrGraph) -> f64 {
 /// One point of the Figure-2 scatter: all vertices with `degree` neighbours
 /// and their average clustering coefficient.
 #[derive(Debug, Clone, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize))]
 pub struct DegreeClustering {
     /// Vertex degree ("number of neighbours" on the paper's x-axis).
     pub degree: usize,
@@ -65,10 +64,10 @@ pub struct DegreeClustering {
 pub fn average_clustering_by_degree(graph: &CsrGraph) -> Vec<DegreeClustering> {
     let coeffs = local_clustering_coefficients(graph);
     let mut sums: Vec<(usize, f64)> = vec![(0, 0.0); graph.max_degree() + 1];
-    for v in 0..graph.num_vertices() {
+    for (v, &coeff) in coeffs.iter().enumerate() {
         let d = graph.degree(v as VertexId);
         sums[d].0 += 1;
-        sums[d].1 += coeffs[v];
+        sums[d].1 += coeff;
     }
     sums.into_iter()
         .enumerate()
@@ -106,8 +105,8 @@ pub fn triangle_count(graph: &CsrGraph) -> usize {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use chordal_graph::builder::graph_from_edges;
     use chordal_generators::structured;
+    use chordal_graph::builder::graph_from_edges;
 
     #[test]
     fn clique_has_clustering_one() {

@@ -90,7 +90,11 @@ pub fn summarize_distribution(histogram: &[u64]) -> PathSummary {
     }
     PathSummary {
         max_length,
-        mean_length: if pairs > 0 { weighted / pairs as f64 } else { 0.0 },
+        mean_length: if pairs > 0 {
+            weighted / pairs as f64
+        } else {
+            0.0
+        },
         pairs,
     }
 }

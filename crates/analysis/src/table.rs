@@ -3,7 +3,7 @@
 use chordal_graph::{CsrGraph, GraphStats};
 
 /// One row of Table I: the named graph and its structural statistics.
-#[derive(Debug, Clone, PartialEq, serde::Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TableRow {
     /// Name of the graph ("RMAT-ER(24)", "GSE5140(CRT)", ...).
     pub name: String,

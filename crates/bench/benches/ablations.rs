@@ -3,7 +3,7 @@
 //! dynamic self-scheduling pool, and BFS renumbering of the input.
 
 use chordal_bench::workloads::{bfs_renumbered, rmat_graph};
-use chordal_core::{AdjacencyMode, ExtractorConfig, MaximalChordalExtractor, Semantics};
+use chordal_core::{ExtractionSession, ExtractorConfig, Semantics};
 use chordal_generators::rmat::RmatKind;
 use chordal_runtime::{available_threads, Engine};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
@@ -23,14 +23,12 @@ fn bench_semantics(c: &mut Criterion) {
         ("async", Semantics::Asynchronous),
         ("sync", Semantics::Synchronous),
     ] {
-        let extractor = MaximalChordalExtractor::new(ExtractorConfig {
-            engine: Engine::rayon(threads),
-            adjacency: AdjacencyMode::Sorted,
-            semantics,
-            record_stats: false,
-        });
+        let config = ExtractorConfig::default()
+            .with_engine(Engine::rayon(threads))
+            .with_semantics(semantics);
+        let mut session = ExtractionSession::new(config);
         group.bench_with_input(BenchmarkId::new("RMAT-G", label), &graph, |b, g| {
-            b.iter(|| extractor.extract(g));
+            b.iter(|| session.extract(g));
         });
     }
     group.finish();
@@ -45,16 +43,13 @@ fn bench_grain_size(c: &mut Criterion) {
 
     let graph = rmat_graph(RmatKind::B, SCALE).graph;
     for grain in [16usize, 64, 256, 1024, 4096] {
-        let extractor = MaximalChordalExtractor::new(ExtractorConfig {
-            engine: Engine::chunked_with_grain(threads, grain),
-            adjacency: AdjacencyMode::Sorted,
-            semantics: Semantics::Asynchronous,
-            record_stats: false,
-        });
+        let config =
+            ExtractorConfig::default().with_engine(Engine::chunked_with_grain(threads, grain));
+        let mut session = ExtractionSession::new(config);
         group.bench_with_input(
             BenchmarkId::new("RMAT-B", format!("grain{grain}")),
             &graph,
-            |b, g| b.iter(|| extractor.extract(g)),
+            |b, g| b.iter(|| session.extract(g)),
         );
     }
     group.finish();
@@ -69,15 +64,11 @@ fn bench_bfs_renumbering(c: &mut Criterion) {
 
     let original = rmat_graph(RmatKind::B, SCALE).graph;
     let renumbered = bfs_renumbered(&original);
-    let extractor = MaximalChordalExtractor::new(ExtractorConfig {
-        engine: Engine::rayon(threads),
-        adjacency: AdjacencyMode::Sorted,
-        semantics: Semantics::Asynchronous,
-        record_stats: false,
-    });
+    let mut session =
+        ExtractionSession::new(ExtractorConfig::default().with_engine(Engine::rayon(threads)));
     for (label, graph) in [("original", &original), ("bfs-renumbered", &renumbered)] {
         group.bench_with_input(BenchmarkId::new("RMAT-B", label), graph, |b, g| {
-            b.iter(|| extractor.extract(g));
+            b.iter(|| session.extract(g));
         });
     }
     group.finish();

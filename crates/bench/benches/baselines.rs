@@ -1,11 +1,11 @@
-//! Algorithm 1 versus the baselines it is motivated by: the serial
-//! Dearing–Shier–Warner algorithm and the partitioned "nearly chordal"
-//! approach from the authors' earlier distributed work.
+//! Algorithm 1 versus the baselines it is motivated by, dispatched
+//! uniformly through the [`Algorithm`] registry: the serial
+//! Dearing–Shier–Warner algorithm, the sequential reference and the
+//! partitioned "nearly chordal" approach from the authors' earlier
+//! distributed work.
 
 use chordal_bench::workloads::{bio_suite, rmat_graph};
-use chordal_core::dearing::extract_dearing;
-use chordal_core::partitioned::{extract_partitioned, PartitionStrategy};
-use chordal_core::{AdjacencyMode, ExtractorConfig, MaximalChordalExtractor, Semantics};
+use chordal_core::{Algorithm, ExtractionSession, ExtractorConfig};
 use chordal_generators::rmat::RmatKind;
 use chordal_runtime::{available_threads, Engine};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
@@ -29,35 +29,27 @@ fn bench_baselines(c: &mut Criterion) {
 
     for named in workloads {
         let graph = named.graph;
-        // Algorithm 1, parallel.
-        let parallel = MaximalChordalExtractor::new(ExtractorConfig {
-            engine: Engine::rayon(threads),
-            adjacency: AdjacencyMode::Sorted,
-            semantics: Semantics::Asynchronous,
-            record_stats: false,
-        });
-        group.bench_with_input(
-            BenchmarkId::new("algorithm1_parallel", &named.name),
-            &graph,
-            |b, g| b.iter(|| parallel.extract(g)),
-        );
-        // Algorithm 1, single thread.
-        let serial = MaximalChordalExtractor::new(ExtractorConfig::serial(AdjacencyMode::Sorted));
-        group.bench_with_input(
-            BenchmarkId::new("algorithm1_serial", &named.name),
-            &graph,
-            |b, g| b.iter(|| serial.extract(g)),
-        );
-        // Dearing baseline.
-        group.bench_with_input(BenchmarkId::new("dearing", &named.name), &graph, |b, g| {
-            b.iter(|| extract_dearing(g))
-        });
-        // Partitioned baseline.
-        group.bench_with_input(
-            BenchmarkId::new("partitioned_8", &named.name),
-            &graph,
-            |b, g| b.iter(|| extract_partitioned(g, 8, PartitionStrategy::Blocks)),
-        );
+        // Every algorithm of the registry on the parallel engine, plus
+        // Algorithm 1 single-threaded for the serial baseline.
+        let mut configs: Vec<(String, ExtractorConfig)> = Algorithm::ALL
+            .into_iter()
+            .map(|algorithm| {
+                let config = ExtractorConfig::default()
+                    .with_algorithm(algorithm)
+                    .with_engine(Engine::rayon(threads));
+                (algorithm.name().to_string(), config)
+            })
+            .collect();
+        configs.push((
+            "alg1_serial".to_string(),
+            ExtractorConfig::default().with_engine(Engine::serial()),
+        ));
+        for (label, config) in configs {
+            let mut session = ExtractionSession::new(config);
+            group.bench_with_input(BenchmarkId::new(label, &named.name), &graph, |b, g| {
+                b.iter(|| session.extract(g))
+            });
+        }
     }
     group.finish();
 }

@@ -3,7 +3,7 @@
 //! full parallelism, Opt and Unopt variants.
 
 use chordal_bench::workloads::rmat_graph;
-use chordal_core::{AdjacencyMode, ExtractorConfig, MaximalChordalExtractor, Semantics};
+use chordal_core::{AdjacencyMode, ExtractionSession, ExtractorConfig};
 use chordal_generators::rmat::RmatKind;
 use chordal_runtime::{available_threads, Engine};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
@@ -22,24 +22,19 @@ fn bench_relative(c: &mut Criterion) {
         let named = rmat_graph(kind, SCALE);
         let sorted = named.graph.clone();
         let scrambled = named.graph.with_scrambled_adjacency(0xC0FFEE);
-        for (engine_name, engine) in [
-            ("pool", Engine::chunked(threads)),
-            ("rayon", Engine::rayon(threads)),
-        ] {
+        for engine_name in ["pool", "rayon"] {
+            let engine = Engine::by_name(engine_name, threads).expect("registered engine name");
             for (variant, graph, mode) in [
                 ("Opt", &sorted, AdjacencyMode::Sorted),
                 ("Unopt", &scrambled, AdjacencyMode::Unsorted),
             ] {
-                let config = ExtractorConfig {
-                    engine: engine.clone(),
-                    adjacency: mode,
-                    semantics: Semantics::Asynchronous,
-                    record_stats: false,
-                };
-                let extractor = MaximalChordalExtractor::new(config);
+                let config = ExtractorConfig::default()
+                    .with_engine(engine.clone())
+                    .with_adjacency(mode);
+                let mut session = ExtractionSession::new(config);
                 let id = BenchmarkId::new(format!("{}-{engine_name}", kind.name()), variant);
                 group.bench_with_input(id, graph, |b, g| {
-                    b.iter(|| extractor.extract(g));
+                    b.iter(|| session.extract(g));
                 });
             }
         }

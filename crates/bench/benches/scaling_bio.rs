@@ -2,7 +2,7 @@
 //! gene-correlation networks across thread counts and engines.
 
 use chordal_bench::workloads::{bio_suite, thread_sweep};
-use chordal_core::{AdjacencyMode, ExtractorConfig, MaximalChordalExtractor, Semantics};
+use chordal_core::{ExtractionSession, ExtractorConfig};
 use chordal_runtime::{available_threads, Engine};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::time::Duration;
@@ -20,23 +20,16 @@ fn bench_scaling_bio(c: &mut Criterion) {
         let graph = named.graph;
         group.throughput(Throughput::Elements(graph.num_edges() as u64));
         for &threads in &thread_sweep(max_threads) {
-            for (engine_name, engine) in [
-                ("pool", Engine::chunked(threads)),
-                ("rayon", Engine::rayon(threads.max(1))),
-            ] {
-                let config = ExtractorConfig {
-                    engine,
-                    adjacency: AdjacencyMode::Sorted,
-                    semantics: Semantics::Asynchronous,
-                    record_stats: false,
-                };
-                let extractor = MaximalChordalExtractor::new(config);
+            for engine_name in ["pool", "rayon"] {
+                let engine = Engine::by_name(engine_name, threads).expect("registered engine name");
+                let mut session =
+                    ExtractionSession::new(ExtractorConfig::default().with_engine(engine));
                 let id = BenchmarkId::new(
                     format!("{}-{}", named.name, engine_name),
                     format!("t{threads}"),
                 );
                 group.bench_with_input(id, &graph, |b, g| {
-                    b.iter(|| extractor.extract(g));
+                    b.iter(|| session.extract(g));
                 });
             }
         }

@@ -5,7 +5,7 @@
 //! `experiments figure4` binary covers larger sweeps.
 
 use chordal_bench::workloads::{rmat_graph, thread_sweep};
-use chordal_core::{AdjacencyMode, ExtractorConfig, MaximalChordalExtractor, Semantics};
+use chordal_core::{AdjacencyMode, ExtractionSession, ExtractorConfig};
 use chordal_generators::rmat::RmatKind;
 use chordal_runtime::{available_threads, Engine};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
@@ -25,23 +25,16 @@ fn bench_scaling_rmat(c: &mut Criterion) {
         let graph = named.graph;
         group.throughput(Throughput::Elements(graph.num_edges() as u64));
         for &threads in &thread_sweep(max_threads) {
-            for (engine_name, engine) in [
-                ("pool", Engine::chunked(threads)),
-                ("rayon", Engine::rayon(threads.max(1))),
-            ] {
-                let config = ExtractorConfig {
-                    engine,
-                    adjacency: AdjacencyMode::Sorted,
-                    semantics: Semantics::Asynchronous,
-                    record_stats: false,
-                };
-                let extractor = MaximalChordalExtractor::new(config);
+            for engine_name in ["pool", "rayon"] {
+                let engine = Engine::by_name(engine_name, threads).expect("registered engine name");
+                let mut session =
+                    ExtractionSession::new(ExtractorConfig::default().with_engine(engine));
                 let id = BenchmarkId::new(
                     format!("{}-{}", kind.name(), engine_name),
                     format!("t{threads}"),
                 );
                 group.bench_with_input(id, &graph, |b, g| {
-                    b.iter(|| extractor.extract(g));
+                    b.iter(|| session.extract(g));
                 });
             }
         }
@@ -64,15 +57,12 @@ fn bench_opt_vs_unopt(c: &mut Criterion) {
             ("Opt", &sorted, AdjacencyMode::Sorted),
             ("Unopt", &scrambled, AdjacencyMode::Unsorted),
         ] {
-            let config = ExtractorConfig {
-                engine: Engine::rayon(threads),
-                adjacency: mode,
-                semantics: Semantics::Asynchronous,
-                record_stats: false,
-            };
-            let extractor = MaximalChordalExtractor::new(config);
+            let config = ExtractorConfig::default()
+                .with_engine(Engine::rayon(threads))
+                .with_adjacency(mode);
+            let mut session = ExtractionSession::new(config);
             group.bench_with_input(BenchmarkId::new(kind.name(), label), graph, |b, g| {
-                b.iter(|| extractor.extract(g));
+                b.iter(|| session.extract(g));
             });
         }
     }

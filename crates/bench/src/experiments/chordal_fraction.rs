@@ -7,14 +7,14 @@
 //! two maximal subgraphs can be compared.
 
 use super::HarnessOptions;
+use crate::impl_to_json;
 use crate::records::ExperimentRecord;
 use crate::workloads::{bio_suite, rmat_suite};
 use chordal_analysis::chordal_fraction::chordal_edge_percentage;
-use chordal_core::{dearing::extract_dearing, extract_maximal_chordal};
-use serde::Serialize;
+use chordal_core::{Algorithm, ExtractionSession, ExtractorConfig};
 
 /// Edge-retention numbers for one graph.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct FractionRow {
     /// Graph name.
     pub graph: String,
@@ -30,16 +30,29 @@ pub struct FractionRow {
     pub dearing_percent: f64,
 }
 
+impl_to_json!(FractionRow {
+    graph,
+    edges,
+    algorithm1_edges,
+    algorithm1_percent,
+    dearing_edges,
+    dearing_percent
+});
+
 /// Measures retention for the whole suite (single scale plus the biological
 /// networks; the scale sweep is covered by Table I / Figure 4 workloads).
 pub fn run(options: &HarnessOptions) -> Vec<FractionRow> {
     let mut graphs = rmat_suite(options.rmat_scale);
     graphs.extend(bio_suite(options.genes));
+    // Two sessions reused across the whole suite: workspace allocations are
+    // paid once per algorithm, not once per graph.
+    let mut alg1_session = ExtractionSession::new(ExtractorConfig::default());
+    let mut dearing_session = ExtractionSession::with_algorithm(Algorithm::Dearing);
     graphs
         .into_iter()
         .map(|named| {
-            let alg1 = extract_maximal_chordal(&named.graph);
-            let dearing = extract_dearing(&named.graph);
+            let alg1 = alg1_session.extract(&named.graph);
+            let dearing = dearing_session.extract(&named.graph);
             FractionRow {
                 graph: named.name.clone(),
                 edges: named.graph.num_edges(),
@@ -49,7 +62,7 @@ pub fn run(options: &HarnessOptions) -> Vec<FractionRow> {
                 dearing_percent: chordal_edge_percentage(&named.graph, &dearing),
             }
         })
-        .collect()
+        .collect::<Vec<_>>()
 }
 
 /// Runs, prints and records.
@@ -63,7 +76,11 @@ pub fn run_and_print(options: &HarnessOptions) -> Vec<FractionRow> {
     for r in &rows {
         println!(
             "  {:<16} {:>12} {:>12} {:>8.2} {:>12} {:>8.2}",
-            r.graph, r.edges, r.algorithm1_edges, r.algorithm1_percent, r.dearing_edges,
+            r.graph,
+            r.edges,
+            r.algorithm1_edges,
+            r.algorithm1_percent,
+            r.dearing_edges,
             r.dearing_percent
         );
     }
@@ -87,8 +104,14 @@ mod tests {
         let rows = run(&HarnessOptions::tiny());
         assert_eq!(rows.len(), 7);
         for r in &rows {
-            assert!(r.algorithm1_percent > 0.0 && r.algorithm1_percent <= 100.0, "{r:?}");
-            assert!(r.dearing_percent > 0.0 && r.dearing_percent <= 100.0, "{r:?}");
+            assert!(
+                r.algorithm1_percent > 0.0 && r.algorithm1_percent <= 100.0,
+                "{r:?}"
+            );
+            assert!(
+                r.dearing_percent > 0.0 && r.dearing_percent <= 100.0,
+                "{r:?}"
+            );
             // Algorithm 1 never retains more than the (maximal-by-greedy)
             // Dearing baseline by a large margin, and retains a sizeable
             // fraction of it. On dense module-structured networks the gap is

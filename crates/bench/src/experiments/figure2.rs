@@ -5,14 +5,14 @@
 //! high clustering at low-degree vertices while the synthetic graphs do not.
 
 use super::HarnessOptions;
+use crate::impl_to_json;
 use crate::records::ExperimentRecord;
 use crate::workloads::{bio_suite, rmat_graph};
 use chordal_analysis::clustering::{average_clustering_by_degree, DegreeClustering};
 use chordal_generators::rmat::RmatKind;
-use serde::Serialize;
 
 /// Figure-2 series for one graph.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct ClusteringSeries {
     /// Graph name.
     pub graph: String,
@@ -21,7 +21,7 @@ pub struct ClusteringSeries {
 }
 
 /// One (degree, average clustering) point.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Point {
     /// Vertex degree.
     pub degree: usize,
@@ -30,6 +30,13 @@ pub struct Point {
     /// Average clustering coefficient of those vertices.
     pub average_clustering: f64,
 }
+
+impl_to_json!(ClusteringSeries { graph, points });
+impl_to_json!(Point {
+    degree,
+    count,
+    average_clustering
+});
 
 impl From<DegreeClustering> for Point {
     fn from(d: DegreeClustering) -> Self {

@@ -6,14 +6,14 @@
 //! well-separated dense modules and higher iteration counts.
 
 use super::HarnessOptions;
+use crate::impl_to_json;
 use crate::records::ExperimentRecord;
 use crate::workloads::{bio_suite, rmat_graph};
 use chordal_analysis::paths::{shortest_path_distribution, summarize_distribution};
 use chordal_generators::rmat::RmatKind;
-use serde::Serialize;
 
 /// Path-length histogram for one graph.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct PathSeries {
     /// Graph name.
     pub graph: String,
@@ -25,11 +25,21 @@ pub struct PathSeries {
     pub mean_length: f64,
 }
 
+impl_to_json!(PathSeries {
+    graph,
+    histogram,
+    max_length,
+    mean_length
+});
+
 /// Computes the three Figure-3 histograms.
 pub fn run(options: &HarnessOptions) -> Vec<PathSeries> {
     let scale = if options.quick { 8 } else { 10 };
     let mut out = Vec::new();
-    let mut graphs = vec![rmat_graph(RmatKind::Er, scale), rmat_graph(RmatKind::B, scale)];
+    let mut graphs = vec![
+        rmat_graph(RmatKind::Er, scale),
+        rmat_graph(RmatKind::B, scale),
+    ];
     if let Some(unt) = bio_suite(options.genes)
         .into_iter()
         .find(|g| g.name.contains("UNT"))

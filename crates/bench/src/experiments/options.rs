@@ -69,10 +69,13 @@ impl HarnessOptions {
     }
 
     /// Writes records if an output path was configured.
-    pub fn write_records<T: serde::Serialize>(&self, records: &[T]) {
+    pub fn write_records<T: crate::json::ToJson>(&self, records: &[T]) {
         if let Some(path) = &self.out {
             if let Err(err) = crate::records::append_jsonl(path, records) {
-                eprintln!("warning: failed to write records to {}: {err}", path.display());
+                eprintln!(
+                    "warning: failed to write records to {}: {err}",
+                    path.display()
+                );
             }
         }
     }

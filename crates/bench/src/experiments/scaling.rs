@@ -12,7 +12,7 @@ use super::HarnessOptions;
 use crate::records::ScalingPoint;
 use crate::timing::time_best_of;
 use crate::workloads::{bio_suite, rmat_graph, NamedGraph};
-use chordal_core::{AdjacencyMode, ExtractorConfig, MaximalChordalExtractor, Semantics};
+use chordal_core::{AdjacencyMode, ExtractionSession, ExtractorConfig};
 use chordal_generators::rmat::RmatKind;
 use chordal_graph::CsrGraph;
 use chordal_runtime::Engine;
@@ -33,12 +33,10 @@ impl EngineKind {
         [EngineKind::Pool, EngineKind::Rayon]
     }
 
-    /// Builds an [`Engine`] with the requested number of threads.
+    /// Builds an [`Engine`] with the requested number of threads, through
+    /// the runtime's shared name resolution.
     pub fn build(self, threads: usize) -> Engine {
-        match self {
-            EngineKind::Pool => Engine::chunked(threads),
-            EngineKind::Rayon => Engine::rayon(threads.max(1)),
-        }
+        Engine::by_name(self.label(), threads).expect("registered engine name")
     }
 
     /// Label used in output ("pool" / "rayon").
@@ -83,19 +81,17 @@ pub fn measure_point(
     threads: usize,
     repeats: usize,
 ) -> ScalingPoint {
-    let engine = engine_kind.build(threads);
-    let config = ExtractorConfig {
-        engine,
-        adjacency: variant,
-        semantics: Semantics::Asynchronous,
-        record_stats: false,
-    };
-    let extractor = MaximalChordalExtractor::new(config);
+    let config = ExtractorConfig::default()
+        .with_engine(engine_kind.build(threads))
+        .with_adjacency(variant);
+    // A session per point: repeats after the first reuse the workspace, so
+    // best-of-N measures the steady (allocation-amortised) serving path.
+    let mut session = ExtractionSession::new(config);
     let graph = match variant {
         AdjacencyMode::Sorted => &prepared.sorted,
         AdjacencyMode::Unsorted => &prepared.scrambled,
     };
-    let (elapsed, result) = time_best_of(repeats, || extractor.extract(graph));
+    let (elapsed, result) = time_best_of(repeats, || session.extract(graph));
     ScalingPoint {
         experiment: experiment.to_string(),
         graph: prepared.name.clone(),

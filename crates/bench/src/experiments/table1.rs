@@ -5,6 +5,18 @@ use crate::records::ExperimentRecord;
 use crate::workloads::{bio_suite, rmat_suite};
 use chordal_analysis::TableRow;
 
+// `TableRow` lives in chordal-analysis; give it a JSON encoding here so the
+// records file can carry Table I.
+crate::impl_to_json!(TableRow {
+    name,
+    vertices,
+    edges,
+    avg_degree,
+    max_degree,
+    degree_variance,
+    edges_by_vertices
+});
+
 /// Computes the Table-I rows for the configured suite: three R-MAT presets
 /// at three scales plus the four gene-correlation networks.
 pub fn run(options: &HarnessOptions) -> Vec<TableRow> {

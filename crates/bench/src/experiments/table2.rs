@@ -2,14 +2,14 @@
 
 use super::scaling::{measure_point, EngineKind, PreparedGraph};
 use super::HarnessOptions;
+use crate::impl_to_json;
 use crate::records::ExperimentRecord;
 use crate::workloads::{bio_suite, rmat_suite};
 use chordal_core::AdjacencyMode;
-use serde::Serialize;
 
 /// One speedup row: a graph, an engine/variant combination and the speedup
 /// of `max_threads` workers over one worker.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct SpeedupRow {
     /// Graph name.
     pub graph: String,
@@ -26,6 +26,16 @@ pub struct SpeedupRow {
     /// `serial_seconds / parallel_seconds`.
     pub speedup: f64,
 }
+
+impl_to_json!(SpeedupRow {
+    graph,
+    engine,
+    variant,
+    threads,
+    serial_seconds,
+    parallel_seconds,
+    speedup
+});
 
 /// Measures Table II: every suite graph × both engines × both variants.
 pub fn run(options: &HarnessOptions) -> Vec<SpeedupRow> {

@@ -10,6 +10,7 @@
 #![deny(missing_docs)]
 
 pub mod experiments;
+pub mod json;
 pub mod records;
 pub mod timing;
 pub mod workloads;

@@ -3,14 +3,16 @@
 //! Every experiment run by the `experiments` binary prints a human-readable
 //! table *and* appends machine-readable JSON-lines records, so that
 //! EXPERIMENTS.md and any downstream plotting can be regenerated without
-//! re-running the sweeps.
+//! re-running the sweeps. Records encode themselves through
+//! [`crate::json::ToJson`].
 
-use serde::Serialize;
+use crate::impl_to_json;
+use crate::json::ToJson;
 use std::io::Write;
 use std::path::Path;
 
 /// One timing point of a scaling experiment (Figures 4–6).
-#[derive(Debug, Clone, Serialize, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ScalingPoint {
     /// Experiment id (e.g. `"figure4"`).
     pub experiment: String,
@@ -30,20 +32,41 @@ pub struct ScalingPoint {
     pub iterations: usize,
 }
 
-/// A free-form experiment record: an id plus a JSON value payload. Used for
-/// the non-timing experiments (Table I, Figures 2-3, 7, Table II, chordal
-/// fractions).
-#[derive(Debug, Clone, Serialize)]
-pub struct ExperimentRecord<T: Serialize> {
+impl_to_json!(ScalingPoint {
+    experiment,
+    graph,
+    engine,
+    variant,
+    threads,
+    seconds,
+    chordal_edges,
+    iterations,
+});
+
+/// A free-form experiment record: an id plus a JSON-encodable payload. Used
+/// for the non-timing experiments (Table I, Figures 2-3, 7, Table II,
+/// chordal fractions).
+#[derive(Debug, Clone)]
+pub struct ExperimentRecord<T> {
     /// Experiment id (e.g. `"table1"`).
     pub experiment: String,
     /// Payload.
     pub data: T,
 }
 
-/// Appends serialisable records to a JSON-lines file, creating it (and its
+impl<T: ToJson> ToJson for ExperimentRecord<T> {
+    fn write_json(&self, out: &mut String) {
+        out.push_str("{\"experiment\":");
+        self.experiment.write_json(out);
+        out.push_str(",\"data\":");
+        self.data.write_json(out);
+        out.push('}');
+    }
+}
+
+/// Appends encodable records to a JSON-lines file, creating it (and its
 /// parent directory) if needed.
-pub fn append_jsonl<T: Serialize>(path: &Path, records: &[T]) -> std::io::Result<()> {
+pub fn append_jsonl<T: ToJson>(path: &Path, records: &[T]) -> std::io::Result<()> {
     if let Some(parent) = path.parent() {
         if !parent.as_os_str().is_empty() {
             std::fs::create_dir_all(parent)?;
@@ -54,8 +77,7 @@ pub fn append_jsonl<T: Serialize>(path: &Path, records: &[T]) -> std::io::Result
         .append(true)
         .open(path)?;
     for r in records {
-        let line = serde_json::to_string(r).expect("experiment records serialise");
-        writeln!(file, "{line}")?;
+        writeln!(file, "{}", r.to_json())?;
     }
     Ok(())
 }
@@ -76,7 +98,7 @@ mod tests {
             chordal_edges: 1000,
             iterations: 3,
         };
-        let json = serde_json::to_string(&p).unwrap();
+        let json = p.to_json();
         assert!(json.contains("\"threads\":4"));
         assert!(json.contains("RMAT-ER"));
     }
@@ -89,17 +111,18 @@ mod tests {
         let records = vec![
             ExperimentRecord {
                 experiment: "t".into(),
-                data: 1,
+                data: 1usize,
             },
             ExperimentRecord {
                 experiment: "t".into(),
-                data: 2,
+                data: 2usize,
             },
         ];
         append_jsonl(&path, &records).unwrap();
         append_jsonl(&path, &records).unwrap();
         let contents = std::fs::read_to_string(&path).unwrap();
         assert_eq!(contents.lines().count(), 4);
+        assert!(contents.starts_with("{\"experiment\":\"t\",\"data\":1}"));
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -4,24 +4,33 @@
 //! ```text
 //! chordal generate --kind rmat-b --scale 14 --out graph.txt
 //! chordal generate --kind bio-unt --genes 2000 --out genes.txt
-//! chordal extract  --in graph.txt --out chordal.txt [--threads 8] [--engine pool|rayon|serial]
-//!                  [--variant opt|unopt] [--semantics async|sync] [--stats] [--stitch]
+//! chordal extract  --in graph.txt --out chordal.txt [--algorithm alg1|reference|dearing|partitioned]
+//!                  [--threads 8] [--engine pool|rayon|serial] [--variant opt|unopt]
+//!                  [--semantics async|sync] [--partitions N] [--stats] [--stitch]
 //! chordal analyze  --in graph.txt
 //! chordal verify   --graph graph.txt --subgraph chordal.txt
 //! ```
+//!
+//! All configuration parsing goes through the typed helpers of
+//! `chordal-core` ([`Algorithm::parse`], [`AdjacencyMode::parse`],
+//! [`Semantics::parse`], engine resolution via the runtime), and every
+//! failure is a structured [`ExtractError`] mapped to a distinct exit code:
+//! 2 for usage/parse errors, 3 for I/O failures, 4 for failed
+//! verifications.
 
 use chordal_analysis::clustering::average_clustering;
 use chordal_analysis::degree_assortativity;
 use chordal_analysis::TableRow;
 use chordal_core::connect::stitch_components;
 use chordal_core::verify::{check_maximality, is_chordal, MaximalityReport};
-use chordal_core::{AdjacencyMode, ExtractorConfig, MaximalChordalExtractor, Semantics};
+use chordal_core::{
+    AdjacencyMode, Algorithm, ExtractError, ExtractionSession, ExtractorConfig, Semantics,
+};
 use chordal_generators::bio::GeneNetworkKind;
 use chordal_generators::rmat::{RmatKind, RmatParams};
 use chordal_graph::io::{read_edge_list_file, write_edge_list_file};
 use chordal_graph::subgraph::{edge_subgraph, edges_subset_of_graph};
 use chordal_graph::CsrGraph;
-use chordal_runtime::Engine;
 use std::collections::HashMap;
 use std::process::ExitCode;
 
@@ -29,17 +38,10 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
         print_usage();
-        return ExitCode::FAILURE;
+        return ExitCode::from(2);
     }
     let command = args[0].clone();
-    let options = match parse_flags(&args[1..]) {
-        Ok(o) => o,
-        Err(e) => {
-            eprintln!("error: {e}");
-            return ExitCode::FAILURE;
-        }
-    };
-    let outcome = match command.as_str() {
+    let outcome = parse_flags(&args[1..]).and_then(|options| match command.as_str() {
         "generate" => cmd_generate(&options),
         "extract" => cmd_extract(&options),
         "analyze" => cmd_analyze(&options),
@@ -48,13 +50,13 @@ fn main() -> ExitCode {
             print_usage();
             Ok(())
         }
-        other => Err(format!("unknown command `{other}`")),
-    };
+        other => Err(ExtractError::UnknownCommand(other.to_string())),
+    });
     match outcome {
         Ok(()) => ExitCode::SUCCESS,
-        Err(message) => {
-            eprintln!("error: {message}");
-            ExitCode::FAILURE
+        Err(error) => {
+            eprintln!("error: {error}");
+            ExitCode::from(error.exit_code())
         }
     }
 }
@@ -66,22 +68,25 @@ fn print_usage() {
          commands:\n\
          \x20 generate --kind <rmat-er|rmat-g|rmat-b|bio-crt|bio-unt|bio-ctl|bio-non> \n\
          \x20          [--scale N] [--genes N] [--seed N] --out FILE\n\
-         \x20 extract  --in FILE [--out FILE] [--threads N] [--engine serial|pool|rayon]\n\
-         \x20          [--variant opt|unopt] [--semantics async|sync] [--stats] [--stitch]\n\
+         \x20 extract  --in FILE [--out FILE] [--algorithm alg1|reference|dearing|partitioned]\n\
+         \x20          [--threads N] [--engine serial|pool|rayon] [--variant opt|unopt]\n\
+         \x20          [--semantics async|sync] [--partitions N] [--stats] [--stitch]\n\
          \x20 analyze  --in FILE\n\
          \x20 verify   --graph FILE --subgraph FILE [--maximality N]\n\
-         \x20 help"
+         \x20 help\n\
+         \n\
+         exit codes: 0 success, 2 usage error, 3 I/O error, 4 verification failure"
     );
 }
 
 type Flags = HashMap<String, String>;
 
-fn parse_flags(args: &[String]) -> Result<Flags, String> {
+fn parse_flags(args: &[String]) -> Result<Flags, ExtractError> {
     let mut flags = Flags::new();
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         let Some(name) = arg.strip_prefix("--") else {
-            return Err(format!("unexpected argument `{arg}`"));
+            return Err(ExtractError::UnexpectedArgument(arg.clone()));
         };
         // Boolean flags.
         if matches!(name, "stats" | "stitch" | "quick") {
@@ -90,55 +95,73 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
         }
         let value = iter
             .next()
-            .ok_or_else(|| format!("--{name} requires a value"))?;
+            .ok_or_else(|| ExtractError::MissingOption(name.to_string()))?;
         flags.insert(name.to_string(), value.clone());
     }
     Ok(flags)
 }
 
-fn require<'a>(flags: &'a Flags, key: &str) -> Result<&'a str, String> {
+fn require<'a>(flags: &'a Flags, key: &str) -> Result<&'a str, ExtractError> {
     flags
         .get(key)
         .map(String::as_str)
-        .ok_or_else(|| format!("missing required option --{key}"))
+        .ok_or_else(|| ExtractError::MissingOption(key.to_string()))
 }
 
-fn parse_number<T: std::str::FromStr>(flags: &Flags, key: &str, default: T) -> Result<T, String> {
+fn parse_number<T: std::str::FromStr>(
+    flags: &Flags,
+    key: &str,
+    default: T,
+) -> Result<T, ExtractError> {
     match flags.get(key) {
         None => Ok(default),
         Some(v) => v
             .parse::<T>()
-            .map_err(|_| format!("invalid value `{v}` for --{key}")),
+            .map_err(|_| ExtractError::invalid_option(key, v)),
     }
 }
 
-fn cmd_generate(flags: &Flags) -> Result<(), String> {
+/// The graph families `generate` can produce: one parse table, one
+/// construction point — no per-preset duplication.
+enum GraphKind {
+    Rmat(RmatKind),
+    Bio(GeneNetworkKind),
+}
+
+impl GraphKind {
+    fn parse(name: &str) -> Result<Self, ExtractError> {
+        match name {
+            "rmat-er" => Ok(GraphKind::Rmat(RmatKind::Er)),
+            "rmat-g" => Ok(GraphKind::Rmat(RmatKind::G)),
+            "rmat-b" => Ok(GraphKind::Rmat(RmatKind::B)),
+            "bio-crt" => Ok(GraphKind::Bio(GeneNetworkKind::Gse5140Crt)),
+            "bio-unt" => Ok(GraphKind::Bio(GeneNetworkKind::Gse5140Unt)),
+            "bio-ctl" => Ok(GraphKind::Bio(GeneNetworkKind::Gse17072Ctl)),
+            "bio-non" => Ok(GraphKind::Bio(GeneNetworkKind::Gse17072Non)),
+            other => Err(ExtractError::invalid_option("kind", other)),
+        }
+    }
+
+    fn generate(&self, flags: &Flags, seed: u64) -> Result<CsrGraph, ExtractError> {
+        match self {
+            GraphKind::Rmat(kind) => {
+                let scale: u32 = parse_number(flags, "scale", 14)?;
+                Ok(RmatParams::preset(*kind, scale, seed).generate())
+            }
+            GraphKind::Bio(kind) => {
+                let genes: usize = parse_number(flags, "genes", 1_200)?;
+                Ok(kind.network(genes, seed))
+            }
+        }
+    }
+}
+
+fn cmd_generate(flags: &Flags) -> Result<(), ExtractError> {
     let kind = require(flags, "kind")?;
     let out = require(flags, "out")?;
     let seed: u64 = parse_number(flags, "seed", 1)?;
-    let graph = match kind {
-        "rmat-er" | "rmat-g" | "rmat-b" => {
-            let scale: u32 = parse_number(flags, "scale", 14)?;
-            let preset = match kind {
-                "rmat-er" => RmatKind::Er,
-                "rmat-g" => RmatKind::G,
-                _ => RmatKind::B,
-            };
-            RmatParams::preset(preset, scale, seed).generate()
-        }
-        "bio-crt" | "bio-unt" | "bio-ctl" | "bio-non" => {
-            let genes: usize = parse_number(flags, "genes", 1_200)?;
-            let preset = match kind {
-                "bio-crt" => GeneNetworkKind::Gse5140Crt,
-                "bio-unt" => GeneNetworkKind::Gse5140Unt,
-                "bio-ctl" => GeneNetworkKind::Gse17072Ctl,
-                _ => GeneNetworkKind::Gse17072Non,
-            };
-            preset.network(genes, seed)
-        }
-        other => return Err(format!("unknown graph kind `{other}`")),
-    };
-    write_edge_list_file(&graph, out).map_err(|e| e.to_string())?;
+    let graph = GraphKind::parse(kind)?.generate(flags, seed)?;
+    write_edge_list_file(&graph, out).map_err(|e| ExtractError::io(format!("writing {out}"), e))?;
     println!(
         "generated {kind}: {} vertices, {} edges -> {out}",
         graph.num_vertices(),
@@ -147,42 +170,50 @@ fn cmd_generate(flags: &Flags) -> Result<(), String> {
     Ok(())
 }
 
-fn load_graph(path: &str) -> Result<CsrGraph, String> {
-    read_edge_list_file(path).map_err(|e| format!("failed to read {path}: {e}"))
+fn load_graph(path: &str) -> Result<CsrGraph, ExtractError> {
+    read_edge_list_file(path).map_err(|e| ExtractError::io(format!("reading {path}"), e))
 }
 
-fn cmd_extract(flags: &Flags) -> Result<(), String> {
+/// Builds the extraction configuration from the shared flag set — the one
+/// dispatch point between CLI spellings and the core registry.
+fn extraction_config(flags: &Flags) -> Result<ExtractorConfig, ExtractError> {
+    let threads: usize = parse_number(flags, "threads", chordal_runtime::available_threads())?;
+    let algorithm = Algorithm::parse(flags.get("algorithm").map(String::as_str).unwrap_or("alg1"))?;
+    let adjacency =
+        AdjacencyMode::parse(flags.get("variant").map(String::as_str).unwrap_or("opt"))?;
+    let semantics = Semantics::parse(
+        flags
+            .get("semantics")
+            .map(String::as_str)
+            .unwrap_or("async"),
+    )?;
+    let partitions: usize = parse_number(flags, "partitions", 0)?;
+    ExtractorConfig::default()
+        .with_algorithm(algorithm)
+        .with_adjacency(adjacency)
+        .with_semantics(semantics)
+        .with_stats(flags.contains_key("stats"))
+        .with_partitions(
+            partitions,
+            chordal_core::partitioned::PartitionStrategy::Blocks,
+        )
+        .with_engine_name(
+            flags.get("engine").map(String::as_str).unwrap_or("rayon"),
+            threads,
+        )
+}
+
+fn cmd_extract(flags: &Flags) -> Result<(), ExtractError> {
     let input = require(flags, "in")?;
     let graph = load_graph(input)?;
-    let threads: usize = parse_number(flags, "threads", chordal_runtime::available_threads())?;
-    let engine = match flags.get("engine").map(String::as_str).unwrap_or("rayon") {
-        "serial" => Engine::serial(),
-        "pool" => Engine::chunked(threads),
-        "rayon" => Engine::rayon(threads.max(1)),
-        other => return Err(format!("unknown engine `{other}`")),
-    };
-    let adjacency = match flags.get("variant").map(String::as_str).unwrap_or("opt") {
-        "opt" => AdjacencyMode::Sorted,
-        "unopt" => AdjacencyMode::Unsorted,
-        other => return Err(format!("unknown variant `{other}`")),
-    };
-    let semantics = match flags.get("semantics").map(String::as_str).unwrap_or("async") {
-        "async" => Semantics::Asynchronous,
-        "sync" => Semantics::Synchronous,
-        other => return Err(format!("unknown semantics `{other}`")),
-    };
-    let record_stats = flags.contains_key("stats");
-    let config = ExtractorConfig {
-        engine,
-        adjacency,
-        semantics,
-        record_stats,
-    };
+    let config = extraction_config(flags)?;
+    let mut session = ExtractionSession::new(config);
     let start = std::time::Instant::now();
-    let result = MaximalChordalExtractor::new(config).extract(&graph);
+    let result = session.extract(&graph);
     let elapsed = start.elapsed();
     println!(
-        "extracted {} chordal edges out of {} ({:.2}%) in {} iterations, {:.4}s",
+        "{}: extracted {} chordal edges out of {} ({:.2}%) in {} iterations, {:.4}s",
+        session.extractor_name(),
         result.num_chordal_edges(),
         graph.num_edges(),
         100.0 * result.chordal_fraction(&graph),
@@ -205,13 +236,14 @@ fn cmd_extract(flags: &Flags) -> Result<(), String> {
     }
     if let Some(out) = flags.get("out") {
         let sub = edge_subgraph(&graph, &edges);
-        write_edge_list_file(&sub, out).map_err(|e| e.to_string())?;
+        write_edge_list_file(&sub, out)
+            .map_err(|e| ExtractError::io(format!("writing {out}"), e))?;
         println!("chordal subgraph written to {out}");
     }
     Ok(())
 }
 
-fn cmd_analyze(flags: &Flags) -> Result<(), String> {
+fn cmd_analyze(flags: &Flags) -> Result<(), ExtractError> {
     let input = require(flags, "in")?;
     let graph = load_graph(input)?;
     let row = TableRow::compute(input, &graph);
@@ -231,16 +263,20 @@ fn cmd_analyze(flags: &Flags) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_verify(flags: &Flags) -> Result<(), String> {
+fn cmd_verify(flags: &Flags) -> Result<(), ExtractError> {
     let graph = load_graph(require(flags, "graph")?)?;
     let sub = load_graph(require(flags, "subgraph")?)?;
     if sub.num_vertices() > graph.num_vertices() {
-        return Err("subgraph has more vertices than the host graph".to_string());
+        return Err(ExtractError::Verification(
+            "subgraph has more vertices than the host graph".to_string(),
+        ));
     }
     let edges: Vec<_> = sub.edges().collect();
     if !edges_subset_of_graph(&graph, &edges) {
         println!("FAIL: subgraph contains edges that are not in the host graph");
-        return Err("subgraph is not contained in the host graph".to_string());
+        return Err(ExtractError::Verification(
+            "subgraph is not contained in the host graph".to_string(),
+        ));
     }
     let chordal = is_chordal(&sub);
     println!("chordal: {chordal}");
@@ -249,14 +285,17 @@ fn cmd_verify(flags: &Flags) -> Result<(), String> {
         let report = check_maximality(&graph, &edges, Some(sample), 7);
         match report {
             MaximalityReport::Maximal => println!("maximal: true (sampled {sample} edges)"),
-            MaximalityReport::Violations(v) => {
-                println!("maximal: false ({} of {sample} sampled edges addable)", v.len())
-            }
+            MaximalityReport::Violations(v) => println!(
+                "maximal: false ({} of {sample} sampled edges addable)",
+                v.len()
+            ),
         }
     }
     if chordal {
         Ok(())
     } else {
-        Err("subgraph is not chordal".to_string())
+        Err(ExtractError::Verification(
+            "subgraph is not chordal".to_string(),
+        ))
     }
 }

@@ -1,0 +1,689 @@
+//! Minimal in-tree substitute for the subset of the `rayon` API this
+//! workspace uses.
+//!
+//! The build environment has no access to crates.io, so this crate provides
+//! drop-in implementations of the combinators the workspace calls —
+//! `into_par_iter` on ranges, `par_iter`/`par_iter_mut`/`par_chunks`/
+//! `par_chunks_mut`/`par_sort_unstable` on slices, `map`/`flat_map_iter`/
+//! `for_each`/`collect`/`sum`/`max`, and `ThreadPool`/`ThreadPoolBuilder`
+//! with `install`. Work is executed on scoped OS threads pulled from a
+//! shared index queue, so the parallel semantics (unordered execution,
+//! order-preserving `collect`) match the real crate; only the work-stealing
+//! scheduler is simplified.
+
+use std::cell::Cell;
+use std::fmt;
+use std::ops::Range;
+use std::sync::Mutex;
+
+thread_local! {
+    /// Thread-count override installed by [`ThreadPool::install`];
+    /// 0 means "not inside a pool, use all available cores".
+    static INSTALLED_THREADS: Cell<usize> = const { Cell::new(0) };
+}
+
+fn available_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Number of worker threads parallel operations on this thread should use.
+pub fn current_num_threads() -> usize {
+    let installed = INSTALLED_THREADS.with(Cell::get);
+    if installed == 0 {
+        available_threads()
+    } else {
+        installed
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Thread pool
+// ---------------------------------------------------------------------------
+
+/// Error returned when a pool cannot be constructed.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "failed to build thread pool")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder mirroring `rayon::ThreadPoolBuilder`.
+#[derive(Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// Creates a builder with the default (all cores) configuration.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the number of worker threads (0 = all available cores).
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Accepted for API compatibility; worker threads are created per
+    /// parallel region here, so the name function is not retained.
+    pub fn thread_name<F>(self, _f: F) -> Self
+    where
+        F: FnMut(usize) -> String,
+    {
+        self
+    }
+
+    /// Builds the pool.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let threads = if self.num_threads == 0 {
+            available_threads()
+        } else {
+            self.num_threads
+        };
+        Ok(ThreadPool { threads })
+    }
+}
+
+/// A lightweight stand-in for `rayon::ThreadPool`: it records the requested
+/// parallelism and scopes it over [`ThreadPool::install`]; the actual worker
+/// threads are spawned per parallel region.
+#[derive(Debug)]
+pub struct ThreadPool {
+    threads: usize,
+}
+
+impl ThreadPool {
+    /// Runs `op` with this pool's thread count installed for any parallel
+    /// iterators it invokes.
+    pub fn install<OP, R>(&self, op: OP) -> R
+    where
+        OP: FnOnce() -> R,
+    {
+        let previous = INSTALLED_THREADS.with(|c| c.replace(self.threads));
+        struct Restore(usize);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                INSTALLED_THREADS.with(|c| c.set(self.0));
+            }
+        }
+        let _restore = Restore(previous);
+        op()
+    }
+
+    /// Number of worker threads this pool uses.
+    pub fn current_num_threads(&self) -> usize {
+        self.threads
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Execution driver
+// ---------------------------------------------------------------------------
+
+/// Splits `0..len` into chunks and runs `f` over them on scoped threads,
+/// returning the per-chunk results in chunk order.
+fn drive_chunks<T, F>(len: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(Range<usize>) -> T + Sync,
+{
+    if len == 0 {
+        return Vec::new();
+    }
+    let threads = current_num_threads().min(len).max(1);
+    if threads == 1 {
+        return vec![f(0..len)];
+    }
+    // Over-decompose so skewed chunks load-balance, like rayon's splitting.
+    let chunk = len.div_ceil(threads * 4).max(1);
+    let chunks = len.div_ceil(chunk);
+    let cursor = std::sync::atomic::AtomicUsize::new(0);
+    let out: Mutex<Vec<(usize, T)>> = Mutex::new(Vec::with_capacity(chunks));
+    std::thread::scope(|scope| {
+        for _ in 0..threads.min(chunks) {
+            scope.spawn(|| loop {
+                let ci = cursor.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if ci >= chunks {
+                    break;
+                }
+                let start = ci * chunk;
+                let end = (start + chunk).min(len);
+                let value = f(start..end);
+                out.lock().unwrap().push((ci, value));
+            });
+        }
+    });
+    let mut pairs = out.into_inner().unwrap();
+    pairs.sort_unstable_by_key(|&(i, _)| i);
+    pairs.into_iter().map(|(_, v)| v).collect()
+}
+
+/// Runs `f` over every work item popped from a shared queue. Used for
+/// mutable-slice iteration where index math cannot express the split.
+fn drive_items<I, F>(items: Vec<I>, f: F)
+where
+    I: Send,
+    F: Fn(I) + Sync,
+{
+    let n = items.len();
+    if n == 0 {
+        return;
+    }
+    let threads = current_num_threads().min(n).max(1);
+    if threads == 1 {
+        for item in items {
+            f(item);
+        }
+        return;
+    }
+    let queue = Mutex::new(items.into_iter());
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let item = queue.lock().unwrap().next();
+                match item {
+                    Some(item) => f(item),
+                    None => break,
+                }
+            });
+        }
+    });
+}
+
+// ---------------------------------------------------------------------------
+// Parallel iterators over ranges
+// ---------------------------------------------------------------------------
+
+/// Parallel iterator over a `Range<usize>`.
+pub struct ParRange {
+    range: Range<usize>,
+}
+
+impl ParRange {
+    fn len(&self) -> usize {
+        self.range.end.saturating_sub(self.range.start)
+    }
+
+    /// Runs `f` for every index, in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(usize) + Sync,
+    {
+        let start = self.range.start;
+        drive_chunks(self.len(), |r| {
+            for i in r {
+                f(start + i);
+            }
+        });
+    }
+
+    /// Maps every index through `f`.
+    pub fn map<B, F>(self, f: F) -> RangeMap<B, F>
+    where
+        F: Fn(usize) -> B + Sync,
+        B: Send,
+    {
+        RangeMap {
+            range: self.range,
+            f,
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// Maps every index to a serial iterator and concatenates the results
+    /// (rayon's `flat_map_iter`).
+    pub fn flat_map_iter<U, F>(self, f: F) -> RangeFlatMap<F>
+    where
+        F: Fn(usize) -> U + Sync,
+        U: IntoIterator,
+        U::Item: Send,
+    {
+        RangeFlatMap {
+            range: self.range,
+            f,
+        }
+    }
+}
+
+/// Mapped parallel range iterator.
+pub struct RangeMap<B, F> {
+    range: Range<usize>,
+    f: F,
+    _marker: std::marker::PhantomData<fn() -> B>,
+}
+
+impl<B, F> RangeMap<B, F>
+where
+    F: Fn(usize) -> B + Sync,
+    B: Send,
+{
+    /// Collects the mapped values in index order.
+    pub fn collect<C>(self) -> C
+    where
+        C: FromIterator<B>,
+    {
+        let start = self.range.start;
+        let len = self.range.end.saturating_sub(start);
+        let f = &self.f;
+        drive_chunks(len, |r| r.map(|i| f(start + i)).collect::<Vec<B>>())
+            .into_iter()
+            .flatten()
+            .collect()
+    }
+
+    /// Sums the mapped values.
+    pub fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<B> + std::iter::Sum<S> + Send,
+    {
+        let start = self.range.start;
+        let len = self.range.end.saturating_sub(start);
+        let f = &self.f;
+        drive_chunks(len, |r| r.map(|i| f(start + i)).sum::<S>())
+            .into_iter()
+            .sum()
+    }
+
+    /// Maximum of the mapped values.
+    pub fn max(self) -> Option<B>
+    where
+        B: Ord,
+    {
+        let start = self.range.start;
+        let len = self.range.end.saturating_sub(start);
+        let f = &self.f;
+        drive_chunks(len, |r| r.map(|i| f(start + i)).max())
+            .into_iter()
+            .flatten()
+            .max()
+    }
+
+    /// Runs the mapped computation for its side effects.
+    pub fn for_each(self) {
+        let start = self.range.start;
+        let len = self.range.end.saturating_sub(start);
+        let f = &self.f;
+        drive_chunks(len, |r| {
+            for i in r {
+                let _ = f(start + i);
+            }
+        });
+    }
+}
+
+/// Flat-mapped parallel range iterator.
+pub struct RangeFlatMap<F> {
+    range: Range<usize>,
+    f: F,
+}
+
+impl<F> RangeFlatMap<F> {
+    /// Collects the concatenation of every produced iterator, preserving
+    /// index order.
+    pub fn collect<U, C>(self) -> C
+    where
+        F: Fn(usize) -> U + Sync,
+        U: IntoIterator,
+        U::Item: Send,
+        C: FromIterator<U::Item>,
+    {
+        let start = self.range.start;
+        let len = self.range.end.saturating_sub(start);
+        let f = &self.f;
+        drive_chunks(len, |r| {
+            let mut local = Vec::new();
+            for i in r {
+                local.extend(f(start + i));
+            }
+            local
+        })
+        .into_iter()
+        .flatten()
+        .collect()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Parallel iterators over slices
+// ---------------------------------------------------------------------------
+
+/// Parallel iterator over `&[T]`.
+pub struct ParSlice<'a, T> {
+    slice: &'a [T],
+}
+
+impl<'a, T: Sync> ParSlice<'a, T> {
+    /// Maps every element reference through `f`.
+    pub fn map<B, F>(self, f: F) -> SliceMap<'a, T, B, F>
+    where
+        F: Fn(&'a T) -> B + Sync,
+        B: Send,
+    {
+        SliceMap {
+            slice: self.slice,
+            f,
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// Copies every element (for `.copied().max()` style chains).
+    pub fn copied(self) -> SliceCopied<'a, T>
+    where
+        T: Copy,
+    {
+        SliceCopied { slice: self.slice }
+    }
+
+    /// Sums the element references.
+    pub fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<&'a T> + std::iter::Sum<S> + Send,
+    {
+        let slice = self.slice;
+        drive_chunks(slice.len(), |r| slice[r].iter().sum::<S>())
+            .into_iter()
+            .sum()
+    }
+}
+
+/// Mapped parallel slice iterator.
+pub struct SliceMap<'a, T, B, F> {
+    slice: &'a [T],
+    f: F,
+    _marker: std::marker::PhantomData<fn() -> B>,
+}
+
+impl<'a, T: Sync, B, F> SliceMap<'a, T, B, F>
+where
+    F: Fn(&'a T) -> B + Sync,
+    B: Send,
+{
+    /// Collects the mapped values in element order.
+    pub fn collect<C>(self) -> C
+    where
+        C: FromIterator<B>,
+    {
+        let slice = self.slice;
+        let f = &self.f;
+        drive_chunks(slice.len(), |r| slice[r].iter().map(f).collect::<Vec<B>>())
+            .into_iter()
+            .flatten()
+            .collect()
+    }
+
+    /// Sums the mapped values.
+    pub fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<B> + std::iter::Sum<S> + Send,
+    {
+        let slice = self.slice;
+        let f = &self.f;
+        drive_chunks(slice.len(), |r| slice[r].iter().map(f).sum::<S>())
+            .into_iter()
+            .sum()
+    }
+}
+
+/// Copied parallel slice iterator.
+pub struct SliceCopied<'a, T> {
+    slice: &'a [T],
+}
+
+impl<T: Sync + Send + Copy> SliceCopied<'_, T> {
+    /// Maximum element.
+    pub fn max(self) -> Option<T>
+    where
+        T: Ord,
+    {
+        let slice = self.slice;
+        drive_chunks(slice.len(), |r| slice[r].iter().copied().max())
+            .into_iter()
+            .flatten()
+            .max()
+    }
+
+    /// Sum of the elements.
+    pub fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<T> + std::iter::Sum<S> + Send,
+    {
+        let slice = self.slice;
+        drive_chunks(slice.len(), |r| slice[r].iter().copied().sum::<S>())
+            .into_iter()
+            .sum()
+    }
+}
+
+/// Parallel iterator over `&mut [T]`.
+pub struct ParSliceMut<'a, T> {
+    slice: &'a mut [T],
+}
+
+impl<'a, T: Send> ParSliceMut<'a, T> {
+    /// Runs `f` on every element, in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&'a mut T) + Sync,
+    {
+        let threads = current_num_threads().max(1);
+        let len = self.slice.len();
+        if len == 0 {
+            return;
+        }
+        let chunk = len.div_ceil(threads * 4).max(1);
+        let pieces: Vec<&'a mut [T]> = self.slice.chunks_mut(chunk).collect();
+        drive_items(pieces, |piece| {
+            for item in piece {
+                f(item);
+            }
+        });
+    }
+}
+
+/// Parallel iterator over immutable chunks of a slice.
+pub struct ParChunks<'a, T> {
+    chunks: Vec<&'a [T]>,
+}
+
+/// Parallel iterator over mutable chunks of a slice.
+pub struct ParChunksMut<'a, T> {
+    chunks: Vec<&'a mut [T]>,
+}
+
+impl<'a, T: Send + Sync> ParChunksMut<'a, T> {
+    /// Pairs the mutable chunks with another chunk iterator.
+    pub fn zip<U>(self, other: ParChunks<'a, U>) -> ParZipChunks<'a, T, U> {
+        ParZipChunks {
+            pairs: self.chunks.into_iter().zip(other.chunks).collect(),
+        }
+    }
+
+    /// Runs `f` on every chunk, in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&'a mut [T]) + Sync,
+    {
+        drive_items(self.chunks, f);
+    }
+}
+
+/// Zipped mutable/immutable chunk pairs.
+pub struct ParZipChunks<'a, T, U> {
+    pairs: Vec<(&'a mut [T], &'a [U])>,
+}
+
+impl<'a, T: Send, U: Sync + Send> ParZipChunks<'a, T, U> {
+    /// Runs `f` on every `(mutable chunk, immutable chunk)` pair.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn((&'a mut [T], &'a [U])) + Sync,
+    {
+        drive_items(self.pairs, f);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Prelude traits
+// ---------------------------------------------------------------------------
+
+/// Extension traits mirroring `rayon::prelude`.
+pub mod prelude {
+    use super::*;
+
+    /// `into_par_iter` for owned iterables (ranges).
+    pub trait IntoParallelIterator {
+        /// The parallel iterator type.
+        type ParIter;
+        /// Converts `self` into a parallel iterator.
+        fn into_par_iter(self) -> Self::ParIter;
+    }
+
+    impl IntoParallelIterator for Range<usize> {
+        type ParIter = ParRange;
+        fn into_par_iter(self) -> ParRange {
+            ParRange { range: self }
+        }
+    }
+
+    /// `par_iter` / `par_chunks` over shared slices.
+    pub trait ParallelSliceExt<T: Sync> {
+        /// Parallel iterator over the elements.
+        fn par_iter(&self) -> ParSlice<'_, T>;
+        /// Parallel iterator over `size`-element chunks.
+        fn par_chunks(&self, size: usize) -> ParChunks<'_, T>;
+    }
+
+    impl<T: Sync> ParallelSliceExt<T> for [T] {
+        fn par_iter(&self) -> ParSlice<'_, T> {
+            ParSlice { slice: self }
+        }
+        fn par_chunks(&self, size: usize) -> ParChunks<'_, T> {
+            ParChunks {
+                chunks: self.chunks(size.max(1)).collect(),
+            }
+        }
+    }
+
+    /// `par_iter_mut` / `par_chunks_mut` / `par_sort_unstable` over mutable
+    /// slices.
+    pub trait ParallelSliceMutExt<T: Send> {
+        /// Parallel iterator over mutable element references.
+        fn par_iter_mut(&mut self) -> ParSliceMut<'_, T>;
+        /// Parallel iterator over mutable `size`-element chunks.
+        fn par_chunks_mut(&mut self, size: usize) -> ParChunksMut<'_, T>;
+        /// Unstable sort (sequential here; the API matches rayon).
+        fn par_sort_unstable(&mut self)
+        where
+            T: Ord;
+    }
+
+    impl<T: Send> ParallelSliceMutExt<T> for [T] {
+        fn par_iter_mut(&mut self) -> ParSliceMut<'_, T> {
+            ParSliceMut { slice: self }
+        }
+        fn par_chunks_mut(&mut self, size: usize) -> ParChunksMut<'_, T> {
+            ParChunksMut {
+                chunks: self.chunks_mut(size.max(1)).collect(),
+            }
+        }
+        fn par_sort_unstable(&mut self)
+        where
+            T: Ord,
+        {
+            self.sort_unstable();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn range_for_each_visits_every_index_once() {
+        let n = 10_000;
+        let counters: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+        (0..n).into_par_iter().for_each(|i| {
+            counters[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(counters.iter().all(|c| c.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn range_map_collect_preserves_order() {
+        let v: Vec<usize> = (0..5_000).into_par_iter().map(|i| i * 2).collect();
+        assert_eq!(v, (0..5_000).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn range_map_sum_and_max() {
+        let s: usize = (0..1_000).into_par_iter().map(|i| i).sum();
+        assert_eq!(s, 499_500);
+        let m = (0..1_000).into_par_iter().map(|i| i ^ 0x2a).max();
+        assert_eq!(m, (0..1_000).map(|i| i ^ 0x2a).max());
+    }
+
+    #[test]
+    fn flat_map_iter_concatenates_in_order() {
+        let v: Vec<usize> = (0..100)
+            .into_par_iter()
+            .flat_map_iter(|i| vec![i; i % 3])
+            .collect();
+        let expected: Vec<usize> = (0..100).flat_map(|i| vec![i; i % 3]).collect();
+        assert_eq!(v, expected);
+    }
+
+    #[test]
+    fn slice_combinators() {
+        let data: Vec<u32> = (0..4_000).map(|i| (i * 7) % 1_000).collect();
+        let doubled: Vec<u32> = data.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled[17], data[17] * 2);
+        assert_eq!(data.par_iter().copied().max(), data.iter().copied().max());
+        let total: u32 = data.par_iter().sum();
+        assert_eq!(total, data.iter().sum::<u32>());
+    }
+
+    #[test]
+    fn slice_mut_for_each_and_sort() {
+        let mut data: Vec<u64> = (0..3_000).rev().collect();
+        data.par_iter_mut().for_each(|x| *x += 1);
+        assert_eq!(data[0], 3_000);
+        data.par_sort_unstable();
+        assert_eq!(data[0], 1);
+        assert_eq!(data[2_999], 3_000);
+    }
+
+    #[test]
+    fn zipped_chunks_pair_up() {
+        let src: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let mut dst = vec![0.0f64; 100];
+        dst.par_chunks_mut(10)
+            .zip(src.par_chunks(10))
+            .for_each(|(out, row)| {
+                for (o, &x) in out.iter_mut().zip(row) {
+                    *o = x * 3.0;
+                }
+            });
+        assert_eq!(dst[33], 99.0);
+    }
+
+    #[test]
+    fn pool_install_scopes_thread_count() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        assert_eq!(pool.current_num_threads(), 3);
+        pool.install(|| {
+            assert_eq!(current_num_threads(), 3);
+        });
+        assert_ne!(current_num_threads(), 0);
+    }
+}

@@ -1,6 +1,9 @@
-//! Extraction configuration: algorithm variant, iteration semantics and
+//! Extraction configuration: algorithm, variant, iteration semantics and
 //! execution engine.
 
+use crate::error::ExtractError;
+use crate::extractor::Algorithm;
+use crate::partitioned::PartitionStrategy;
 use chordal_runtime::Engine;
 
 /// How neighbour lists are traversed when searching for the next lowest
@@ -23,6 +26,16 @@ impl AdjacencyMode {
         match self {
             AdjacencyMode::Sorted => "Opt",
             AdjacencyMode::Unsorted => "Unopt",
+        }
+    }
+
+    /// Parses a variant name as accepted by front ends ("opt"/"unopt", with
+    /// "sorted"/"unsorted" as aliases).
+    pub fn parse(name: &str) -> Result<Self, ExtractError> {
+        match name {
+            "opt" | "sorted" => Ok(AdjacencyMode::Sorted),
+            "unopt" | "unsorted" => Ok(AdjacencyMode::Unsorted),
+            other => Err(ExtractError::UnknownVariant(other.to_string())),
         }
     }
 }
@@ -67,11 +80,28 @@ impl Semantics {
             Semantics::Asynchronous => "async",
         }
     }
+
+    /// Parses a semantics name as accepted by front ends.
+    pub fn parse(name: &str) -> Result<Self, ExtractError> {
+        match name {
+            "async" | "asynchronous" => Ok(Semantics::Asynchronous),
+            "sync" | "synchronous" => Ok(Semantics::Synchronous),
+            other => Err(ExtractError::UnknownSemantics(other.to_string())),
+        }
+    }
 }
 
-/// Full configuration of a [`crate::MaximalChordalExtractor`].
+/// Full configuration of an extraction: which [`Algorithm`] to run and how.
+///
+/// A config is the single input of the registry
+/// ([`Algorithm::build`] / [`ExtractorConfig::build_extractor`]) and of
+/// [`crate::ExtractionSession::new`]. Fields that only concern one
+/// algorithm (the partition knobs, the iteration semantics) are ignored by
+/// the others.
 #[derive(Debug, Clone)]
 pub struct ExtractorConfig {
+    /// Which algorithm of the registry to run.
+    pub algorithm: Algorithm,
     /// Execution engine (serial, chunked pool, rayon).
     pub engine: Engine,
     /// Opt (sorted) or Unopt (unsorted) adjacency handling.
@@ -81,15 +111,23 @@ pub struct ExtractorConfig {
     /// Record per-iteration queue sizes and edge counts (Figure 7 of the
     /// paper). Small constant overhead per iteration.
     pub record_stats: bool,
+    /// Number of partitions for [`Algorithm::Partitioned`]; 0 means "one per
+    /// engine worker thread".
+    pub partitions: usize,
+    /// Vertex-to-partition assignment for [`Algorithm::Partitioned`].
+    pub partition_strategy: PartitionStrategy,
 }
 
 impl Default for ExtractorConfig {
     fn default() -> Self {
         Self {
+            algorithm: Algorithm::Parallel,
             engine: Engine::rayon(chordal_runtime::available_threads()),
             adjacency: AdjacencyMode::Sorted,
             semantics: Semantics::Asynchronous,
             record_stats: false,
+            partitions: 0,
+            partition_strategy: PartitionStrategy::Blocks,
         }
     }
 }
@@ -98,18 +136,37 @@ impl ExtractorConfig {
     /// A serial configuration with the given adjacency mode (asynchronous
     /// semantics; deterministic because the engine is serial).
     pub fn serial(adjacency: AdjacencyMode) -> Self {
+        // Built field by field: `..Self::default()` would construct the
+        // default rayon engine (a whole thread pool) only to discard it.
         Self {
+            algorithm: Algorithm::Parallel,
             engine: Engine::serial(),
             adjacency,
             semantics: Semantics::Asynchronous,
             record_stats: false,
+            partitions: 0,
+            partition_strategy: PartitionStrategy::Blocks,
         }
+    }
+
+    /// Builder-style: replaces the algorithm.
+    pub fn with_algorithm(mut self, algorithm: Algorithm) -> Self {
+        self.algorithm = algorithm;
+        self
     }
 
     /// Builder-style: replaces the engine.
     pub fn with_engine(mut self, engine: Engine) -> Self {
         self.engine = engine;
         self
+    }
+
+    /// Builder-style: resolves and replaces the engine by name
+    /// ("serial"/"pool"/"rayon") and thread count.
+    pub fn with_engine_name(mut self, name: &str, threads: usize) -> Result<Self, ExtractError> {
+        self.engine = Engine::by_name(name, threads)
+            .ok_or_else(|| ExtractError::UnknownEngine(name.to_string()))?;
+        Ok(self)
     }
 
     /// Builder-style: replaces the adjacency mode.
@@ -129,6 +186,29 @@ impl ExtractorConfig {
         self.record_stats = record;
         self
     }
+
+    /// Builder-style: sets the partition count and strategy for the
+    /// partitioned baseline.
+    pub fn with_partitions(mut self, partitions: usize, strategy: PartitionStrategy) -> Self {
+        self.partitions = partitions;
+        self.partition_strategy = strategy;
+        self
+    }
+
+    /// The partition count the partitioned baseline will actually use
+    /// (explicit value, or one partition per engine worker).
+    pub fn effective_partitions(&self) -> usize {
+        if self.partitions == 0 {
+            self.engine.threads()
+        } else {
+            self.partitions
+        }
+    }
+
+    /// Builds the configured algorithm's extractor via the registry.
+    pub fn build_extractor(&self) -> Box<dyn crate::extractor::ChordalExtractor> {
+        self.algorithm.build(self)
+    }
 }
 
 #[cfg(test)]
@@ -144,12 +224,14 @@ mod tests {
     }
 
     #[test]
-    fn default_config_is_sorted_asynchronous_with_stats_off() {
+    fn default_config_is_parallel_sorted_asynchronous_with_stats_off() {
         let c = ExtractorConfig::default();
+        assert_eq!(c.algorithm, Algorithm::Parallel);
         assert_eq!(c.adjacency, AdjacencyMode::Sorted);
         assert_eq!(c.semantics, Semantics::Asynchronous);
         assert!(!c.record_stats);
         assert!(c.engine.threads() >= 1);
+        assert_eq!(c.effective_partitions(), c.engine.threads());
     }
 
     #[test]
@@ -158,11 +240,41 @@ mod tests {
             .with_stats(true)
             .with_semantics(Semantics::Asynchronous)
             .with_adjacency(AdjacencyMode::Sorted)
-            .with_engine(Engine::chunked(2));
+            .with_engine(Engine::chunked(2))
+            .with_algorithm(Algorithm::Dearing)
+            .with_partitions(6, PartitionStrategy::RoundRobin);
         assert!(c.record_stats);
         assert_eq!(c.semantics, Semantics::Asynchronous);
         assert_eq!(c.adjacency, AdjacencyMode::Sorted);
         assert_eq!(c.engine.threads(), 2);
         assert_eq!(c.engine.name(), "pool");
+        assert_eq!(c.algorithm, Algorithm::Dearing);
+        assert_eq!(c.effective_partitions(), 6);
+        assert_eq!(c.partition_strategy, PartitionStrategy::RoundRobin);
+    }
+
+    #[test]
+    fn parse_helpers_accept_front_end_spellings() {
+        assert_eq!(AdjacencyMode::parse("opt").unwrap(), AdjacencyMode::Sorted);
+        assert_eq!(
+            AdjacencyMode::parse("unopt").unwrap(),
+            AdjacencyMode::Unsorted
+        );
+        assert!(AdjacencyMode::parse("fast").is_err());
+        assert_eq!(Semantics::parse("sync").unwrap(), Semantics::Synchronous);
+        assert_eq!(Semantics::parse("async").unwrap(), Semantics::Asynchronous);
+        assert!(Semantics::parse("chaotic").is_err());
+    }
+
+    #[test]
+    fn engine_name_resolution_goes_through_the_runtime() {
+        let c = ExtractorConfig::default()
+            .with_engine_name("pool", 3)
+            .unwrap();
+        assert_eq!(c.engine.name(), "pool");
+        assert_eq!(c.engine.threads(), 3);
+        assert!(ExtractorConfig::default()
+            .with_engine_name("gpu", 1)
+            .is_err());
     }
 }

@@ -94,8 +94,8 @@ pub fn stitched_edge_set(graph: &CsrGraph, chordal_edges: &[Edge]) -> Vec<Edge> 
 mod tests {
     use super::*;
     use crate::verify::is_chordal;
-    use chordal_graph::builder::graph_from_edges;
     use chordal_generators::structured;
+    use chordal_graph::builder::graph_from_edges;
 
     #[test]
     fn already_connected_subgraph_needs_no_stitching() {

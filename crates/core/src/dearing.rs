@@ -13,104 +13,140 @@
 //! algorithm is inherently sequential — which is precisely the paper's
 //! motivation for Algorithm 1. Complexity is `O(|E| Δ)`.
 
+use crate::extractor::ChordalExtractor;
 use crate::result::ChordalResult;
+use crate::workspace::Workspace;
 use chordal_graph::{CsrGraph, Edge, VertexId};
 
+/// The Dearing–Shier–Warner extractor, as a registry citizen.
+///
+/// Ties in the max-cardinality selection are broken by the smallest vertex
+/// id, making every run deterministic.
+#[derive(Debug, Clone, Default)]
+pub struct DearingExtractor {
+    start: VertexId,
+}
+
+impl DearingExtractor {
+    /// Creates the extractor starting from vertex 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates the extractor with an explicit preferred start vertex.
+    pub fn with_start(start: VertexId) -> Self {
+        Self { start }
+    }
+}
+
+impl ChordalExtractor for DearingExtractor {
+    fn name(&self) -> &'static str {
+        "dearing"
+    }
+
+    fn extract_into(&self, graph: &CsrGraph, workspace: &mut Workspace) -> ChordalResult {
+        let n = graph.num_vertices();
+        if n == 0 {
+            return ChordalResult::new(0, Vec::new(), 0, None);
+        }
+        let start = if (self.start as usize) < n {
+            self.start
+        } else {
+            0
+        };
+
+        workspace.prepare_plain(n);
+        workspace.prepare_buckets(n);
+        // Workspace mapping: `marks` is the selected set, `lists` the
+        // candidate chordal-neighbour sets (kept sorted by id so the subset
+        // test is a linear merge), `buckets` the lazy bucket queue over
+        // |C(v)|.
+        let selected = &mut workspace.marks;
+        let cand = &mut workspace.lists;
+        let buckets = &mut workspace.buckets;
+        let mut edges: Vec<Edge> = Vec::new();
+        let mut steps = 0usize;
+
+        // Seed the traversal order: prefer `start`, then any other vertex,
+        // pushed in reverse so `start` pops first.
+        let mut max_count = 0usize;
+        buckets[0].extend((0..n as VertexId).filter(|&v| v != start).rev());
+        buckets[0].push(start);
+
+        let mut remaining = n;
+        while remaining > 0 {
+            // Pick the unselected vertex with the largest candidate set.
+            let v = loop {
+                while max_count > 0 && buckets[max_count].is_empty() {
+                    max_count -= 1;
+                }
+                match buckets[max_count].pop() {
+                    Some(candidate) => {
+                        let c = candidate as usize;
+                        if !selected[c] && cand[c].len() == max_count {
+                            break candidate;
+                        }
+                    }
+                    None => {
+                        // Rebuild bucket 0 from untouched vertices (only
+                        // reachable when every remaining vertex still has an
+                        // empty set, e.g. isolated vertices after stale
+                        // pops).
+                        let rebuilt: Vec<VertexId> = (0..n)
+                            .filter(|&v| !selected[v] && cand[v].is_empty())
+                            .map(|v| v as VertexId)
+                            .rev()
+                            .collect();
+                        if rebuilt.is_empty() {
+                            max_count = (0..n)
+                                .filter(|&v| !selected[v])
+                                .map(|v| cand[v].len())
+                                .max()
+                                .unwrap_or(0);
+                        } else {
+                            buckets[0] = rebuilt;
+                        }
+                    }
+                }
+            };
+            let vi = v as usize;
+            selected[vi] = true;
+            remaining -= 1;
+            steps += 1;
+            // Accept every edge from v to its candidate set.
+            for &c in &cand[vi] {
+                edges.push((c, v));
+            }
+            // Update unselected neighbours.
+            for &w in graph.neighbors(v) {
+                let wi = w as usize;
+                if selected[wi] {
+                    continue;
+                }
+                if sorted_subset_ids(&cand[wi], &cand[vi]) {
+                    insert_sorted(&mut cand[wi], v);
+                    let new_len = cand[wi].len();
+                    if new_len > max_count {
+                        max_count = new_len;
+                    }
+                    buckets[new_len].push(w);
+                }
+            }
+        }
+
+        ChordalResult::new(n, edges, steps, None)
+    }
+}
+
 /// Runs the Dearing–Shier–Warner extraction, starting from vertex 0 of each
-/// connected component (ties in the max-cardinality selection are broken by
-/// the smallest vertex id, making the run deterministic).
+/// connected component, with a throwaway workspace.
 pub fn extract_dearing(graph: &CsrGraph) -> ChordalResult {
-    extract_dearing_from(graph, 0)
+    DearingExtractor::new().extract(graph)
 }
 
 /// Dearing–Shier–Warner extraction with an explicit preferred start vertex.
 pub fn extract_dearing_from(graph: &CsrGraph, start: VertexId) -> ChordalResult {
-    let n = graph.num_vertices();
-    if n == 0 {
-        return ChordalResult::new(0, Vec::new(), 0, None);
-    }
-    let start = if (start as usize) < n { start } else { 0 };
-
-    let mut selected = vec![false; n];
-    // Candidate chordal neighbour sets, kept sorted by vertex id so the
-    // subset test is a linear merge.
-    let mut cand: Vec<Vec<VertexId>> = vec![Vec::new(); n];
-    let mut edges: Vec<Edge> = Vec::new();
-    let mut steps = 0usize;
-
-    // Bucket queue over |C(v)|: counts only grow, so a simple lazy structure
-    // with a moving maximum works.
-    let mut buckets: Vec<Vec<VertexId>> = vec![Vec::new(); n.max(1) + 1];
-    let mut max_count = 0usize;
-    // Seed the traversal order: prefer `start`, then any other vertex.
-    let mut order_seed: Vec<VertexId> = Vec::with_capacity(n);
-    order_seed.push(start);
-    order_seed.extend((0..n as VertexId).filter(|&v| v != start));
-    for &v in order_seed.iter().rev() {
-        buckets[0].push(v);
-    }
-
-    let mut remaining = n;
-    while remaining > 0 {
-        // Pick the unselected vertex with the largest candidate set.
-        let v = loop {
-            while max_count > 0 && buckets[max_count].is_empty() {
-                max_count -= 1;
-            }
-            match buckets[max_count].pop() {
-                Some(candidate) => {
-                    let c = candidate as usize;
-                    if !selected[c] && cand[c].len() == max_count {
-                        break candidate;
-                    }
-                }
-                None => {
-                    // Rebuild bucket 0 from untouched vertices (only reachable
-                    // when every remaining vertex still has an empty set, e.g.
-                    // isolated vertices after stale pops).
-                    let rebuilt: Vec<VertexId> = (0..n)
-                        .filter(|&v| !selected[v] && cand[v].is_empty())
-                        .map(|v| v as VertexId)
-                        .rev()
-                        .collect();
-                    if rebuilt.is_empty() {
-                        max_count = (0..n)
-                            .filter(|&v| !selected[v])
-                            .map(|v| cand[v].len())
-                            .max()
-                            .unwrap_or(0);
-                    } else {
-                        buckets[0] = rebuilt;
-                    }
-                }
-            }
-        };
-        let vi = v as usize;
-        selected[vi] = true;
-        remaining -= 1;
-        steps += 1;
-        // Accept every edge from v to its candidate set.
-        for &c in &cand[vi] {
-            edges.push((c, v));
-        }
-        // Update unselected neighbours.
-        for &w in graph.neighbors(v) {
-            let wi = w as usize;
-            if selected[wi] {
-                continue;
-            }
-            if sorted_subset_ids(&cand[wi], &cand[vi]) {
-                insert_sorted(&mut cand[wi], v);
-                let new_len = cand[wi].len();
-                if new_len > max_count {
-                    max_count = new_len;
-                }
-                buckets[new_len].push(w);
-            }
-        }
-    }
-
-    ChordalResult::new(n, edges, steps, None)
+    DearingExtractor::with_start(start).extract(graph)
 }
 
 /// `a ⊆ b` for id-sorted, duplicate-free vectors.
@@ -129,7 +165,9 @@ fn insert_sorted(v: &mut Vec<VertexId>, x: VertexId) {
 mod tests {
     use super::*;
     use crate::verify;
-    use chordal_generators::{chordal_gen, erdos_renyi, rmat::RmatKind, rmat::RmatParams, structured};
+    use chordal_generators::{
+        chordal_gen, erdos_renyi, rmat::RmatKind, rmat::RmatParams, structured,
+    };
 
     #[test]
     fn empty_and_isolated_graphs() {
@@ -199,5 +237,27 @@ mod tests {
     fn deterministic_across_runs() {
         let g = RmatParams::preset(RmatKind::B, 7, 4).generate();
         assert_eq!(extract_dearing(&g).edges(), extract_dearing(&g).edges());
+    }
+
+    #[test]
+    fn workspace_reuse_is_transparent() {
+        let extractor = DearingExtractor::new();
+        let mut ws = Workspace::new();
+        let big = RmatParams::preset(RmatKind::G, 7, 2).generate();
+        let small = structured::cycle(9);
+        let big_fresh = extractor.extract(&big);
+        let small_fresh = extractor.extract(&small);
+        assert_eq!(
+            extractor.extract_into(&big, &mut ws).edges(),
+            big_fresh.edges()
+        );
+        assert_eq!(
+            extractor.extract_into(&small, &mut ws).edges(),
+            small_fresh.edges()
+        );
+        assert_eq!(
+            extractor.extract_into(&big, &mut ws).edges(),
+            big_fresh.edges()
+        );
     }
 }

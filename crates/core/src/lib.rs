@@ -3,27 +3,44 @@
 //! This crate implements the contribution of *"A Novel Multithreaded
 //! Algorithm for Extracting Maximal Chordal Subgraphs"* (Halappanavar, Feo,
 //! Dempsey, Ali, Bhowmick — ICPP 2012) together with the baselines it is
-//! evaluated against and the verification machinery needed to test it:
+//! evaluated against and the verification machinery needed to test it.
 //!
-//! * [`parallel::MaximalChordalExtractor`] — the paper's Algorithm 1: an
-//!   iterative, fine-grained multithreaded extraction where every vertex
-//!   tracks its *lowest parent* and a growing set of *chordal neighbors*.
-//!   Both the paper's variants are available: **Opt** (sorted adjacency,
-//!   cursor-based parent advance) and **Unopt** (unsorted adjacency, scan
-//!   based parent advance), on any [`chordal_runtime::Engine`].
-//! * [`reference`] — a plain sequential implementation of the same
-//!   algorithm used as the determinism oracle.
-//! * [`dearing`] — the serial maximal chordal subgraph algorithm of
-//!   Dearing, Shier and Warner (1988), the baseline the paper builds on.
-//! * [`partitioned`] — the earlier distributed-memory "nearly chordal"
-//!   approach (partition, solve locally, re-add border edges) that the paper
-//!   discusses and rejects for multithreaded use; included for comparison.
+//! # Architecture
+//!
+//! Every algorithm implements the [`ChordalExtractor`] trait and is
+//! constructed through the [`Algorithm`] registry from one
+//! [`ExtractorConfig`]; per-run scratch state lives in a reusable
+//! [`Workspace`], and [`ExtractionSession`] pairs the two for repeated
+//! traffic:
+//!
+//! * [`Algorithm::Parallel`] → [`parallel::MaximalChordalExtractor`] — the
+//!   paper's Algorithm 1: an iterative, fine-grained multithreaded
+//!   extraction where every vertex tracks its *lowest parent* and a growing
+//!   set of *chordal neighbors*. Both the paper's variants are available:
+//!   **Opt** (sorted adjacency, cursor-based parent advance) and **Unopt**
+//!   (unsorted adjacency, scan-based parent advance), on any
+//!   [`chordal_runtime::Engine`].
+//! * [`Algorithm::Reference`] → [`reference::ReferenceExtractor`] — a plain
+//!   sequential implementation of the same algorithm used as the
+//!   determinism oracle.
+//! * [`Algorithm::Dearing`] → [`dearing::DearingExtractor`] — the serial
+//!   maximal chordal subgraph algorithm of Dearing, Shier and Warner
+//!   (1988), the baseline the paper builds on.
+//! * [`Algorithm::Partitioned`] → [`partitioned::PartitionedExtractor`] —
+//!   the earlier distributed-memory "nearly chordal" approach (partition,
+//!   solve locally, re-add border edges) that the paper discusses and
+//!   rejects for multithreaded use; included for comparison.
 //! * [`verify`] — chordality (MCS + perfect elimination ordering) and
 //!   maximality checkers.
 //! * [`connect`] — the component-stitching post-pass described alongside
 //!   Theorem 2.
 //!
+//! Configuration and front-end errors are reported as typed
+//! [`ExtractError`] values with per-category process exit codes.
+//!
 //! # Quick start
+//!
+//! One-off extraction through the convenience wrapper:
 //!
 //! ```
 //! use chordal_core::prelude::*;
@@ -35,51 +52,97 @@
 //! assert!(verify::is_chordal(&result.subgraph(&graph)));
 //! assert_eq!(result.num_chordal_edges(), 6); // the whole graph is chordal
 //! ```
+//!
+//! Repeated traffic through an [`ExtractionSession`], which reuses its
+//! [`Workspace`] between runs (the allocation counter stays flat):
+//!
+//! ```
+//! use chordal_core::prelude::*;
+//! use chordal_graph::builder::graph_from_edges;
+//!
+//! let graph = graph_from_edges(5, vec![(0, 1), (1, 2), (2, 3), (0, 3), (0, 2), (3, 4)]);
+//! let mut session = ExtractionSession::new(ExtractorConfig::serial(AdjacencyMode::Sorted));
+//!
+//! let first = session.extract(&graph);
+//! let allocations = session.workspace().allocations();
+//! let second = session.extract(&graph);
+//!
+//! assert_eq!(first.edges(), second.edges());
+//! assert_eq!(session.workspace().allocations(), allocations); // buffers reused
+//! ```
+//!
+//! Uniform dispatch over the whole registry:
+//!
+//! ```
+//! use chordal_core::prelude::*;
+//! use chordal_graph::builder::graph_from_edges;
+//!
+//! let graph = graph_from_edges(4, vec![(0, 1), (1, 2), (2, 3), (0, 3)]);
+//! for algorithm in Algorithm::ALL {
+//!     let config = ExtractorConfig::serial(AdjacencyMode::Sorted).with_algorithm(algorithm);
+//!     let extractor = config.build_extractor();
+//!     let result = extractor.extract(&graph);
+//!     assert_eq!(result.num_vertices(), 4, "{algorithm}");
+//! }
+//! ```
 
 #![deny(missing_docs)]
 
 pub mod config;
 pub mod connect;
 pub mod dearing;
+pub mod error;
+pub mod extractor;
 pub mod parallel;
 pub mod parent;
 pub mod partitioned;
 pub mod reference;
 pub mod repair;
 pub mod result;
+pub mod session;
 pub mod stats;
 pub mod verify;
+pub mod workspace;
 
 pub use config::{AdjacencyMode, ExtractorConfig, Semantics};
+pub use error::ExtractError;
+pub use extractor::{Algorithm, ChordalExtractor};
 pub use parallel::MaximalChordalExtractor;
 pub use result::ChordalResult;
+pub use session::ExtractionSession;
 pub use stats::IterationStats;
+pub use workspace::Workspace;
 
 /// Commonly used items.
 pub mod prelude {
     pub use crate::config::{AdjacencyMode, ExtractorConfig, Semantics};
+    pub use crate::error::ExtractError;
     pub use crate::extract_maximal_chordal;
+    pub use crate::extractor::{Algorithm, ChordalExtractor};
     pub use crate::parallel::MaximalChordalExtractor;
     pub use crate::result::ChordalResult;
+    pub use crate::session::ExtractionSession;
     pub use crate::verify;
+    pub use crate::workspace::Workspace;
     pub use chordal_runtime::Engine;
 }
 
 use chordal_graph::CsrGraph;
 
 /// Extracts a maximal chordal subgraph with the default configuration
-/// (sorted adjacency, rayon engine over all available cores, deterministic
-/// synchronous iteration semantics).
+/// (sorted adjacency, rayon engine over all available cores, asynchronous
+/// paper-faithful iteration semantics).
+///
+/// This is a thin convenience wrapper over [`ExtractionSession`]; use a
+/// session directly when extracting repeatedly, so the scratch buffers are
+/// reused.
 pub fn extract_maximal_chordal(graph: &CsrGraph) -> ChordalResult {
-    MaximalChordalExtractor::new(ExtractorConfig::default()).extract(graph)
+    ExtractionSession::new(ExtractorConfig::default()).extract(graph)
 }
 
 /// Extracts a maximal chordal subgraph serially (no worker threads); useful
 /// for small graphs and for single-thread baselines.
 pub fn extract_maximal_chordal_serial(graph: &CsrGraph) -> ChordalResult {
-    let config = ExtractorConfig {
-        engine: chordal_runtime::Engine::serial(),
-        ..ExtractorConfig::default()
-    };
-    MaximalChordalExtractor::new(config).extract(graph)
+    let config = ExtractorConfig::default().with_engine(chordal_runtime::Engine::serial());
+    ExtractionSession::new(config).extract(graph)
 }

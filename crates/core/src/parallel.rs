@@ -11,6 +11,10 @@
 //! * `C[w]` — the chordal-neighbour set, stored in a CSR-shaped arena of
 //!   [`AtomicU32`] sized by `w`'s degree with a published length `clen[w]`.
 //!
+//! All of that state lives in a caller-supplied [`Workspace`]
+//! ([`ChordalExtractor::extract_into`]), so repeated extractions over
+//! same-sized graphs reuse the buffers instead of reallocating them.
+//!
 //! Within one iteration, vertex `w` is processed by exactly one task: the
 //! one handling `v = LP[w]` (lowest parents are unique). That task is the
 //! only writer of `C[w]`, `cursor[w]` and `lp[w]` during the iteration, so
@@ -18,22 +22,22 @@
 //! published length (or the lowest-parent word, for the asynchronous
 //! semantics) transfers ownership to whoever observes it next.
 //!
-//! The subset test `C[w] ⊆ C[v]` reads *another* vertex's set. Under the
-//! default [`Semantics::Synchronous`] the reader uses the length of `C[v]`
-//! frozen at the start of the iteration (the prefix below that length is
-//! immutable — sets are append-only), which makes the algorithm entirely
-//! deterministic: every engine, thread count and schedule returns the same
-//! edge set as [`crate::reference::extract_reference`]. Under
+//! The subset test `C[w] ⊆ C[v]` reads *another* vertex's set. Under
+//! [`Semantics::Synchronous`] the reader uses the length of `C[v]` frozen at
+//! the start of the iteration (the prefix below that length is immutable —
+//! sets are append-only), which makes the algorithm entirely deterministic:
+//! every engine, thread count and schedule returns the same edge set as
+//! [`crate::reference::extract_reference`]. Under the default
 //! [`Semantics::Asynchronous`] the reader observes the live length, which
 //! matches the paper's "asynchronous update" wording; the output is still a
 //! maximal chordal subgraph but the exact edge set may vary between runs.
 
 use crate::config::{AdjacencyMode, ExtractorConfig, Semantics};
-use crate::parent::{
-    first_parent_scan, first_parent_sorted, next_parent_scan, next_parent_sorted,
-};
+use crate::extractor::ChordalExtractor;
+use crate::parent::{first_parent_scan, first_parent_sorted, next_parent_scan, next_parent_sorted};
 use crate::result::ChordalResult;
 use crate::stats::IterationStats;
+use crate::workspace::Workspace;
 use chordal_graph::{CsrGraph, VertexId, NO_VERTEX};
 use chordal_runtime::AtomicFlags;
 use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
@@ -56,29 +60,35 @@ impl MaximalChordalExtractor {
         &self.config
     }
 
-    /// Extracts a maximal chordal subgraph of `graph`.
-    ///
-    /// For [`AdjacencyMode::Sorted`] the graph's adjacency lists must be
-    /// sorted ascending; if they are not, a sorted copy is made (the cost of
-    /// that copy is *not* what the paper's Opt timings include, so
-    /// benchmarks pre-sort their inputs).
+    /// Extracts a maximal chordal subgraph of `graph` with a throwaway
+    /// workspace. Prefer [`crate::ExtractionSession`] (or
+    /// [`ChordalExtractor::extract_into`]) when extracting repeatedly.
     pub fn extract(&self, graph: &CsrGraph) -> ChordalResult {
-        if self.config.adjacency == AdjacencyMode::Sorted && !graph.is_sorted() {
-            let mut sorted = graph.clone();
-            sorted.sort_adjacency();
-            return self.run(&sorted);
-        }
-        self.run(graph)
+        let mut workspace = Workspace::new();
+        self.extract_into(graph, &mut workspace)
     }
 
-    fn run(&self, graph: &CsrGraph) -> ChordalResult {
+    fn run(&self, graph: &CsrGraph, workspace: &mut Workspace) -> ChordalResult {
         let n = graph.num_vertices();
         if n == 0 {
-            return ChordalResult::new(0, Vec::new(), 0, self.config.record_stats.then(IterationStats::new));
+            return ChordalResult::new(
+                0,
+                Vec::new(),
+                0,
+                self.config.record_stats.then(IterationStats::new),
+            );
         }
         let engine = &self.config.engine;
-        let state = SharedState::new(graph);
-        let flags = AtomicFlags::new(n);
+        workspace.prepare_atomic(n, graph.num_directed_edges(), graph.offsets());
+        // Reusable frozen snapshots for the synchronous semantics; taken out
+        // of the workspace so the shared state can borrow it immutably.
+        let mut frozen_lp = std::mem::take(&mut workspace.ids_a);
+        let mut frozen_clen = std::mem::take(&mut workspace.ids_b);
+        frozen_lp.clear();
+        frozen_clen.clear();
+
+        let state = SharedState::borrowed(workspace, n, graph.num_directed_edges());
+        let flags = workspace.flags();
 
         // Initialisation: every vertex determines its lowest parent; the
         // initial queue holds each distinct lowest parent once.
@@ -104,9 +114,6 @@ impl MaximalChordalExtractor {
         let mut stats = self.config.record_stats.then(IterationStats::new);
         let semantics = self.config.semantics;
         let mut iterations = 0usize;
-        // Reusable frozen snapshots for the synchronous semantics.
-        let mut frozen_lp: Vec<VertexId> = Vec::new();
-        let mut frozen_clen: Vec<u32> = Vec::new();
 
         while !queue.is_empty() {
             iterations += 1;
@@ -134,7 +141,7 @@ impl MaximalChordalExtractor {
                     semantics,
                     &frozen_lp,
                     &frozen_clen,
-                    &flags,
+                    flags,
                     v,
                     out,
                 );
@@ -161,7 +168,32 @@ impl MaximalChordalExtractor {
             }
         });
 
+        // Return the snapshot buffers to the workspace for the next run.
+        workspace.ids_a = frozen_lp;
+        workspace.ids_b = frozen_clen;
+
         ChordalResult::new(n, edges, iterations, stats)
+    }
+}
+
+impl ChordalExtractor for MaximalChordalExtractor {
+    fn name(&self) -> &'static str {
+        "alg1"
+    }
+
+    /// Extracts a maximal chordal subgraph of `graph`, reusing `workspace`.
+    ///
+    /// For [`AdjacencyMode::Sorted`] the graph's adjacency lists must be
+    /// sorted ascending; if they are not, a sorted copy is made (the cost of
+    /// that copy is *not* what the paper's Opt timings include, so
+    /// benchmarks pre-sort their inputs).
+    fn extract_into(&self, graph: &CsrGraph, workspace: &mut Workspace) -> ChordalResult {
+        if self.config.adjacency == AdjacencyMode::Sorted && !graph.is_sorted() {
+            let mut sorted = graph.clone();
+            sorted.sort_adjacency();
+            return self.run(&sorted, workspace);
+        }
+        self.run(graph, workspace)
     }
 }
 
@@ -171,7 +203,7 @@ impl MaximalChordalExtractor {
 #[allow(clippy::too_many_arguments)]
 fn process_lowest_parent(
     graph: &CsrGraph,
-    state: &SharedState,
+    state: &SharedState<'_>,
     adjacency: AdjacencyMode,
     semantics: Semantics,
     frozen_lp: &[VertexId],
@@ -228,31 +260,32 @@ fn process_lowest_parent(
     accepted
 }
 
-/// The shared atomic state of an extraction run.
-struct SharedState {
+/// The shared atomic state of an extraction run, borrowed from a
+/// [`Workspace`] prepared for the current graph.
+struct SharedState<'a> {
     /// Current lowest parent of every vertex.
-    lp: Vec<AtomicU32>,
+    lp: &'a [AtomicU32],
     /// Cursor of the current parent in the sorted adjacency (Opt variant).
-    cursor: Vec<AtomicU32>,
+    cursor: &'a [AtomicU32],
     /// Per-vertex offsets into `cdata` (copied from the graph's CSR offsets:
     /// a vertex can never have more chordal neighbours than its degree).
-    offsets: Vec<usize>,
+    offsets: &'a [usize],
     /// Chordal-neighbour arena.
-    cdata: Vec<AtomicU32>,
+    cdata: &'a [AtomicU32],
     /// Published length of every chordal-neighbour set.
-    clen: Vec<AtomicU32>,
+    clen: &'a [AtomicU32],
 }
 
-impl SharedState {
-    fn new(graph: &CsrGraph) -> Self {
-        let n = graph.num_vertices();
-        let total = graph.num_directed_edges();
+impl<'a> SharedState<'a> {
+    /// Borrows the prepared buffers of `workspace` for a graph with `n`
+    /// vertices and `total` directed edges.
+    fn borrowed(workspace: &'a Workspace, n: usize, total: usize) -> Self {
         Self {
-            lp: (0..n).map(|_| AtomicU32::new(NO_VERTEX)).collect(),
-            cursor: (0..n).map(|_| AtomicU32::new(0)).collect(),
-            offsets: graph.offsets().to_vec(),
-            cdata: (0..total).map(|_| AtomicU32::new(0)).collect(),
-            clen: (0..n).map(|_| AtomicU32::new(0)).collect(),
+            lp: &workspace.lp[..n],
+            cursor: &workspace.cursor[..n],
+            offsets: &workspace.offsets[..n + 1],
+            cdata: &workspace.cdata[..total],
+            clen: &workspace.clen[..n],
         }
     }
 
@@ -301,21 +334,24 @@ mod tests {
     use super::*;
     use crate::reference::extract_reference;
     use crate::verify;
-    use chordal_graph::builder::graph_from_edges;
     use chordal_generators::{rmat::RmatKind, rmat::RmatParams, structured};
+    use chordal_graph::builder::graph_from_edges;
     use chordal_runtime::Engine;
 
     fn all_engines() -> Vec<Engine> {
-        vec![Engine::serial(), Engine::chunked_with_grain(4, 8), Engine::rayon(4)]
+        vec![
+            Engine::serial(),
+            Engine::chunked_with_grain(4, 8),
+            Engine::rayon(4),
+        ]
     }
 
     fn extract_with(graph: &CsrGraph, engine: Engine, adjacency: AdjacencyMode) -> ChordalResult {
-        let config = ExtractorConfig {
-            engine,
-            adjacency,
-            semantics: Semantics::Synchronous,
-            record_stats: true,
-        };
+        let config = ExtractorConfig::default()
+            .with_engine(engine)
+            .with_adjacency(adjacency)
+            .with_semantics(Semantics::Synchronous)
+            .with_stats(true);
         MaximalChordalExtractor::new(config).extract(graph)
     }
 
@@ -417,7 +453,16 @@ mod tests {
         // keeps the whole graph.
         let g = graph_from_edges(
             6,
-            vec![(0, 1), (0, 2), (1, 2), (1, 3), (2, 3), (3, 4), (4, 5), (3, 5)],
+            vec![
+                (0, 1),
+                (0, 2),
+                (1, 2),
+                (1, 3),
+                (2, 3),
+                (3, 4),
+                (4, 5),
+                (3, 5),
+            ],
         );
         let config = ExtractorConfig::serial(AdjacencyMode::Sorted);
         let r = MaximalChordalExtractor::new(config).extract(&g);
@@ -477,12 +522,9 @@ mod tests {
     #[test]
     fn asynchronous_semantics_still_produces_chordal_output() {
         let g = RmatParams::preset(RmatKind::B, 8, 2).generate();
-        let config = ExtractorConfig {
-            engine: Engine::rayon(4),
-            adjacency: AdjacencyMode::Sorted,
-            semantics: Semantics::Asynchronous,
-            record_stats: false,
-        };
+        let config = ExtractorConfig::default()
+            .with_engine(Engine::rayon(4))
+            .with_semantics(Semantics::Asynchronous);
         let r = MaximalChordalExtractor::new(config).extract(&g);
         assert!(verify::is_chordal(&r.subgraph(&g)));
         for &(u, v) in r.edges() {
@@ -507,5 +549,33 @@ mod tests {
         let r = extract_with(&g, Engine::serial(), AdjacencyMode::Sorted);
         let expected = extract_reference(&g);
         assert_eq!(r.edges(), expected.edges());
+    }
+
+    #[test]
+    fn workspace_reuse_matches_fresh_runs_and_stops_allocating() {
+        let extractor =
+            MaximalChordalExtractor::new(ExtractorConfig::serial(AdjacencyMode::Sorted));
+        let mut workspace = Workspace::new();
+        let graphs: Vec<CsrGraph> = (0..3)
+            .map(|seed| RmatParams::preset(RmatKind::G, 8, seed).generate())
+            .collect();
+        // First pass warms the workspace up to the largest graph seen; the
+        // second pass must neither allocate nor change any result.
+        let warm: Vec<ChordalResult> = graphs
+            .iter()
+            .map(|g| extractor.extract_into(g, &mut workspace))
+            .collect();
+        let allocations = workspace.allocations();
+        for (g, first) in graphs.iter().zip(&warm) {
+            let reused = extractor.extract_into(g, &mut workspace);
+            let fresh = extractor.extract(g);
+            assert_eq!(reused.edges(), fresh.edges());
+            assert_eq!(reused.edges(), first.edges());
+        }
+        assert_eq!(
+            workspace.allocations(),
+            allocations,
+            "already-seen graph shapes must not grow the workspace"
+        );
     }
 }

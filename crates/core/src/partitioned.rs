@@ -15,7 +15,10 @@
 //! paper only discusses qualitatively.
 
 use crate::dearing::extract_dearing;
+use crate::extractor::ChordalExtractor;
+use crate::result::ChordalResult;
 use crate::verify::is_chordal;
+use crate::workspace::Workspace;
 use chordal_graph::subgraph::{edge_subgraph, induced_subgraph};
 use chordal_graph::{CsrGraph, Edge, VertexId};
 use rayon::prelude::*;
@@ -54,6 +57,51 @@ impl PartitionedResult {
     /// Number of edges in the combined subgraph.
     pub fn num_edges(&self) -> usize {
         self.edges.len()
+    }
+}
+
+/// The partitioned baseline as a registry citizen.
+///
+/// The trait path returns the combined edge set as a [`ChordalResult`]
+/// (reporting the partition count as its iteration count); callers that
+/// need the border-edge statistics or the honesty flag should use
+/// [`extract_partitioned`] directly. Note that, unlike every other
+/// extractor in the registry, the output is **not** guaranteed chordal —
+/// that deficiency is the paper's motivation for Algorithm 1, and
+/// [`crate::Algorithm::guarantees_chordal`] reports it.
+#[derive(Debug, Clone)]
+pub struct PartitionedExtractor {
+    partitions: usize,
+    strategy: PartitionStrategy,
+}
+
+impl PartitionedExtractor {
+    /// Creates the extractor with the given partition count and strategy.
+    pub fn new(partitions: usize, strategy: PartitionStrategy) -> Self {
+        Self {
+            partitions: partitions.max(1),
+            strategy,
+        }
+    }
+
+    /// Runs the full pipeline, returning the partition-level report.
+    pub fn extract_report(&self, graph: &CsrGraph) -> PartitionedResult {
+        extract_partitioned(graph, self.partitions, self.strategy)
+    }
+}
+
+impl ChordalExtractor for PartitionedExtractor {
+    fn name(&self) -> &'static str {
+        "partitioned"
+    }
+
+    fn extract_into(&self, graph: &CsrGraph, _workspace: &mut Workspace) -> ChordalResult {
+        // The per-partition Dearing runs work on induced subgraphs of
+        // varying shapes, so this baseline allocates internally rather than
+        // through the workspace; it exists for comparison, not for the
+        // serving path.
+        let report = self.extract_report(graph);
+        ChordalResult::new(graph.num_vertices(), report.edges, report.partitions, None)
     }
 }
 

@@ -8,101 +8,151 @@
 //! [`crate::Semantics::Synchronous`] for every engine and thread count; the
 //! test-suite enforces that equivalence.
 
+use crate::extractor::ChordalExtractor;
 use crate::parent::{first_parent_scan, next_parent_scan, sorted_subset};
 use crate::result::ChordalResult;
 use crate::stats::IterationStats;
+use crate::workspace::Workspace;
 use chordal_graph::{CsrGraph, VertexId, NO_VERTEX};
 
-/// Runs the sequential reference extraction.
+/// The sequential determinism oracle, as a registry citizen.
 ///
 /// The result is independent of the order in which adjacency lists are
 /// stored (parents are always discovered by scanning), so this single
-/// routine is the oracle for both the Opt and Unopt parallel variants.
+/// extractor is the oracle for both the Opt and Unopt parallel variants.
+#[derive(Debug, Clone, Default)]
+pub struct ReferenceExtractor {
+    record_stats: bool,
+}
+
+impl ReferenceExtractor {
+    /// Creates the reference extractor; `record_stats` enables the
+    /// per-iteration queue trace.
+    pub fn new(record_stats: bool) -> Self {
+        Self { record_stats }
+    }
+}
+
+impl ChordalExtractor for ReferenceExtractor {
+    fn name(&self) -> &'static str {
+        "reference"
+    }
+
+    fn extract_into(&self, graph: &CsrGraph, workspace: &mut Workspace) -> ChordalResult {
+        let n = graph.num_vertices();
+        let mut stats = self.record_stats.then(IterationStats::new);
+        workspace.prepare_plain(n);
+        // Workspace mapping: `ids_a` holds the lowest parents, `lists` the
+        // chordal-neighbour sets, `marks` the queue-membership flags and
+        // `queue_a`/`queue_b` the current/next iteration queues. Taken out
+        // of the workspace so the borrow checker sees disjoint pieces; put
+        // back before returning.
+        let mut lp = std::mem::take(&mut workspace.ids_a);
+        let mut chordal = std::mem::take(&mut workspace.lists);
+        let mut in_queue = std::mem::take(&mut workspace.marks);
+        let mut q1 = std::mem::take(&mut workspace.queue_a);
+        let mut q2 = std::mem::take(&mut workspace.queue_b);
+        let mut clen_frozen = std::mem::take(&mut workspace.ids_b);
+        let mut lp_frozen = std::mem::take(&mut workspace.ids_c);
+
+        // Initialisation (lines 4-10): every vertex finds its lowest parent;
+        // the initial queue holds every vertex that is the lowest parent of
+        // someone.
+        for v in 0..n as VertexId {
+            let w = first_parent_scan(graph, v);
+            if w != NO_VERTEX {
+                lp[v as usize] = w;
+                if !in_queue[w as usize] {
+                    in_queue[w as usize] = true;
+                    q1.push(w);
+                }
+            }
+        }
+
+        let mut iterations = 0usize;
+        // `lp_frozen` holds the bulk-synchronous snapshot of the lowest
+        // parents; like every other buffer it came out of the workspace.
+        while !q1.is_empty() {
+            iterations += 1;
+            // Freeze the state the iteration is allowed to observe.
+            lp_frozen.clear();
+            lp_frozen.extend_from_slice(&lp);
+            clen_frozen.clear();
+            clen_frozen.extend(chordal[..n].iter().map(|c| c.len() as u32));
+            in_queue[..n].fill(false);
+            q2.clear();
+            let mut edges_added = 0usize;
+
+            for &v in &q1 {
+                for &w in graph.neighbors(v) {
+                    if lp_frozen[w as usize] != v {
+                        continue;
+                    }
+                    // Subset test C[w] ⊆ C[v] against the frozen prefix of
+                    // C[v]. `w`'s set cannot have been touched this
+                    // iteration: only its (unique) lowest parent v writes to
+                    // it, and that is us.
+                    let cv = &chordal[v as usize][..clen_frozen[v as usize] as usize];
+                    let accept = sorted_subset(&chordal[w as usize], cv);
+                    if accept {
+                        chordal[w as usize].push(v);
+                        edges_added += 1;
+                    }
+                    // Advance w's lowest parent regardless of acceptance.
+                    let x = next_parent_scan(graph, w, v);
+                    if x != NO_VERTEX {
+                        lp[w as usize] = x;
+                        if !in_queue[x as usize] {
+                            in_queue[x as usize] = true;
+                            q2.push(x);
+                        }
+                    } else {
+                        lp[w as usize] = NO_VERTEX;
+                    }
+                }
+            }
+
+            if let Some(s) = stats.as_mut() {
+                s.record(q1.len(), edges_added);
+            }
+            std::mem::swap(&mut q1, &mut q2);
+        }
+
+        let mut edges = Vec::new();
+        for (w, parents) in chordal[..n].iter().enumerate() {
+            for &p in parents {
+                edges.push((p, w as VertexId));
+            }
+        }
+
+        workspace.ids_a = lp;
+        workspace.lists = chordal;
+        workspace.marks = in_queue;
+        workspace.queue_a = q1;
+        workspace.queue_b = q2;
+        workspace.ids_b = clen_frozen;
+        workspace.ids_c = lp_frozen;
+
+        ChordalResult::new(n, edges, iterations, stats)
+    }
+}
+
+/// Runs the sequential reference extraction with a throwaway workspace.
 pub fn extract_reference(graph: &CsrGraph) -> ChordalResult {
     extract_reference_with_stats(graph, false)
 }
 
 /// Reference extraction with optional per-iteration statistics.
 pub fn extract_reference_with_stats(graph: &CsrGraph, record_stats: bool) -> ChordalResult {
-    let n = graph.num_vertices();
-    let mut lp: Vec<VertexId> = vec![NO_VERTEX; n];
-    let mut chordal: Vec<Vec<VertexId>> = vec![Vec::new(); n];
-    let mut stats = record_stats.then(IterationStats::new);
-
-    // Initialisation (lines 4-10): every vertex finds its lowest parent; the
-    // initial queue holds every vertex that is the lowest parent of someone.
-    let mut in_queue = vec![false; n];
-    let mut q1: Vec<VertexId> = Vec::new();
-    for v in 0..n as VertexId {
-        let w = first_parent_scan(graph, v);
-        if w != NO_VERTEX {
-            lp[v as usize] = w;
-            if !in_queue[w as usize] {
-                in_queue[w as usize] = true;
-                q1.push(w);
-            }
-        }
-    }
-
-    let mut iterations = 0usize;
-    while !q1.is_empty() {
-        iterations += 1;
-        // Freeze the state the iteration is allowed to observe.
-        let lp_frozen = lp.clone();
-        let clen_frozen: Vec<usize> = chordal.iter().map(Vec::len).collect();
-        let mut in_next = vec![false; n];
-        let mut q2: Vec<VertexId> = Vec::new();
-        let mut edges_added = 0usize;
-
-        for &v in &q1 {
-            for &w in graph.neighbors(v) {
-                if lp_frozen[w as usize] != v {
-                    continue;
-                }
-                // Subset test C[w] ⊆ C[v] against the frozen prefix of C[v].
-                let cv = &chordal[v as usize][..clen_frozen[v as usize]];
-                // `w`'s set cannot have been touched this iteration: only its
-                // (unique) lowest parent v writes to it, and that is us.
-                let accept = sorted_subset(&chordal[w as usize], cv);
-                if accept {
-                    chordal[w as usize].push(v);
-                    edges_added += 1;
-                }
-                // Advance w's lowest parent regardless of acceptance.
-                let x = next_parent_scan(graph, w, v);
-                if x != NO_VERTEX {
-                    lp[w as usize] = x;
-                    if !in_next[x as usize] {
-                        in_next[x as usize] = true;
-                        q2.push(x);
-                    }
-                } else {
-                    lp[w as usize] = NO_VERTEX;
-                }
-            }
-        }
-
-        if let Some(s) = stats.as_mut() {
-            s.record(q1.len(), edges_added);
-        }
-        q1 = q2;
-    }
-
-    let mut edges = Vec::new();
-    for (w, parents) in chordal.iter().enumerate() {
-        for &p in parents {
-            edges.push((p, w as VertexId));
-        }
-    }
-    ChordalResult::new(n, edges, iterations, stats)
+    ReferenceExtractor::new(record_stats).extract(graph)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::verify;
-    use chordal_graph::builder::graph_from_edges;
     use chordal_generators::structured;
+    use chordal_graph::builder::graph_from_edges;
 
     #[test]
     fn empty_graph_yields_empty_result() {
@@ -152,7 +202,16 @@ mod tests {
         // `crate::parallel`. Both outputs are chordal.
         let g = graph_from_edges(
             6,
-            vec![(0, 1), (0, 2), (1, 2), (1, 3), (2, 3), (3, 4), (4, 5), (3, 5)],
+            vec![
+                (0, 1),
+                (0, 2),
+                (1, 2),
+                (1, 3),
+                (2, 3),
+                (3, 4),
+                (4, 5),
+                (3, 5),
+            ],
         );
         let r = extract_reference(&g);
         let sub = r.subgraph(&g);
@@ -175,5 +234,31 @@ mod tests {
         let a = extract_reference(&g);
         let b = extract_reference(&scrambled);
         assert_eq!(a.edges(), b.edges());
+    }
+
+    #[test]
+    fn workspace_reuse_is_transparent() {
+        let extractor = ReferenceExtractor::new(false);
+        let mut ws = Workspace::new();
+        let small = structured::grid(4, 4);
+        let large = structured::grid(7, 7);
+        // Run large, then small, then large again: stale state from a
+        // bigger previous run must not leak into a smaller one.
+        let large_fresh = extractor.extract(&large);
+        let small_fresh = extractor.extract(&small);
+        assert_eq!(
+            extractor.extract_into(&large, &mut ws).edges(),
+            large_fresh.edges()
+        );
+        assert_eq!(
+            extractor.extract_into(&small, &mut ws).edges(),
+            small_fresh.edges()
+        );
+        let allocations = ws.allocations();
+        assert_eq!(
+            extractor.extract_into(&large, &mut ws).edges(),
+            large_fresh.edges()
+        );
+        assert_eq!(ws.allocations(), allocations);
     }
 }

@@ -114,7 +114,16 @@ mod tests {
         // the repair pass puts it back.
         let g = graph_from_edges(
             6,
-            vec![(0, 1), (0, 2), (1, 2), (1, 3), (2, 3), (3, 4), (4, 5), (3, 5)],
+            vec![
+                (0, 1),
+                (0, 2),
+                (1, 2),
+                (1, 3),
+                (2, 3),
+                (3, 4),
+                (4, 5),
+                (3, 5),
+            ],
         );
         let r = extract_reference(&g);
         assert_eq!(r.num_chordal_edges(), g.num_edges() - 1);

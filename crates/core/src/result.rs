@@ -6,7 +6,6 @@ use chordal_graph::{subgraph::edge_subgraph, CsrGraph, Edge};
 /// The chordal edge set `EC` returned by an extraction, together with
 /// iteration metadata.
 #[derive(Debug, Clone, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct ChordalResult {
     num_vertices: usize,
     /// Chordal edges in canonical `(min, max)` orientation, sorted

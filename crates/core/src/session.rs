@@ -1,0 +1,249 @@
+//! Reusable extraction sessions: one configured extractor plus one owned
+//! [`Workspace`], amortising allocations across runs — and a batch mode
+//! that fans whole graphs out across the configured engine.
+//!
+//! # Single-graph traffic
+//!
+//! ```
+//! use chordal_core::prelude::*;
+//! use chordal_graph::builder::graph_from_edges;
+//!
+//! let graph = graph_from_edges(5, vec![(0, 1), (1, 2), (2, 3), (0, 3), (0, 2), (3, 4)]);
+//! let mut session = ExtractionSession::new(ExtractorConfig::serial(AdjacencyMode::Sorted));
+//!
+//! let first = session.extract(&graph);
+//! let allocations = session.workspace().allocations();
+//!
+//! // The second extraction reuses every buffer the first one grew.
+//! let second = session.extract(&graph);
+//! assert_eq!(first.edges(), second.edges());
+//! assert_eq!(session.workspace().allocations(), allocations);
+//! ```
+//!
+//! # Batch traffic
+//!
+//! [`ExtractionSession::extract_batch`] accepts a slice of graphs and
+//! distributes them over the configured [`chordal_runtime::Engine`]: each
+//! worker runs the *serial* variant of the configured algorithm with its
+//! own workspace, so graph-level parallelism replaces intra-graph
+//! parallelism — the right trade for serving many small-to-medium requests.
+
+use crate::config::ExtractorConfig;
+use crate::extractor::{Algorithm, ChordalExtractor};
+use crate::result::ChordalResult;
+use crate::workspace::Workspace;
+use chordal_graph::CsrGraph;
+use chordal_runtime::Engine;
+use std::sync::OnceLock;
+
+/// A configured extractor paired with a reusable [`Workspace`].
+pub struct ExtractionSession {
+    config: ExtractorConfig,
+    extractor: Box<dyn ChordalExtractor>,
+    workspace: Workspace,
+}
+
+impl ExtractionSession {
+    /// Builds the session for `config`, constructing the configured
+    /// algorithm through the [`Algorithm`] registry.
+    pub fn new(config: ExtractorConfig) -> Self {
+        let extractor = config.build_extractor();
+        Self {
+            config,
+            extractor,
+            workspace: Workspace::new(),
+        }
+    }
+
+    /// Convenience constructor: the given algorithm with default settings.
+    pub fn with_algorithm(algorithm: Algorithm) -> Self {
+        Self::new(ExtractorConfig::default().with_algorithm(algorithm))
+    }
+
+    /// The session's configuration.
+    pub fn config(&self) -> &ExtractorConfig {
+        &self.config
+    }
+
+    /// The algorithm this session runs.
+    pub fn algorithm(&self) -> Algorithm {
+        self.config.algorithm
+    }
+
+    /// The underlying extractor's registry name.
+    pub fn extractor_name(&self) -> &'static str {
+        self.extractor.name()
+    }
+
+    /// Read access to the owned workspace (its
+    /// [`allocations`](Workspace::allocations) counter is how tests observe
+    /// buffer reuse).
+    pub fn workspace(&self) -> &Workspace {
+        &self.workspace
+    }
+
+    /// Extracts from one graph, reusing the session workspace.
+    pub fn extract(&mut self, graph: &CsrGraph) -> ChordalResult {
+        self.extractor.extract_into(graph, &mut self.workspace)
+    }
+
+    /// Extracts from every graph of a batch, in input order.
+    ///
+    /// With a serial engine the graphs run back to back through the session
+    /// workspace. With a parallel engine the *batch* is the parallel
+    /// dimension: graphs are fanned out across the engine's workers, each
+    /// worker running the serial variant of the configured algorithm with a
+    /// worker-local workspace that is reused across the graphs it processes
+    /// (so a batch of same-shaped graphs pays one allocation per worker,
+    /// not one per graph).
+    pub fn extract_batch(&mut self, graphs: &[&CsrGraph]) -> Vec<ChordalResult> {
+        if graphs.is_empty() {
+            return Vec::new();
+        }
+        if self.config.engine.threads() <= 1 || graphs.len() == 1 {
+            return graphs.iter().map(|g| self.extract(g)).collect();
+        }
+        // Grain 1: each graph is one schedulable unit of the fan-out.
+        let engine = self.config.engine.with_grain(1);
+        // Worker-local extraction must not nest engine parallelism inside
+        // engine parallelism, so the per-graph runs use the serial engine.
+        // Pin the partition count first: "one partition per engine worker"
+        // must resolve against the *configured* engine, not the serial one.
+        let mut serial_config = self.config.clone();
+        serial_config.partitions = serial_config.effective_partitions();
+        let serial_config = serial_config.with_engine(Engine::serial());
+        let extractor = serial_config.build_extractor();
+        thread_local! {
+            /// Worker-local workspace: persists across the graphs one worker
+            /// processes (and, on pooled engines, across batches).
+            static BATCH_WORKSPACE: std::cell::RefCell<Workspace> =
+                std::cell::RefCell::new(Workspace::new());
+        }
+        let slots: Vec<OnceLock<ChordalResult>> =
+            (0..graphs.len()).map(|_| OnceLock::new()).collect();
+        engine.parallel_for_chunks(graphs.len(), |range| {
+            BATCH_WORKSPACE.with(|workspace| {
+                let mut workspace = workspace.borrow_mut();
+                for i in range {
+                    let result = extractor.extract_into(graphs[i], &mut workspace);
+                    slots[i]
+                        .set(result)
+                        .expect("each batch slot is written exactly once");
+                }
+            });
+        });
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("every batch slot was filled by a worker")
+            })
+            .collect()
+    }
+}
+
+impl std::fmt::Debug for ExtractionSession {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ExtractionSession")
+            .field("algorithm", &self.config.algorithm)
+            .field("engine", &self.config.engine)
+            .field("workspace_allocations", &self.workspace.allocations())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{AdjacencyMode, Semantics};
+    use chordal_generators::{rmat::RmatKind, rmat::RmatParams, structured};
+
+    #[test]
+    fn session_reuse_keeps_results_identical_and_allocations_flat() {
+        let g = RmatParams::preset(RmatKind::G, 8, 1).generate();
+        let mut session = ExtractionSession::new(ExtractorConfig::serial(AdjacencyMode::Sorted));
+        let first = session.extract(&g);
+        let allocations = session.workspace().allocations();
+        for _ in 0..3 {
+            let again = session.extract(&g);
+            assert_eq!(again.edges(), first.edges());
+        }
+        assert_eq!(session.workspace().allocations(), allocations);
+    }
+
+    #[test]
+    fn session_dispatches_every_algorithm() {
+        let g = structured::grid(5, 5);
+        for algorithm in Algorithm::ALL {
+            let mut session = ExtractionSession::new(
+                ExtractorConfig::serial(AdjacencyMode::Sorted).with_algorithm(algorithm),
+            );
+            assert_eq!(session.algorithm(), algorithm);
+            assert_eq!(session.extractor_name(), algorithm.name());
+            let result = session.extract(&g);
+            assert!(result.num_chordal_edges() > 0, "{algorithm}");
+        }
+    }
+
+    #[test]
+    fn batch_results_match_single_runs_in_order() {
+        let graphs: Vec<CsrGraph> = (0..6)
+            .map(|seed| RmatParams::preset(RmatKind::Er, 7, seed).generate())
+            .collect();
+        let refs: Vec<&CsrGraph> = graphs.iter().collect();
+        // Synchronous semantics: deterministic, so serial and fanned-out
+        // batches must agree exactly.
+        let config = ExtractorConfig::default()
+            .with_engine(chordal_runtime::Engine::rayon(3))
+            .with_semantics(Semantics::Synchronous);
+        let mut parallel_session = ExtractionSession::new(config.clone());
+        let batch = parallel_session.extract_batch(&refs);
+        assert_eq!(batch.len(), graphs.len());
+        let mut serial_session =
+            ExtractionSession::new(config.with_engine(chordal_runtime::Engine::serial()));
+        for (graph, from_batch) in graphs.iter().zip(&batch) {
+            let single = serial_session.extract(graph);
+            assert_eq!(single.edges(), from_batch.edges());
+        }
+    }
+
+    #[test]
+    fn batch_on_serial_engine_reuses_the_session_workspace() {
+        let graphs: Vec<CsrGraph> = (0..4).map(|_| structured::grid(6, 6)).collect();
+        let refs: Vec<&CsrGraph> = graphs.iter().collect();
+        let mut session = ExtractionSession::new(ExtractorConfig::serial(AdjacencyMode::Sorted));
+        let first = session.extract_batch(&refs);
+        let allocations = session.workspace().allocations();
+        let second = session.extract_batch(&refs);
+        assert_eq!(session.workspace().allocations(), allocations);
+        for (a, b) in first.iter().zip(&second) {
+            assert_eq!(a.edges(), b.edges());
+        }
+    }
+
+    #[test]
+    fn empty_batch_is_empty() {
+        let mut session = ExtractionSession::with_algorithm(Algorithm::Dearing);
+        assert!(session.extract_batch(&[]).is_empty());
+    }
+
+    #[test]
+    fn batch_works_for_serial_algorithms_on_parallel_engines() {
+        let graphs: Vec<CsrGraph> = (0..5)
+            .map(|seed| RmatParams::preset(RmatKind::B, 6, seed).generate())
+            .collect();
+        let refs: Vec<&CsrGraph> = graphs.iter().collect();
+        let mut session = ExtractionSession::new(
+            ExtractorConfig::default()
+                .with_algorithm(Algorithm::Dearing)
+                .with_engine(chordal_runtime::Engine::chunked(4)),
+        );
+        let batch = session.extract_batch(&refs);
+        for (graph, result) in graphs.iter().zip(&batch) {
+            assert_eq!(
+                result.edges(),
+                crate::dearing::extract_dearing(graph).edges()
+            );
+        }
+    }
+}

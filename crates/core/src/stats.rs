@@ -7,7 +7,6 @@
 /// the amount of parallel work available — and discusses the total number of
 /// iterations (≈3 for the R-MAT inputs, ≈10 for the biological networks).
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct IterationStats {
     /// `queue_sizes[t]` is the number of lowest-parent vertices processed in
     /// iteration `t` (the size of `Q1`).

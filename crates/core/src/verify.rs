@@ -224,8 +224,8 @@ pub fn is_maximal_chordal_subgraph(graph: &CsrGraph, chordal_edges: &[Edge]) -> 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use chordal_graph::builder::graph_from_edges;
     use chordal_generators::{chordal_gen, structured};
+    use chordal_graph::builder::graph_from_edges;
 
     #[test]
     fn cliques_paths_and_trees_are_chordal() {

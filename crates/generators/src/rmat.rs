@@ -108,7 +108,10 @@ impl RmatParams {
             return Err(format!("R-MAT probabilities must sum to 1 (got {sum})"));
         }
         if self.scale == 0 || self.scale > 31 {
-            return Err(format!("scale {} out of supported range 1..=31", self.scale));
+            return Err(format!(
+                "scale {} out of supported range 1..=31",
+                self.scale
+            ));
         }
         Ok(())
     }
@@ -128,7 +131,8 @@ impl RmatParams {
             .into_par_iter()
             .flat_map_iter(|ci| {
                 let count = chunk.min(m - ci * chunk);
-                let mut rng = StdRng::seed_from_u64(seed ^ ((ci as u64) << 20).wrapping_add(ci as u64));
+                let mut rng =
+                    StdRng::seed_from_u64(seed ^ ((ci as u64) << 20).wrapping_add(ci as u64));
                 (0..count)
                     .map(move |_| sample_edge(&mut rng, scale, a, b, c))
                     .collect::<Vec<_>>()

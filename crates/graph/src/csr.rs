@@ -11,7 +11,6 @@ use rayon::prelude::*;
 /// algorithm requires sorted adjacency while the "Unopt" variant operates on
 /// generator-ordered lists.
 #[derive(Debug, Clone, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct CsrGraph {
     num_vertices: usize,
     /// `offsets[v]..offsets[v + 1]` indexes `neighbors` for vertex `v`.

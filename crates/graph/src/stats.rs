@@ -7,7 +7,6 @@ use rayon::prelude::*;
 
 /// Structural summary of a graph (one row of Table I).
 #[derive(Debug, Clone, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct GraphStats {
     /// Number of vertices.
     pub vertices: usize,

@@ -1,6 +1,6 @@
 //! Lock-amortised parallel collection of per-worker buffers.
 
-use parking_lot::Mutex;
+use std::sync::Mutex;
 
 /// Collects locally-buffered items produced by parallel workers.
 ///
@@ -34,30 +34,36 @@ impl<T> ParallelCollector<T> {
         if local.is_empty() {
             return;
         }
-        let mut guard = self.inner.lock();
+        let mut guard = self.inner.lock().expect("collector lock poisoned");
         guard.append(&mut local);
     }
 
     /// Pushes a single item. Prefer [`ParallelCollector::append`] on hot
     /// paths.
     pub fn push(&self, item: T) {
-        self.inner.lock().push(item);
+        self.inner
+            .lock()
+            .expect("collector lock poisoned")
+            .push(item);
     }
 
     /// Number of items collected so far.
     pub fn len(&self) -> usize {
-        self.inner.lock().len()
+        self.inner.lock().expect("collector lock poisoned").len()
     }
 
     /// Whether nothing has been collected.
     pub fn is_empty(&self) -> bool {
-        self.inner.lock().is_empty()
+        self.inner
+            .lock()
+            .expect("collector lock poisoned")
+            .is_empty()
     }
 
     /// Consumes the collector and returns the gathered items (order
     /// unspecified).
     pub fn into_vec(self) -> Vec<T> {
-        self.inner.into_inner()
+        self.inner.into_inner().expect("collector lock poisoned")
     }
 }
 

@@ -38,9 +38,10 @@ pub const DEFAULT_GRAIN: usize = 256;
 
 /// A parallel execution engine. Cheap to clone (the rayon pool is shared
 /// behind an [`Arc`]).
-#[derive(Clone)]
+#[derive(Clone, Default)]
 pub enum Engine {
     /// Single-threaded execution, in index order.
+    #[default]
     Serial,
     /// Fine-grained dynamic self-scheduling over scoped OS threads
     /// (XMT-style analogue).
@@ -114,12 +115,42 @@ impl Engine {
         }
     }
 
+    /// Returns a clone of this engine scheduling `grain` indices per work
+    /// unit (sharing the same rayon pool where applicable). Callers with
+    /// coarse work items — e.g. whole graphs in a batch extraction — use
+    /// grain 1 so every item can be claimed independently.
+    pub fn with_grain(&self, grain: usize) -> Self {
+        let grain = grain.max(1);
+        match self {
+            Engine::Serial => Engine::Serial,
+            Engine::Chunked(c) => Engine::Chunked(ChunkedEngine::new(c.threads(), grain)),
+            Engine::Rayon { pool, threads, .. } => Engine::Rayon {
+                pool: Arc::clone(pool),
+                threads: *threads,
+                grain,
+            },
+        }
+    }
+
     /// Number of worker threads this engine uses (1 for serial).
     pub fn threads(&self) -> usize {
         match self {
             Engine::Serial => 1,
             Engine::Chunked(c) => c.threads(),
             Engine::Rayon { threads, .. } => *threads,
+        }
+    }
+
+    /// Constructs an engine from its short name (`"serial"`, `"pool"`,
+    /// `"rayon"`) and a worker-thread count, or `None` for an unknown name.
+    /// This is the single place front ends resolve engine names, so the CLI,
+    /// benchmarks and experiments accept the same spellings.
+    pub fn by_name(name: &str, threads: usize) -> Option<Self> {
+        match name {
+            "serial" => Some(Engine::serial()),
+            "pool" | "chunked" => Some(Engine::chunked(threads.max(1))),
+            "rayon" => Some(Engine::rayon(threads.max(1))),
+            _ => None,
         }
     }
 
@@ -193,12 +224,6 @@ impl Engine {
     }
 }
 
-impl Default for Engine {
-    fn default() -> Self {
-        Engine::Serial
-    }
-}
-
 /// Returns the number of logical CPUs available to this process (at least 1).
 pub fn available_threads() -> usize {
     std::thread::available_parallelism()
@@ -230,9 +255,7 @@ mod tests {
                 counters[i].fetch_add(1, Ordering::Relaxed);
             });
             assert!(
-                counters
-                    .iter()
-                    .all(|c| c.load(Ordering::Relaxed) == 1),
+                counters.iter().all(|c| c.load(Ordering::Relaxed) == 1),
                 "engine {:?} missed or repeated an index",
                 engine
             );

@@ -36,7 +36,7 @@ fn main() {
 
     // Extract the maximal chordal subgraph — the paper's sampling operator.
     let config = ExtractorConfig::default().with_stats(true);
-    let result = MaximalChordalExtractor::new(config).extract(&network);
+    let result = ExtractionSession::new(config).extract(&network);
     println!(
         "\nchordal sample: {} of {} edges ({:.1}%), {} iterations",
         result.num_chordal_edges(),
@@ -53,8 +53,8 @@ fn main() {
     describe("chordal sample", &sample);
 
     // Compare with the serial Dearing baseline (same sampling idea, no
-    // parallelism).
-    let dearing = extract_dearing(&network);
+    // parallelism), built through the same registry.
+    let dearing = ExtractionSession::with_algorithm(Algorithm::Dearing).extract(&network);
     let dearing_graph = dearing.subgraph(&network);
     describe("dearing sample", &dearing_graph);
 

@@ -38,7 +38,10 @@ fn main() {
     );
 
     // Extract with the default (parallel, paper-faithful) configuration.
-    let result = extract_maximal_chordal(&graph);
+    // A session owns reusable scratch buffers, so follow-up extractions on
+    // same-sized graphs are allocation-free.
+    let mut session = ExtractionSession::new(ExtractorConfig::default());
+    let result = session.extract(&graph);
     println!(
         "maximal chordal subgraph: {} edges ({:.1}% of the input) in {} iterations",
         result.num_chordal_edges(),
@@ -70,11 +73,22 @@ fn main() {
         &maximal_chordal::graph::subgraph::edge_subgraph(&graph, &stitched)
     ));
 
-    // Compare against the serial Dearing baseline.
-    let dearing = extract_dearing(&graph);
+    // Compare against the serial Dearing baseline, dispatched through the
+    // same registry as every other algorithm.
+    let dearing = ExtractionSession::with_algorithm(Algorithm::Dearing).extract(&graph);
     println!(
         "Dearing baseline retains {} edges (Algorithm 1 retained {})",
         dearing.num_chordal_edges(),
         result.num_chordal_edges()
     );
+
+    // Re-running through the session reuses its workspace: the allocation
+    // counter stays flat. (The default asynchronous parallel semantics may
+    // legally retain a slightly different edge set between runs, so only
+    // the invariants are asserted, not bit-equality.)
+    let allocations = session.workspace().allocations();
+    let rerun = session.extract(&graph);
+    assert!(is_chordal(&rerun.subgraph(&graph)));
+    assert_eq!(session.workspace().allocations(), allocations);
+    println!("second session run reused all {allocations} workspace allocations");
 }

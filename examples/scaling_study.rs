@@ -32,23 +32,16 @@ fn main() {
         let mut baseline = None;
         let mut threads = 1usize;
         while threads <= max_threads {
-            let engine = match engine_name {
-                "pool" => Engine::chunked(threads),
-                _ => Engine::rayon(threads),
-            };
-            let config = ExtractorConfig {
-                engine,
-                adjacency: AdjacencyMode::Sorted,
-                semantics: Semantics::Asynchronous,
-                record_stats: false,
-            };
-            let extractor = MaximalChordalExtractor::new(config);
-            // Best of three runs.
+            let engine = Engine::by_name(engine_name, threads).expect("registered engine name");
+            let config = ExtractorConfig::default().with_engine(engine);
+            // One session per point: the repeat runs reuse its workspace, so
+            // best-of-three measures the allocation-amortised steady state.
+            let mut session = ExtractionSession::new(config);
             let mut best = f64::INFINITY;
             let mut edges = 0;
             for _ in 0..3 {
                 let start = Instant::now();
-                let result = extractor.extract(&graph);
+                let result = session.extract(&graph);
                 best = best.min(start.elapsed().as_secs_f64());
                 edges = result.num_chordal_edges();
             }

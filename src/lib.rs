@@ -13,13 +13,17 @@
 //!   gene-correlation networks.
 //! * [`runtime`] — execution engines (serial, dynamic self-scheduling pool,
 //!   rayon).
-//! * [`core`] — the extraction algorithms (the paper's Algorithm 1, the
-//!   Dearing serial baseline, the partitioned baseline), verification and
+//! * [`core`] — the extraction algorithms behind the
+//!   [`ChordalExtractor`]/[`Algorithm`] registry (the paper's Algorithm 1,
+//!   the sequential reference, the Dearing serial baseline, the partitioned
+//!   baseline), the reusable [`ExtractionSession`] API, verification and
 //!   component stitching.
 //! * [`analysis`] — clustering coefficients, shortest-path distributions,
 //!   assortativity and chordal-fraction reporting.
 //!
 //! ## Quick start
+//!
+//! One-off extraction:
 //!
 //! ```
 //! use maximal_chordal::prelude::*;
@@ -36,6 +40,49 @@
 //! assert!(is_chordal(&result.subgraph(&graph)));
 //! assert!(result.num_chordal_edges() <= graph.num_edges());
 //! ```
+//!
+//! ## Serving repeated traffic
+//!
+//! An [`ExtractionSession`] owns a reusable [`core::Workspace`], so back-to-
+//! back extractions stop paying per-run allocation — and
+//! [`ExtractionSession::extract_batch`] fans a whole slice of graphs out
+//! across the configured engine:
+//!
+//! ```
+//! use maximal_chordal::prelude::*;
+//!
+//! let graphs: Vec<_> = (0..4)
+//!     .map(|seed| RmatParams::preset(RmatKind::G, 7, seed).generate())
+//!     .collect();
+//!
+//! let mut session = ExtractionSession::new(ExtractorConfig::serial(AdjacencyMode::Sorted));
+//! let first = session.extract(&graphs[0]);
+//! let allocations = session.workspace().allocations();
+//! let again = session.extract(&graphs[0]);
+//! assert_eq!(first.edges(), again.edges());
+//! assert_eq!(session.workspace().allocations(), allocations); // buffers reused
+//!
+//! let refs: Vec<&_> = graphs.iter().collect();
+//! let results = session.extract_batch(&refs);
+//! assert_eq!(results.len(), graphs.len());
+//! ```
+//!
+//! ## The algorithm registry
+//!
+//! Every algorithm is reachable through [`Algorithm`] and one
+//! [`ExtractorConfig`] — the CLI, benches and experiments all dispatch this
+//! way:
+//!
+//! ```
+//! use maximal_chordal::prelude::*;
+//!
+//! let graph = graph_from_edges(4, vec![(0, 1), (1, 2), (2, 3), (0, 3)]);
+//! for algorithm in Algorithm::ALL {
+//!     let config = ExtractorConfig::serial(AdjacencyMode::Sorted).with_algorithm(algorithm);
+//!     let result = config.build_extractor().extract(&graph);
+//!     assert_eq!(result.num_vertices(), 4, "{algorithm}");
+//! }
+//! ```
 
 #![deny(missing_docs)]
 
@@ -46,8 +93,9 @@ pub use chordal_graph as graph;
 pub use chordal_runtime as runtime;
 
 pub use chordal_core::{
-    extract_maximal_chordal, extract_maximal_chordal_serial, AdjacencyMode, ChordalResult,
-    ExtractorConfig, MaximalChordalExtractor, Semantics,
+    extract_maximal_chordal, extract_maximal_chordal_serial, AdjacencyMode, Algorithm,
+    ChordalExtractor, ChordalResult, ExtractError, ExtractionSession, ExtractorConfig,
+    MaximalChordalExtractor, Semantics,
 };
 
 /// The most commonly used items across the workspace, re-exported for
@@ -60,8 +108,9 @@ pub mod prelude {
     pub use chordal_core::dearing::extract_dearing;
     pub use chordal_core::verify::{check_maximality, is_chordal};
     pub use chordal_core::{
-        extract_maximal_chordal, extract_maximal_chordal_serial, AdjacencyMode, ChordalResult,
-        ExtractorConfig, MaximalChordalExtractor, Semantics,
+        extract_maximal_chordal, extract_maximal_chordal_serial, AdjacencyMode, Algorithm,
+        ChordalExtractor, ChordalResult, ExtractError, ExtractionSession, ExtractorConfig,
+        MaximalChordalExtractor, Semantics,
     };
     pub use chordal_generators::bio::{CorrelationNetworkParams, GeneNetworkKind};
     pub use chordal_generators::rmat::{RmatKind, RmatParams};
@@ -82,5 +131,15 @@ mod tests {
         assert!(is_chordal(&result.subgraph(&graph)));
         let stats = GraphStats::compute(&graph);
         assert_eq!(stats.edges, 4);
+    }
+
+    #[test]
+    fn facade_exposes_the_session_api() {
+        let graph = graph_from_edges(5, vec![(0, 1), (1, 2), (2, 3), (3, 4), (0, 4), (1, 3)]);
+        let mut session = ExtractionSession::new(ExtractorConfig::serial(AdjacencyMode::Sorted));
+        let a = session.extract(&graph);
+        let b = session.extract(&graph);
+        assert_eq!(a.edges(), b.edges());
+        assert_eq!(session.algorithm(), Algorithm::Parallel);
     }
 }

@@ -34,13 +34,12 @@ fn extraction_is_chordal_for_every_engine_variant_and_workload() {
         for engine in engines() {
             for adjacency in [AdjacencyMode::Sorted, AdjacencyMode::Unsorted] {
                 for semantics in [Semantics::Synchronous, Semantics::Asynchronous] {
-                    let config = ExtractorConfig {
-                        engine: engine.clone(),
-                        adjacency,
-                        semantics,
-                        record_stats: true,
-                    };
-                    let result = MaximalChordalExtractor::new(config).extract(&graph);
+                    let config = ExtractorConfig::default()
+                        .with_engine(engine.clone())
+                        .with_adjacency(adjacency)
+                        .with_semantics(semantics)
+                        .with_stats(true);
+                    let result = ExtractionSession::new(config).extract(&graph);
                     let sub = result.subgraph(&graph);
                     assert!(
                         is_chordal(&sub),
@@ -65,13 +64,10 @@ fn synchronous_results_are_identical_across_engines_and_thread_counts() {
     for (name, graph) in workloads() {
         let reference = maximal_chordal::core::reference::extract_reference(&graph);
         for engine in engines() {
-            let config = ExtractorConfig {
-                engine: engine.clone(),
-                adjacency: AdjacencyMode::Sorted,
-                semantics: Semantics::Synchronous,
-                record_stats: false,
-            };
-            let result = MaximalChordalExtractor::new(config).extract(&graph);
+            let config = ExtractorConfig::default()
+                .with_engine(engine.clone())
+                .with_semantics(Semantics::Synchronous);
+            let result = ExtractionSession::new(config).extract(&graph);
             assert_eq!(
                 result.edges(),
                 reference.edges(),
@@ -84,10 +80,15 @@ fn synchronous_results_are_identical_across_engines_and_thread_counts() {
 #[test]
 fn asynchronous_serial_runs_are_deterministic() {
     for (name, graph) in workloads() {
-        let config = ExtractorConfig::serial(AdjacencyMode::Sorted);
-        let a = MaximalChordalExtractor::new(config.clone()).extract(&graph);
-        let b = MaximalChordalExtractor::new(config).extract(&graph);
+        // Two runs through one session (reused workspace) and one through a
+        // fresh session must all agree.
+        let mut session = ExtractionSession::new(ExtractorConfig::serial(AdjacencyMode::Sorted));
+        let a = session.extract(&graph);
+        let b = session.extract(&graph);
+        let fresh =
+            ExtractionSession::new(ExtractorConfig::serial(AdjacencyMode::Sorted)).extract(&graph);
         assert_eq!(a.edges(), b.edges(), "{name}");
+        assert_eq!(a.edges(), fresh.edges(), "{name}");
         assert_eq!(a.iterations, b.iterations, "{name}");
     }
 }
@@ -114,7 +115,10 @@ fn dearing_baseline_is_chordal_and_maximal_on_the_workloads() {
         let result = extract_dearing(&graph);
         assert!(is_chordal(&result.subgraph(&graph)), "{name}");
         let report = check_maximality(&graph, result.edges(), Some(100), 3);
-        assert!(report.is_maximal(), "{name}: Dearing output must be maximal");
+        assert!(
+            report.is_maximal(),
+            "{name}: Dearing output must be maximal"
+        );
     }
 }
 
