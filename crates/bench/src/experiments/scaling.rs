@@ -101,6 +101,7 @@ pub fn measure_point(
         seconds: elapsed.as_secs_f64(),
         chordal_edges: result.num_chordal_edges(),
         iterations: result.iterations,
+        workspace_bytes: session.workspace().allocated_bytes(),
     }
 }
 
@@ -223,6 +224,10 @@ mod tests {
         assert!(p.seconds > 0.0);
         assert!(p.chordal_edges > 0);
         assert!(p.iterations > 0);
+        assert!(
+            p.workspace_bytes > 0,
+            "a timed session must retain workspace buffers"
+        );
     }
 
     #[test]

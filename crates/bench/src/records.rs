@@ -30,6 +30,10 @@ pub struct ScalingPoint {
     pub chordal_edges: usize,
     /// Number of outer iterations.
     pub iterations: usize,
+    /// Heap bytes retained by the session workspace after the runs
+    /// ([`chordal_core::Workspace::allocated_bytes`]) — the steady-state
+    /// memory footprint of the serving path.
+    pub workspace_bytes: usize,
 }
 
 impl_to_json!(ScalingPoint {
@@ -41,6 +45,7 @@ impl_to_json!(ScalingPoint {
     seconds,
     chordal_edges,
     iterations,
+    workspace_bytes,
 });
 
 /// A free-form experiment record: an id plus a JSON-encodable payload. Used
@@ -97,10 +102,12 @@ mod tests {
             seconds: 0.125,
             chordal_edges: 1000,
             iterations: 3,
+            workspace_bytes: 65_536,
         };
         let json = p.to_json();
         assert!(json.contains("\"threads\":4"));
         assert!(json.contains("RMAT-ER"));
+        assert!(json.contains("\"workspace_bytes\":65536"));
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! chordal generate --kind bio-unt --genes 2000 --out genes.txt
 //! chordal extract  --in graph.txt --out chordal.txt [--algorithm alg1|reference|dearing|partitioned]
 //!                  [--threads 8] [--engine pool|rayon|serial] [--variant opt|unopt]
-//!                  [--semantics async|sync] [--partitions N] [--stats] [--stitch]
+//!                  [--semantics async|sync] [--partitions N] [--stats] [--stitch] [--repair]
 //! chordal analyze  --in graph.txt
 //! chordal verify   --graph graph.txt --subgraph chordal.txt
 //! ```
@@ -71,6 +71,7 @@ fn print_usage() {
          \x20 extract  --in FILE [--out FILE] [--algorithm alg1|reference|dearing|partitioned]\n\
          \x20          [--threads N] [--engine serial|pool|rayon] [--variant opt|unopt]\n\
          \x20          [--semantics async|sync] [--partitions N] [--stats] [--stitch]\n\
+         \x20          [--repair]\n\
          \x20 analyze  --in FILE\n\
          \x20 verify   --graph FILE --subgraph FILE [--maximality N]\n\
          \x20 help\n\
@@ -89,7 +90,7 @@ fn parse_flags(args: &[String]) -> Result<Flags, ExtractError> {
             return Err(ExtractError::UnexpectedArgument(arg.clone()));
         };
         // Boolean flags.
-        if matches!(name, "stats" | "stitch" | "quick") {
+        if matches!(name, "stats" | "stitch" | "quick" | "repair") {
             flags.insert(name.to_string(), "true".to_string());
             continue;
         }
@@ -193,6 +194,7 @@ fn extraction_config(flags: &Flags) -> Result<ExtractorConfig, ExtractError> {
         .with_adjacency(adjacency)
         .with_semantics(semantics)
         .with_stats(flags.contains_key("stats"))
+        .with_repair(flags.contains_key("repair"))
         .with_partitions(
             partitions,
             chordal_core::partitioned::PartitionStrategy::Blocks,

@@ -6,10 +6,25 @@
 //! `into_par_iter` on ranges, `par_iter`/`par_iter_mut`/`par_chunks`/
 //! `par_chunks_mut`/`par_sort_unstable` on slices, `map`/`flat_map_iter`/
 //! `for_each`/`collect`/`sum`/`max`, and `ThreadPool`/`ThreadPoolBuilder`
-//! with `install`. Work is executed on scoped OS threads pulled from a
-//! shared index queue, so the parallel semantics (unordered execution,
-//! order-preserving `collect`) match the real crate; only the work-stealing
-//! scheduler is simplified.
+//! with `install`.
+//!
+//! All parallel work runs on one **lazily-spawned persistent worker pool**
+//! (see [`mod@pool`]): parallel regions submit work tickets to per-worker
+//! queues with stealing, panics propagate to the submitting thread, and no
+//! OS thread is ever spawned per region — after warm-up the pool's thread
+//! count is constant ([`pool_spawned_threads`]). The pool is sized by the
+//! `CHORDAL_POOL_THREADS` environment variable (default: all logical
+//! CPUs); [`ThreadPool::install`] bounds the parallelism of the regions it
+//! scopes without creating threads of its own. `par_sort_unstable` is a
+//! genuinely parallel merge sort (parallel chunk sorts + parallel merge
+//! passes).
+//!
+//! Extensions beyond the real rayon API, used by `chordal-runtime` and the
+//! test-suite: [`run_pooled_region`], [`pool_size`],
+//! [`pool_spawned_threads`].
+
+mod pool;
+mod sort;
 
 use std::cell::Cell;
 use std::fmt;
@@ -18,14 +33,12 @@ use std::sync::Mutex;
 
 thread_local! {
     /// Thread-count override installed by [`ThreadPool::install`];
-    /// 0 means "not inside a pool, use all available cores".
+    /// 0 means "not inside a pool, use the shared pool's size".
     static INSTALLED_THREADS: Cell<usize> = const { Cell::new(0) };
 }
 
 fn available_threads() -> usize {
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
+    pool::configured_size()
 }
 
 /// Number of worker threads parallel operations on this thread should use.
@@ -36,6 +49,37 @@ pub fn current_num_threads() -> usize {
     } else {
         installed
     }
+}
+
+/// Runs `f` over `grain`-sized chunks of `0..len` on the shared persistent
+/// pool, using at most `parallelism` threads (the calling thread plus pool
+/// workers). Chunks are claimed dynamically, so skewed work load-balances;
+/// a panic in any chunk aborts the region and is re-thrown on the calling
+/// thread once in-flight chunks retire.
+///
+/// This is an extension beyond the real rayon API: it is the primitive the
+/// `chordal-runtime` chunked engine schedules through, so that *every*
+/// engine in the workspace reuses the same persistent workers.
+pub fn run_pooled_region<F>(len: usize, grain: usize, parallelism: usize, f: F)
+where
+    F: Fn(Range<usize>) + Sync,
+{
+    pool::Pool::global().run_region(len, grain, parallelism, f);
+}
+
+/// Number of worker threads the shared persistent pool has (or will have
+/// once the first parallel region spawns it): the `CHORDAL_POOL_THREADS`
+/// environment variable when set, otherwise the number of logical CPUs.
+pub fn pool_size() -> usize {
+    pool::configured_size()
+}
+
+/// Total OS threads the shared pool has spawned so far: zero before the
+/// first parallel region, and exactly [`pool_size`] afterwards. Tests use
+/// this to prove that parallel regions reuse pool workers instead of
+/// spawning threads.
+pub fn pool_spawned_threads() -> usize {
+    pool::spawned_so_far()
 }
 
 // ---------------------------------------------------------------------------
@@ -72,8 +116,9 @@ impl ThreadPoolBuilder {
         self
     }
 
-    /// Accepted for API compatibility; worker threads are created per
-    /// parallel region here, so the name function is not retained.
+    /// Accepted for API compatibility; all work runs on the shared
+    /// persistent pool (whose threads are named at spawn), so the name
+    /// function is not retained.
     pub fn thread_name<F>(self, _f: F) -> Self
     where
         F: FnMut(usize) -> String,
@@ -93,8 +138,8 @@ impl ThreadPoolBuilder {
 }
 
 /// A lightweight stand-in for `rayon::ThreadPool`: it records the requested
-/// parallelism and scopes it over [`ThreadPool::install`]; the actual worker
-/// threads are spawned per parallel region.
+/// parallelism and scopes it over [`ThreadPool::install`]; the work itself
+/// runs on the shared persistent pool, capped at this pool's thread count.
 #[derive(Debug)]
 pub struct ThreadPool {
     threads: usize,
@@ -128,8 +173,8 @@ impl ThreadPool {
 // Execution driver
 // ---------------------------------------------------------------------------
 
-/// Splits `0..len` into chunks and runs `f` over them on scoped threads,
-/// returning the per-chunk results in chunk order.
+/// Splits `0..len` into chunks and runs `f` over them on the persistent
+/// pool, returning the per-chunk results in chunk order.
 fn drive_chunks<T, F>(len: usize, f: F) -> Vec<T>
 where
     T: Send,
@@ -145,29 +190,20 @@ where
     // Over-decompose so skewed chunks load-balance, like rayon's splitting.
     let chunk = len.div_ceil(threads * 4).max(1);
     let chunks = len.div_ceil(chunk);
-    let cursor = std::sync::atomic::AtomicUsize::new(0);
     let out: Mutex<Vec<(usize, T)>> = Mutex::new(Vec::with_capacity(chunks));
-    std::thread::scope(|scope| {
-        for _ in 0..threads.min(chunks) {
-            scope.spawn(|| loop {
-                let ci = cursor.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if ci >= chunks {
-                    break;
-                }
-                let start = ci * chunk;
-                let end = (start + chunk).min(len);
-                let value = f(start..end);
-                out.lock().unwrap().push((ci, value));
-            });
-        }
+    pool::Pool::global().run_region(len, chunk, threads, |range| {
+        let start = range.start;
+        let value = f(range);
+        out.lock().unwrap().push((start, value));
     });
     let mut pairs = out.into_inner().unwrap();
-    pairs.sort_unstable_by_key(|&(i, _)| i);
+    pairs.sort_unstable_by_key(|&(start, _)| start);
     pairs.into_iter().map(|(_, v)| v).collect()
 }
 
-/// Runs `f` over every work item popped from a shared queue. Used for
-/// mutable-slice iteration where index math cannot express the split.
+/// Runs `f` over every work item exactly once, on the persistent pool.
+/// Used for mutable-slice iteration where index math cannot express the
+/// split.
 fn drive_items<I, F>(items: Vec<I>, f: F)
 where
     I: Send,
@@ -184,16 +220,13 @@ where
         }
         return;
     }
-    let queue = Mutex::new(items.into_iter());
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| loop {
-                let item = queue.lock().unwrap().next();
-                match item {
-                    Some(item) => f(item),
-                    None => break,
-                }
-            });
+    let slots: Vec<Mutex<Option<I>>> = items.into_iter().map(|i| Mutex::new(Some(i))).collect();
+    pool::Pool::global().run_region(n, 1, threads, |range| {
+        for slot in &slots[range] {
+            let item = slot.lock().unwrap().take();
+            if let Some(item) = item {
+                f(item);
+            }
         }
     });
 }
@@ -579,7 +612,8 @@ pub mod prelude {
         fn par_iter_mut(&mut self) -> ParSliceMut<'_, T>;
         /// Parallel iterator over mutable `size`-element chunks.
         fn par_chunks_mut(&mut self, size: usize) -> ParChunksMut<'_, T>;
-        /// Unstable sort (sequential here; the API matches rayon).
+        /// Unstable parallel merge sort on the persistent pool (sequential
+        /// below [`crate::sort`]'s size threshold or on one thread).
         fn par_sort_unstable(&mut self)
         where
             T: Ord;
@@ -598,7 +632,7 @@ pub mod prelude {
         where
             T: Ord,
         {
-            self.sort_unstable();
+            crate::sort::par_sort_unstable(self);
         }
     }
 }
@@ -685,5 +719,125 @@ mod tests {
             assert_eq!(current_num_threads(), 3);
         });
         assert_ne!(current_num_threads(), 0);
+    }
+
+    #[test]
+    fn regions_reuse_pool_workers_instead_of_spawning() {
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        // Warm-up: the first region spawns the persistent workers.
+        pool.install(|| (0..1_000).into_par_iter().for_each(|_| {}));
+        let after_warmup = pool_spawned_threads();
+        assert_eq!(
+            after_warmup,
+            pool_size(),
+            "warm-up must spawn exactly the configured pool"
+        );
+        for round in 0..64 {
+            pool.install(|| {
+                let sum: usize = (0..10_000).into_par_iter().map(|i| i).sum();
+                assert_eq!(sum, 49_995_000, "round {round}");
+            });
+        }
+        assert_eq!(
+            pool_spawned_threads(),
+            after_warmup,
+            "parallel regions after warm-up must not spawn threads"
+        );
+    }
+
+    #[test]
+    fn region_bodies_run_only_on_pool_workers_or_the_caller() {
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let seen: Mutex<std::collections::HashSet<std::thread::ThreadId>> =
+            Mutex::new(std::collections::HashSet::new());
+        for _ in 0..32 {
+            pool.install(|| {
+                (0..2_000).into_par_iter().for_each(|_| {
+                    seen.lock().unwrap().insert(std::thread::current().id());
+                });
+            });
+        }
+        let distinct = seen.lock().unwrap().len();
+        assert!(
+            distinct <= pool_size() + 1,
+            "{distinct} distinct executing threads exceeds pool ({}) + caller",
+            pool_size()
+        );
+    }
+
+    #[test]
+    fn panics_propagate_to_the_submitting_thread() {
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let outcome = std::panic::catch_unwind(|| {
+            pool.install(|| {
+                (0..1_000).into_par_iter().for_each(|i| {
+                    if i == 371 {
+                        panic!("boom at {i}");
+                    }
+                });
+            });
+        });
+        let payload = outcome.expect_err("worker panic must reach the caller");
+        let message = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_default();
+        assert!(message.contains("boom at 371"), "payload: {message}");
+        // The pool survives a panicked region and keeps executing work.
+        pool.install(|| {
+            let sum: usize = (0..100).into_par_iter().map(|i| i).sum();
+            assert_eq!(sum, 4_950);
+        });
+    }
+
+    #[test]
+    fn nested_regions_complete_and_agree_with_serial() {
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let totals: Vec<usize> = pool.install(|| {
+            (0..8usize)
+                .into_par_iter()
+                .map(|i| {
+                    (0..1_000usize)
+                        .into_par_iter()
+                        .map(|j| i * j)
+                        .sum::<usize>()
+                })
+                .collect()
+        });
+        let expected: Vec<usize> = (0..8usize)
+            .map(|i| (0..1_000usize).map(|j| i * j).sum())
+            .collect();
+        assert_eq!(totals, expected);
+    }
+
+    #[test]
+    fn deeply_nested_regions_do_not_deadlock_on_a_small_pool() {
+        // Three levels of nesting: every waiting thread must keep helping
+        // on the ticket queues, or a one-worker pool would deadlock here.
+        let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        let total: usize = pool.install(|| {
+            (0..4usize)
+                .into_par_iter()
+                .map(|a| {
+                    (0..4usize)
+                        .into_par_iter()
+                        .map(|b| {
+                            (0..64usize)
+                                .into_par_iter()
+                                .map(|c| a ^ b ^ c)
+                                .sum::<usize>()
+                        })
+                        .sum::<usize>()
+                })
+                .sum()
+        });
+        let expected: usize = (0..4usize)
+            .map(|a| {
+                (0..4usize)
+                    .map(|b| (0..64usize).map(|c| a ^ b ^ c).sum::<usize>())
+                    .sum::<usize>()
+            })
+            .sum();
+        assert_eq!(total, expected);
     }
 }

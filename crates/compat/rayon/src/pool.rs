@@ -1,0 +1,331 @@
+//! The persistent worker pool behind every parallel region in this crate.
+//!
+//! The first parallel region lazily spawns a fixed set of worker threads
+//! (sized by the `CHORDAL_POOL_THREADS` environment variable, falling back
+//! to the number of logical CPUs). Every subsequent region is executed by
+//! those same workers — no per-region thread spawning — via a small
+//! work-stealing scheduler:
+//!
+//! * A **region** is one parallel call site: an iteration space `0..len`
+//!   split into `grain`-sized chunks behind an atomic cursor (dynamic
+//!   self-scheduling, so skewed chunks load-balance).
+//! * Submitting a region pushes `participants - 1` *tickets* onto the
+//!   per-worker queues (round-robin) and then the submitting thread joins
+//!   the region itself. A ticket is an invitation to help: the thread that
+//!   pops it claims chunks from the region's cursor until the region is
+//!   drained.
+//! * Workers pop from their own queue first and **steal** from the other
+//!   workers' queues when theirs is empty, so tickets never strand behind a
+//!   busy worker.
+//! * The submitting thread participates too, and while waiting for the
+//!   region to quiesce it drains *its own region's* remaining tickets from
+//!   the queues (turning them into immediate no-ops). A thread that waits
+//!   can therefore always retire the work it waits for, which keeps nested
+//!   regions deadlock-free even on a single-worker pool. Helping is
+//!   deliberately restricted to the joined region: executing *foreign*
+//!   chunks while joining would re-enter outer region bodies on a thread
+//!   that may be mid-chunk — breaking callers whose chunk bodies hold
+//!   thread-local state (e.g. the batch scheduler's per-worker workspace)
+//!   across a nested parallel region.
+//! * Panics inside a chunk abort the region's remaining chunks, are carried
+//!   across the pool, and are re-thrown on the submitting thread once every
+//!   ticket has retired (a panic-propagating join, matching
+//!   `std::thread::scope` semantics).
+//!
+//! Safety of the lifetime-erased region body rests on one invariant:
+//! [`Pool::run_region`] does not return until every ticket of its region
+//! has been popped and retired and no thread is executing chunks, so no
+//! dereference of the body can outlive the caller's borrow.
+
+use std::ops::Range;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+/// Quiescence bookkeeping of one region, guarded by one mutex.
+struct RegionSync {
+    /// Threads currently inside [`Region::participate`].
+    active: usize,
+    /// Tickets pushed to the pool queues and not yet retired.
+    tickets: usize,
+}
+
+/// One parallel region: an iteration space drained cooperatively by the
+/// submitting thread and any pool workers that pick up its tickets.
+struct Region {
+    /// Next unclaimed index of the iteration space.
+    cursor: AtomicUsize,
+    /// Total length of the iteration space.
+    len: usize,
+    /// Indices claimed per scheduling step.
+    grain: usize,
+    /// Set when a chunk panicked: remaining chunks are abandoned.
+    aborted: AtomicBool,
+    /// The region body, lifetime-erased. Only dereferenced inside
+    /// [`Region::participate`], which [`Pool::run_region`] outlives.
+    func: FuncPtr,
+    /// Participation and ticket accounting.
+    sync: Mutex<RegionSync>,
+    /// Signalled when the region quiesces (`active == 0 && tickets == 0`).
+    quiescent: Condvar,
+    /// First panic payload raised by a chunk.
+    panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+}
+
+/// A lifetime-erased `&dyn Fn(Range<usize>)` region body.
+struct FuncPtr(&'static (dyn Fn(Range<usize>) + Sync));
+
+// SAFETY: the pointee is `Sync`, and `Pool::run_region` guarantees every
+// dereference happens before the caller's borrow ends (see module docs).
+unsafe impl Send for FuncPtr {}
+unsafe impl Sync for FuncPtr {}
+
+impl Region {
+    /// Claims and executes chunks until the region is drained or aborted.
+    /// Called by the submitter and by every thread that pops a ticket.
+    fn participate(&self) {
+        self.sync.lock().unwrap().active += 1;
+        while !self.aborted.load(Ordering::Relaxed) {
+            let start = self.cursor.fetch_add(self.grain, Ordering::Relaxed);
+            if start >= self.len {
+                break;
+            }
+            let end = (start + self.grain).min(self.len);
+            let body = self.func.0;
+            if let Err(payload) = catch_unwind(AssertUnwindSafe(|| body(start..end))) {
+                self.aborted.store(true, Ordering::Relaxed);
+                let mut slot = self.panic.lock().unwrap();
+                if slot.is_none() {
+                    *slot = Some(payload);
+                }
+            }
+        }
+        let mut sync = self.sync.lock().unwrap();
+        sync.active -= 1;
+        if sync.active == 0 && sync.tickets == 0 {
+            self.quiescent.notify_all();
+        }
+    }
+
+    /// Marks one ticket of this region as consumed. Every popped ticket is
+    /// retired exactly once, after its `participate` call returns.
+    fn retire_ticket(&self) {
+        let mut sync = self.sync.lock().unwrap();
+        sync.tickets -= 1;
+        if sync.active == 0 && sync.tickets == 0 {
+            self.quiescent.notify_all();
+        }
+    }
+}
+
+/// Ticket dispatch state, guarded by one mutex so pushes, pops, steals and
+/// the sleep predicate can never observe each other half-applied.
+struct Dispatch {
+    /// One ticket queue per worker; workers steal from each other's.
+    queues: Vec<Vec<Arc<Region>>>,
+    /// Queued, unclaimed tickets (the condvar predicate for sleeping
+    /// workers). Always equals the sum of the queue lengths.
+    pending: usize,
+}
+
+/// The shared state of the persistent pool.
+struct Shared {
+    /// Queues + pending count under a single lock.
+    dispatch: Mutex<Dispatch>,
+    /// Wakes sleeping workers when tickets arrive.
+    available: Condvar,
+    /// Round-robin cursor for ticket placement.
+    next_queue: AtomicUsize,
+    /// Total OS threads ever spawned by this pool. Stays equal to the pool
+    /// size after warm-up — the "no per-region spawning" observable.
+    spawned: AtomicUsize,
+}
+
+impl Shared {
+    /// Pops a ticket: the `home` queue first (LIFO), then steal from the
+    /// others.
+    fn take(&self, home: usize) -> Option<Arc<Region>> {
+        let mut dispatch = self.dispatch.lock().unwrap();
+        let n = dispatch.queues.len();
+        for k in 0..n {
+            let q = (home + k) % n;
+            if let Some(ticket) = dispatch.queues[q].pop() {
+                dispatch.pending -= 1;
+                return Some(ticket);
+            }
+        }
+        None
+    }
+
+    /// Pushes one ticket and wakes a worker.
+    fn push(&self, ticket: Arc<Region>) {
+        let mut dispatch = self.dispatch.lock().unwrap();
+        let q = self.next_queue.fetch_add(1, Ordering::Relaxed) % dispatch.queues.len();
+        dispatch.queues[q].push(ticket);
+        dispatch.pending += 1;
+        drop(dispatch);
+        self.available.notify_one();
+    }
+
+    /// Removes one still-queued ticket of `region`, wherever it sits. Used
+    /// by the joining thread to retire its own region's unclaimed tickets
+    /// without ever executing foreign work.
+    fn take_ticket_of(&self, region: &Arc<Region>) -> Option<Arc<Region>> {
+        let mut dispatch = self.dispatch.lock().unwrap();
+        for q in 0..dispatch.queues.len() {
+            if let Some(pos) = dispatch.queues[q]
+                .iter()
+                .position(|t| Arc::ptr_eq(t, region))
+            {
+                let ticket = dispatch.queues[q].swap_remove(pos);
+                dispatch.pending -= 1;
+                return Some(ticket);
+            }
+        }
+        None
+    }
+
+    /// The worker main loop: pop or steal a ticket, drain its region, sleep
+    /// when no work is queued.
+    fn worker_loop(&self, home: usize) {
+        loop {
+            if let Some(region) = self.take(home) {
+                region.participate();
+                region.retire_ticket();
+                continue;
+            }
+            let mut dispatch = self.dispatch.lock().unwrap();
+            while dispatch.pending == 0 {
+                dispatch = self.available.wait(dispatch).unwrap();
+            }
+            // Tickets arrived; retry the pop/steal cycle without the lock.
+        }
+    }
+}
+
+/// Handle to the lazily-spawned persistent pool.
+pub(crate) struct Pool {
+    shared: Arc<Shared>,
+}
+
+impl Pool {
+    fn new(workers: usize) -> Self {
+        let shared = Arc::new(Shared {
+            dispatch: Mutex::new(Dispatch {
+                queues: (0..workers).map(|_| Vec::new()).collect(),
+                pending: 0,
+            }),
+            available: Condvar::new(),
+            next_queue: AtomicUsize::new(0),
+            spawned: AtomicUsize::new(0),
+        });
+        for home in 0..workers {
+            let shared = Arc::clone(&shared);
+            shared.spawned.fetch_add(1, Ordering::Relaxed);
+            std::thread::Builder::new()
+                .name(format!("chordal-pool-{home}"))
+                .spawn(move || shared.worker_loop(home))
+                .expect("failed to spawn pool worker");
+        }
+        Self { shared }
+    }
+
+    /// The process-wide pool, spawned on first use.
+    pub(crate) fn global() -> &'static Pool {
+        POOL.get_or_init(|| Pool::new(configured_size()))
+    }
+
+    /// Runs `f` over `grain`-sized chunks of `0..len`, using at most
+    /// `parallelism` threads (the caller plus up to `parallelism - 1` pool
+    /// workers). Blocks until the region quiesces; re-throws the first chunk
+    /// panic on the calling thread.
+    pub(crate) fn run_region<F>(&self, len: usize, grain: usize, parallelism: usize, f: F)
+    where
+        F: Fn(Range<usize>) + Sync,
+    {
+        if len == 0 {
+            return;
+        }
+        let grain = grain.max(1);
+        let chunks = len.div_ceil(grain);
+        let participants = parallelism.max(1).min(chunks);
+        if participants <= 1 {
+            f(0..len);
+            return;
+        }
+        let body: &(dyn Fn(Range<usize>) + Sync) = &f;
+        // SAFETY: this function does not return until the region quiesces
+        // (every ticket popped and retired, no thread inside `participate`),
+        // so the erased borrow outlives every dereference.
+        let body: &'static (dyn Fn(Range<usize>) + Sync) = unsafe { std::mem::transmute(body) };
+        let region = Arc::new(Region {
+            cursor: AtomicUsize::new(0),
+            len,
+            grain,
+            aborted: AtomicBool::new(false),
+            func: FuncPtr(body),
+            sync: Mutex::new(RegionSync {
+                active: 0,
+                tickets: participants - 1,
+            }),
+            quiescent: Condvar::new(),
+            panic: Mutex::new(None),
+        });
+        for _ in 0..participants - 1 {
+            self.shared.push(Arc::clone(&region));
+        }
+        region.participate();
+        // Join: first retire this region's still-queued tickets (turning
+        // them into no-ops — the cursor is already drained or aborted once
+        // `participate` returns, so this is bookkeeping, not execution),
+        // then wait for in-flight participants on other threads. Only
+        // tickets of *this* region are touched; see the module docs for why
+        // the joiner must never execute foreign chunks.
+        while let Some(ticket) = self.shared.take_ticket_of(&region) {
+            ticket.participate();
+            ticket.retire_ticket();
+        }
+        let sync = region.sync.lock().unwrap();
+        let sync = region
+            .quiescent
+            .wait_while(sync, |s| s.active > 0 || s.tickets > 0)
+            .unwrap();
+        drop(sync);
+        let panicked = region.panic.lock().unwrap().take();
+        if let Some(payload) = panicked {
+            resume_unwind(payload);
+        }
+    }
+
+    /// Total OS threads this pool has ever spawned.
+    pub(crate) fn spawned_threads(&self) -> usize {
+        self.shared.spawned.load(Ordering::Relaxed)
+    }
+}
+
+/// The lazily-initialised process-wide pool.
+static POOL: OnceLock<Pool> = OnceLock::new();
+
+/// Total OS threads spawned by the shared pool so far (zero before the
+/// first parallel region forces initialisation).
+pub(crate) fn spawned_so_far() -> usize {
+    POOL.get().map(Pool::spawned_threads).unwrap_or(0)
+}
+
+/// Pool size: `CHORDAL_POOL_THREADS` when set to a positive integer,
+/// otherwise the number of logical CPUs. Computed once, without spawning
+/// any threads (the pool itself spawns on first region).
+pub(crate) fn configured_size() -> usize {
+    static SIZE: OnceLock<usize> = OnceLock::new();
+    *SIZE.get_or_init(|| {
+        std::env::var("CHORDAL_POOL_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+            })
+    })
+}

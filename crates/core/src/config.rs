@@ -91,6 +91,12 @@ impl Semantics {
     }
 }
 
+/// Default [`ExtractorConfig::batch_threshold_edges`]: graphs at or above
+/// this edge count are extracted with intra-graph parallelism inside
+/// [`crate::ExtractionSession::extract_batch`], smaller ones are fanned out
+/// across the engine's workers with the serial per-graph variant.
+pub const DEFAULT_BATCH_THRESHOLD_EDGES: usize = 32_768;
+
 /// Full configuration of an extraction: which [`Algorithm`] to run and how.
 ///
 /// A config is the single input of the registry
@@ -116,6 +122,18 @@ pub struct ExtractorConfig {
     pub partitions: usize,
     /// Vertex-to-partition assignment for [`Algorithm::Partitioned`].
     pub partition_strategy: PartitionStrategy,
+    /// Run the [`crate::repair`] maximality post-pass after every
+    /// extraction, restoring strict maximality (`alg1 + repair` is the
+    /// configuration comparable against the Dearing baseline end to end).
+    pub repair: bool,
+    /// Edge-count pivot of the hybrid batch scheduling policy in
+    /// [`crate::ExtractionSession::extract_batch`]: graphs with at least
+    /// this many (undirected) edges run one at a time with intra-graph
+    /// parallelism on the configured engine; smaller graphs are fanned out
+    /// across the engine's workers, each extracted serially. `0` forces
+    /// intra-graph parallelism for every graph, `usize::MAX` forces pure
+    /// fan-out.
+    pub batch_threshold_edges: usize,
 }
 
 impl Default for ExtractorConfig {
@@ -128,6 +146,8 @@ impl Default for ExtractorConfig {
             record_stats: false,
             partitions: 0,
             partition_strategy: PartitionStrategy::Blocks,
+            repair: false,
+            batch_threshold_edges: DEFAULT_BATCH_THRESHOLD_EDGES,
         }
     }
 }
@@ -146,6 +166,8 @@ impl ExtractorConfig {
             record_stats: false,
             partitions: 0,
             partition_strategy: PartitionStrategy::Blocks,
+            repair: false,
+            batch_threshold_edges: DEFAULT_BATCH_THRESHOLD_EDGES,
         }
     }
 
@@ -195,6 +217,20 @@ impl ExtractorConfig {
         self
     }
 
+    /// Builder-style: enables or disables the maximality repair post-pass.
+    pub fn with_repair(mut self, repair: bool) -> Self {
+        self.repair = repair;
+        self
+    }
+
+    /// Builder-style: sets the edge-count pivot of the hybrid batch
+    /// scheduling policy (see
+    /// [`batch_threshold_edges`](ExtractorConfig::batch_threshold_edges)).
+    pub fn with_batch_threshold_edges(mut self, threshold: usize) -> Self {
+        self.batch_threshold_edges = threshold;
+        self
+    }
+
     /// The partition count the partitioned baseline will actually use
     /// (explicit value, or one partition per engine worker).
     pub fn effective_partitions(&self) -> usize {
@@ -230,6 +266,8 @@ mod tests {
         assert_eq!(c.adjacency, AdjacencyMode::Sorted);
         assert_eq!(c.semantics, Semantics::Asynchronous);
         assert!(!c.record_stats);
+        assert!(!c.repair);
+        assert_eq!(c.batch_threshold_edges, DEFAULT_BATCH_THRESHOLD_EDGES);
         assert!(c.engine.threads() >= 1);
         assert_eq!(c.effective_partitions(), c.engine.threads());
     }
@@ -242,8 +280,12 @@ mod tests {
             .with_adjacency(AdjacencyMode::Sorted)
             .with_engine(Engine::chunked(2))
             .with_algorithm(Algorithm::Dearing)
-            .with_partitions(6, PartitionStrategy::RoundRobin);
+            .with_partitions(6, PartitionStrategy::RoundRobin)
+            .with_repair(true)
+            .with_batch_threshold_edges(1_000);
         assert!(c.record_stats);
+        assert!(c.repair);
+        assert_eq!(c.batch_threshold_edges, 1_000);
         assert_eq!(c.semantics, Semantics::Asynchronous);
         assert_eq!(c.adjacency, AdjacencyMode::Sorted);
         assert_eq!(c.engine.threads(), 2);

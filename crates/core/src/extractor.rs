@@ -119,10 +119,24 @@ impl Algorithm {
         }
     }
 
-    /// Builds the extractor this variant names, configured by `config`.
-    /// This is the only algorithm dispatch point in the workspace.
-    pub fn build(self, config: &ExtractorConfig) -> Box<dyn ChordalExtractor> {
+    /// Registry name of this algorithm with the repair post-pass attached
+    /// (`"alg1+repair"`, ...), as reported by the wrapped extractor built
+    /// for a config with [`ExtractorConfig::repair`] set.
+    pub fn repaired_name(self) -> &'static str {
         match self {
+            Algorithm::Parallel => "alg1+repair",
+            Algorithm::Reference => "reference+repair",
+            Algorithm::Dearing => "dearing+repair",
+            Algorithm::Partitioned => "partitioned+repair",
+        }
+    }
+
+    /// Builds the extractor this variant names, configured by `config`.
+    /// This is the only algorithm dispatch point in the workspace. With
+    /// [`ExtractorConfig::repair`] set, the extractor is wrapped in the
+    /// [`crate::repair::RepairExtractor`] maximality post-pass.
+    pub fn build(self, config: &ExtractorConfig) -> Box<dyn ChordalExtractor> {
+        let inner: Box<dyn ChordalExtractor> = match self {
             Algorithm::Parallel => Box::new(MaximalChordalExtractor::new(config.clone())),
             Algorithm::Reference => Box::new(ReferenceExtractor::new(config.record_stats)),
             Algorithm::Dearing => Box::new(DearingExtractor::new()),
@@ -130,6 +144,11 @@ impl Algorithm {
                 config.effective_partitions(),
                 config.partition_strategy,
             )),
+        };
+        if config.repair {
+            Box::new(crate::repair::RepairExtractor::new(inner, self))
+        } else {
+            inner
         }
     }
 }

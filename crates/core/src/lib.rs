@@ -85,6 +85,20 @@
 //!     assert_eq!(result.num_vertices(), 4, "{algorithm}");
 //! }
 //! ```
+//!
+//! # Batch scheduling
+//!
+//! [`ExtractionSession::extract_batch`] schedules a slice of graphs
+//! hybridly over the configured engine, pivoting on
+//! [`ExtractorConfig::batch_threshold_edges`] (default
+//! [`config::DEFAULT_BATCH_THRESHOLD_EDGES`]): graphs below the threshold
+//! fan out across workers with per-graph serial extraction, graphs at or
+//! above it run with intra-graph parallelism. All parallel regions execute
+//! on the process-wide persistent worker pool (`CHORDAL_POOL_THREADS`
+//! controls its size), so batch traffic never spawns threads per region.
+//! Adding [`ExtractorConfig::repair`] (CLI `--repair`) appends the
+//! maximality repair post-pass, making `alg1 + repair` comparable against
+//! the Dearing baseline end to end.
 
 #![deny(missing_docs)]
 

@@ -100,6 +100,39 @@ pub fn repair_result(graph: &CsrGraph, result: &ChordalResult) -> ChordalResult 
     )
 }
 
+/// A registry-level wrapper running the maximality repair post-pass after
+/// an inner extractor.
+///
+/// Built by [`crate::Algorithm::build`] when
+/// [`crate::ExtractorConfig::repair`] is set (CLI flag `--repair`), so
+/// `alg1 + repair` — strictly maximal, like the Dearing baseline — is
+/// reachable through the same dispatch path as every other configuration.
+pub struct RepairExtractor {
+    inner: Box<dyn crate::ChordalExtractor>,
+    name: &'static str,
+}
+
+impl RepairExtractor {
+    /// Wraps `inner`, taking the repaired registry name for `algorithm`.
+    pub fn new(inner: Box<dyn crate::ChordalExtractor>, algorithm: crate::Algorithm) -> Self {
+        Self {
+            inner,
+            name: algorithm.repaired_name(),
+        }
+    }
+}
+
+impl crate::ChordalExtractor for RepairExtractor {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn extract_into(&self, graph: &CsrGraph, workspace: &mut crate::Workspace) -> ChordalResult {
+        let result = self.inner.extract_into(graph, workspace);
+        repair_result(graph, &result)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -167,5 +200,48 @@ mod tests {
         let r = extract_maximal_chordal_serial(&g);
         let outcome = repair_maximality(&g, r.edges(), Some(3));
         assert!(outcome.examined <= 3);
+    }
+
+    #[test]
+    fn registry_built_repair_is_maximal_and_named() {
+        use crate::config::{AdjacencyMode, ExtractorConfig};
+        use crate::{Algorithm, ExtractionSession};
+        let config = ExtractorConfig::serial(AdjacencyMode::Sorted).with_repair(true);
+        let mut session = ExtractionSession::new(config);
+        assert_eq!(session.extractor_name(), "alg1+repair");
+        for seed in 0..3 {
+            let g = RmatParams::preset(RmatKind::G, 7, seed).generate();
+            let result = session.extract(&g);
+            assert!(is_chordal(&result.subgraph(&g)), "seed {seed}");
+            assert!(
+                check_maximality(&g, result.edges(), None, 0).is_maximal(),
+                "seed {seed}: alg1 + repair must be strictly maximal"
+            );
+        }
+        // Repaired Dearing output is unchanged: the baseline is already
+        // maximal, so the post-pass adds nothing.
+        let g = structured::grid(5, 5);
+        let mut dearing =
+            ExtractionSession::new(ExtractorConfig::default().with_algorithm(Algorithm::Dearing));
+        let mut repaired_dearing = ExtractionSession::new(
+            ExtractorConfig::default()
+                .with_algorithm(Algorithm::Dearing)
+                .with_repair(true),
+        );
+        assert_eq!(repaired_dearing.extractor_name(), "dearing+repair");
+        assert_eq!(
+            dearing.extract(&g).edges(),
+            repaired_dearing.extract(&g).edges()
+        );
+    }
+
+    #[test]
+    fn repaired_names_cover_the_registry() {
+        use crate::Algorithm;
+        for algorithm in Algorithm::ALL {
+            let repaired = algorithm.repaired_name();
+            assert!(repaired.starts_with(algorithm.name()));
+            assert!(repaired.ends_with("+repair"));
+        }
     }
 }

@@ -23,10 +23,22 @@
 //! # Batch traffic
 //!
 //! [`ExtractionSession::extract_batch`] accepts a slice of graphs and
-//! distributes them over the configured [`chordal_runtime::Engine`]: each
-//! worker runs the *serial* variant of the configured algorithm with its
-//! own workspace, so graph-level parallelism replaces intra-graph
-//! parallelism — the right trade for serving many small-to-medium requests.
+//! schedules them **hybridly** over the configured
+//! [`chordal_runtime::Engine`], pivoting on
+//! [`crate::config::ExtractorConfig::batch_threshold_edges`]:
+//!
+//! * graphs *below* the threshold are fanned out across the engine's
+//!   workers, each extracted with the serial variant of the configured
+//!   algorithm and a worker-local workspace (graph-level parallelism — the
+//!   right trade for many small requests, where intra-graph regions would
+//!   cost more than they win);
+//! * graphs *at or above* the threshold run one at a time with the
+//!   configured engine's intra-graph parallelism (the paper's Algorithm 1
+//!   scaling regime, where per-iteration regions amortise).
+//!
+//! Setting the threshold to `usize::MAX` recovers pure fan-out, `0` pure
+//! intra-graph scheduling. All parallel regions execute on the process-wide
+//! persistent worker pool, so neither policy spawns threads per batch.
 
 use crate::config::ExtractorConfig;
 use crate::extractor::{Algorithm, ChordalExtractor};
@@ -87,15 +99,25 @@ impl ExtractionSession {
         self.extractor.extract_into(graph, &mut self.workspace)
     }
 
-    /// Extracts from every graph of a batch, in input order.
+    /// Extracts from every graph of a batch, in input order, under the
+    /// hybrid scheduling policy.
     ///
     /// With a serial engine the graphs run back to back through the session
-    /// workspace. With a parallel engine the *batch* is the parallel
-    /// dimension: graphs are fanned out across the engine's workers, each
-    /// worker running the serial variant of the configured algorithm with a
-    /// worker-local workspace that is reused across the graphs it processes
-    /// (so a batch of same-shaped graphs pays one allocation per worker,
-    /// not one per graph).
+    /// workspace. With a parallel engine the batch is split by
+    /// [`ExtractorConfig::batch_threshold_edges`](crate::config::ExtractorConfig::batch_threshold_edges):
+    ///
+    /// * graphs below the threshold are fanned out across the engine's
+    ///   workers, each worker running the serial variant of the configured
+    ///   algorithm with a worker-local workspace that is reused across the
+    ///   graphs it processes (so a batch of same-shaped graphs pays one
+    ///   allocation per worker, not one per graph);
+    /// * graphs at or above the threshold run one at a time through
+    ///   [`ExtractionSession::extract`] — the configured engine's
+    ///   intra-graph parallelism and the session workspace.
+    ///
+    /// Results are slot-identical to single-graph runs for every
+    /// deterministic configuration, whichever side of the threshold a graph
+    /// lands on.
     pub fn extract_batch(&mut self, graphs: &[&CsrGraph]) -> Vec<ChordalResult> {
         if graphs.is_empty() {
             return Vec::new();
@@ -103,35 +125,53 @@ impl ExtractionSession {
         if self.config.engine.threads() <= 1 || graphs.len() == 1 {
             return graphs.iter().map(|g| self.extract(g)).collect();
         }
-        // Grain 1: each graph is one schedulable unit of the fan-out.
-        let engine = self.config.engine.with_grain(1);
-        // Worker-local extraction must not nest engine parallelism inside
-        // engine parallelism, so the per-graph runs use the serial engine.
-        // Pin the partition count first: "one partition per engine worker"
-        // must resolve against the *configured* engine, not the serial one.
-        let mut serial_config = self.config.clone();
-        serial_config.partitions = serial_config.effective_partitions();
-        let serial_config = serial_config.with_engine(Engine::serial());
-        let extractor = serial_config.build_extractor();
-        thread_local! {
-            /// Worker-local workspace: persists across the graphs one worker
-            /// processes (and, on pooled engines, across batches).
-            static BATCH_WORKSPACE: std::cell::RefCell<Workspace> =
-                std::cell::RefCell::new(Workspace::new());
-        }
+        let threshold = self.config.batch_threshold_edges;
+        let small: Vec<usize> = (0..graphs.len())
+            .filter(|&i| graphs[i].num_edges() < threshold)
+            .collect();
         let slots: Vec<OnceLock<ChordalResult>> =
             (0..graphs.len()).map(|_| OnceLock::new()).collect();
-        engine.parallel_for_chunks(graphs.len(), |range| {
-            BATCH_WORKSPACE.with(|workspace| {
-                let mut workspace = workspace.borrow_mut();
-                for i in range {
-                    let result = extractor.extract_into(graphs[i], &mut workspace);
-                    slots[i]
-                        .set(result)
-                        .expect("each batch slot is written exactly once");
-                }
+        if !small.is_empty() {
+            // Grain 1: each small graph is one schedulable unit of the
+            // fan-out.
+            let engine = self.config.engine.with_grain(1);
+            // Worker-local extraction must not nest engine parallelism
+            // inside engine parallelism, so the per-graph runs use the
+            // serial engine. Pin the partition count first: "one partition
+            // per engine worker" must resolve against the *configured*
+            // engine, not the serial one.
+            let mut serial_config = self.config.clone();
+            serial_config.partitions = serial_config.effective_partitions();
+            let serial_config = serial_config.with_engine(Engine::serial());
+            let extractor = serial_config.build_extractor();
+            thread_local! {
+                /// Worker-local workspace: persists across the graphs one
+                /// worker processes (and, because the workers are the
+                /// persistent pool's, across batches).
+                static BATCH_WORKSPACE: std::cell::RefCell<Workspace> =
+                    std::cell::RefCell::new(Workspace::new());
+            }
+            engine.parallel_for_chunks(small.len(), |range| {
+                BATCH_WORKSPACE.with(|workspace| {
+                    let mut workspace = workspace.borrow_mut();
+                    for si in range {
+                        let i = small[si];
+                        let result = extractor.extract_into(graphs[i], &mut workspace);
+                        slots[i]
+                            .set(result)
+                            .expect("each batch slot is written exactly once");
+                    }
+                });
             });
-        });
+        }
+        for (i, graph) in graphs.iter().enumerate() {
+            if graph.num_edges() >= threshold {
+                let result = self.extract(graph);
+                slots[i]
+                    .set(result)
+                    .expect("each batch slot is written exactly once");
+            }
+        }
         slots
             .into_iter()
             .map(|slot| {
@@ -225,6 +265,73 @@ mod tests {
     fn empty_batch_is_empty() {
         let mut session = ExtractionSession::with_algorithm(Algorithm::Dearing);
         assert!(session.extract_batch(&[]).is_empty());
+    }
+
+    #[test]
+    fn hybrid_policy_matches_single_runs_on_both_sides_of_the_threshold() {
+        // A mixed batch: scale-9 graphs are "large", scale-6 ones "small"
+        // relative to the 2_000-edge pivot, so both scheduling paths run.
+        let graphs: Vec<CsrGraph> = (0..3)
+            .flat_map(|seed| {
+                [
+                    RmatParams::preset(RmatKind::Er, 9, seed).generate(),
+                    RmatParams::preset(RmatKind::G, 6, seed).generate(),
+                ]
+            })
+            .collect();
+        let refs: Vec<&CsrGraph> = graphs.iter().collect();
+        let config = ExtractorConfig::default()
+            .with_engine(chordal_runtime::Engine::rayon(3))
+            .with_semantics(Semantics::Synchronous)
+            .with_batch_threshold_edges(2_000);
+        assert!(graphs.iter().any(|g| g.num_edges() >= 2_000));
+        assert!(graphs.iter().any(|g| g.num_edges() < 2_000));
+        let batch = ExtractionSession::new(config.clone()).extract_batch(&refs);
+        let mut single =
+            ExtractionSession::new(config.with_engine(chordal_runtime::Engine::serial()));
+        for (graph, from_batch) in graphs.iter().zip(&batch) {
+            assert_eq!(single.extract(graph).edges(), from_batch.edges());
+        }
+    }
+
+    #[test]
+    fn threshold_extremes_recover_the_pure_policies() {
+        let graphs: Vec<CsrGraph> = (0..4)
+            .map(|seed| RmatParams::preset(RmatKind::Er, 7, seed).generate())
+            .collect();
+        let refs: Vec<&CsrGraph> = graphs.iter().collect();
+        let base = ExtractorConfig::default()
+            .with_engine(chordal_runtime::Engine::chunked(3))
+            .with_semantics(Semantics::Synchronous);
+        // Pure fan-out and pure intra-graph scheduling agree slot for slot
+        // (synchronous semantics are schedule-independent).
+        let fanned = ExtractionSession::new(base.clone().with_batch_threshold_edges(usize::MAX))
+            .extract_batch(&refs);
+        let intra = ExtractionSession::new(base.with_batch_threshold_edges(0)).extract_batch(&refs);
+        for (a, b) in fanned.iter().zip(&intra) {
+            assert_eq!(a.edges(), b.edges());
+        }
+    }
+
+    #[test]
+    fn intra_graph_path_reuses_the_session_workspace() {
+        // threshold 0: every graph takes the intra-graph path, which runs
+        // through the session workspace — so a second identical batch must
+        // not allocate.
+        let graphs: Vec<CsrGraph> = (0..3).map(|_| structured::grid(8, 8)).collect();
+        let refs: Vec<&CsrGraph> = graphs.iter().collect();
+        let mut session = ExtractionSession::new(
+            ExtractorConfig::default()
+                .with_engine(chordal_runtime::Engine::rayon(2))
+                .with_batch_threshold_edges(0),
+        );
+        let first = session.extract_batch(&refs);
+        let allocations = session.workspace().allocations();
+        let second = session.extract_batch(&refs);
+        assert_eq!(session.workspace().allocations(), allocations);
+        for (a, b) in first.iter().zip(&second) {
+            assert_eq!(a.num_vertices(), b.num_vertices());
+        }
     }
 
     #[test]

@@ -75,6 +75,37 @@ impl Workspace {
         self.allocations
     }
 
+    /// Heap bytes currently retained by the workspace's buffers (counted
+    /// from capacities, so it reflects what the allocator handed out, not
+    /// the live lengths). Like [`Workspace::allocations`] it is flat across
+    /// same-shaped runs; unlike it, it quantifies the serving path's memory
+    /// footprint, which benches report per record.
+    pub fn allocated_bytes(&self) -> usize {
+        use std::mem::size_of;
+        let vec_bytes = |cap: usize, elem: usize| cap * elem;
+        let nested = |lists: &Vec<Vec<VertexId>>| {
+            lists.capacity() * size_of::<Vec<VertexId>>()
+                + lists
+                    .iter()
+                    .map(|l| l.capacity() * size_of::<VertexId>())
+                    .sum::<usize>()
+        };
+        vec_bytes(self.lp.capacity(), size_of::<AtomicU32>())
+            + vec_bytes(self.cursor.capacity(), size_of::<AtomicU32>())
+            + vec_bytes(self.clen.capacity(), size_of::<AtomicU32>())
+            + vec_bytes(self.cdata.capacity(), size_of::<AtomicU32>())
+            + vec_bytes(self.offsets.capacity(), size_of::<usize>())
+            + self.flags.as_ref().map_or(0, |f| f.allocated_bytes())
+            + vec_bytes(self.ids_a.capacity(), size_of::<VertexId>())
+            + vec_bytes(self.ids_b.capacity(), size_of::<u32>())
+            + vec_bytes(self.ids_c.capacity(), size_of::<VertexId>())
+            + self.marks.capacity()
+            + vec_bytes(self.queue_a.capacity(), size_of::<VertexId>())
+            + vec_bytes(self.queue_b.capacity(), size_of::<VertexId>())
+            + nested(&self.lists)
+            + nested(&self.buckets)
+    }
+
     /// Resets and sizes the atomic per-vertex state for a graph with `n`
     /// vertices and `directed_edges` directed edges. Lowest parents start at
     /// [`NO_VERTEX`], cursors and chordal-set lengths at zero; the arena is
@@ -162,6 +193,22 @@ mod tests {
     fn fresh_workspace_has_no_allocations() {
         let ws = Workspace::new();
         assert_eq!(ws.allocations(), 0);
+        assert_eq!(ws.allocated_bytes(), 0);
+    }
+
+    #[test]
+    fn allocated_bytes_tracks_growth_and_stays_flat_on_reuse() {
+        let mut ws = Workspace::new();
+        ws.prepare_atomic(64, 256, &vec![0usize; 65]);
+        ws.prepare_plain(64);
+        let bytes = ws.allocated_bytes();
+        // At minimum the four atomic arrays and the offsets copy.
+        assert!(bytes >= 64 * 4 * 3 + 256 * 4 + 65 * 8, "bytes {bytes}");
+        ws.prepare_atomic(64, 256, &vec![0usize; 65]);
+        ws.prepare_plain(64);
+        assert_eq!(ws.allocated_bytes(), bytes, "same shape must stay flat");
+        ws.prepare_atomic(128, 512, &vec![0usize; 129]);
+        assert!(ws.allocated_bytes() > bytes, "growth must be visible");
     }
 
     #[test]

@@ -7,13 +7,15 @@
 //! imbalance from skewed vertex degrees (the R-MAT "B" graphs have maximum
 //! degrees in the tens of thousands) is absorbed dynamically.
 //!
-//! Threads are spawned per call with [`std::thread::scope`]; this keeps the
-//! executor free of `unsafe` lifetime juggling at the cost of a few tens of
-//! microseconds of spawn overhead per parallel region. The grain-size
-//! ablation benchmark (`ablations` bench target) quantifies that overhead.
+//! Execution happens on the workspace's shared persistent worker pool
+//! ([`rayon::run_pooled_region`], an extension of the in-tree rayon
+//! substitute): a region submits work tickets to the already-running pool
+//! workers instead of spawning scoped threads, so the per-region cost is a
+//! queue push rather than thread creation. The grain-size ablation
+//! benchmark (`ablations` bench target) quantifies the remaining region
+//! overhead.
 
 use std::ops::Range;
-use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Dynamic self-scheduling executor configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -50,33 +52,20 @@ impl ChunkedEngine {
         if n == 0 {
             return;
         }
-        // For tiny iteration spaces or a single worker, run inline: spawning
-        // threads would only add overhead.
+        // For tiny iteration spaces or a single worker, run inline: even a
+        // pooled region submission would only add overhead.
         if self.threads == 1 || n <= self.grain {
             f(0..n);
             return;
         }
-        let cursor = AtomicUsize::new(0);
-        let workers = self.threads.min(n.div_ceil(self.grain));
-        std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| loop {
-                    let start = cursor.fetch_add(self.grain, Ordering::Relaxed);
-                    if start >= n {
-                        break;
-                    }
-                    let end = (start + self.grain).min(n);
-                    f(start..end);
-                });
-            }
-        });
+        rayon::run_pooled_region(n, self.grain, self.threads, f);
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::AtomicU64;
+    use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
     #[test]
     fn clamps_to_minimum_configuration() {

@@ -27,6 +27,11 @@ impl AtomicFlags {
         self.len
     }
 
+    /// Heap bytes backing the flag words.
+    pub fn allocated_bytes(&self) -> usize {
+        self.words.capacity() * std::mem::size_of::<AtomicU64>()
+    }
+
     /// Whether the array holds zero flags.
     pub fn is_empty(&self) -> bool {
         self.len == 0

@@ -11,14 +11,22 @@
 //!   worker threads repeatedly claim small chunks of the iteration space from
 //!   an atomic counter, the software analogue of the XMT's interleaved
 //!   scheduling over many thread streams.
-//! * [`Engine::Rayon`] — a work-stealing executor backed by a dedicated
-//!   [`rayon::ThreadPool`], the analogue of running one software thread per
-//!   core on the Opteron.
+//! * [`Engine::Rayon`] — a work-stealing executor scheduled through a
+//!   [`rayon::ThreadPool`] scope, the analogue of running one software
+//!   thread per core on the Opteron.
 //! * [`Engine::Serial`] — single-threaded reference used for speedup
 //!   baselines and determinism tests.
 //!
 //! All engines present the same `parallel_for` interface so the algorithm in
-//! `chordal-core` is written once and scheduled three ways.
+//! `chordal-core` is written once and scheduled three ways — and both
+//! parallel engines execute on the workspace's single **persistent worker
+//! pool** (see the in-tree `rayon` substitute): a parallel region is a
+//! ticket push onto already-running workers, never a thread spawn, so
+//! region-heavy workloads (batch serving, generators, iterative
+//! extraction) pay queue-transfer costs instead of thread-creation costs.
+//! The pool is sized by `CHORDAL_POOL_THREADS` (default: all logical
+//! CPUs); an engine's thread count bounds how many of those workers one of
+//! its regions may occupy.
 
 #![deny(missing_docs)]
 
@@ -43,13 +51,13 @@ pub enum Engine {
     /// Single-threaded execution, in index order.
     #[default]
     Serial,
-    /// Fine-grained dynamic self-scheduling over scoped OS threads
+    /// Fine-grained dynamic self-scheduling on the persistent worker pool
     /// (XMT-style analogue).
     Chunked(ChunkedEngine),
-    /// Work-stealing execution on a dedicated rayon thread pool
+    /// Work-stealing execution scheduled through a rayon thread-pool scope
     /// (multicore/Opteron-style analogue).
     Rayon {
-        /// The dedicated pool this engine submits to.
+        /// The pool scope this engine submits through.
         pool: Arc<rayon::ThreadPool>,
         /// Number of worker threads in the pool.
         threads: usize,
@@ -320,6 +328,35 @@ mod tests {
     #[test]
     fn default_engine_is_serial() {
         assert!(matches!(Engine::default(), Engine::Serial));
+    }
+
+    #[test]
+    fn parallel_engines_reuse_the_persistent_pool_after_warmup() {
+        let engines = [Engine::chunked(4), Engine::rayon(4)];
+        // Warm-up: the first parallel region spawns the pool workers.
+        for engine in &engines {
+            engine.parallel_for(10_000, |_| {});
+        }
+        let spawned = rayon::pool_spawned_threads();
+        assert_eq!(
+            spawned,
+            rayon::pool_size(),
+            "warm-up must spawn exactly the configured pool"
+        );
+        for _ in 0..32 {
+            for engine in &engines {
+                let sum = AtomicUsize::new(0);
+                engine.parallel_for(10_000, |i| {
+                    sum.fetch_add(i, Ordering::Relaxed);
+                });
+                assert_eq!(sum.load(Ordering::Relaxed), 49_995_000);
+            }
+        }
+        assert_eq!(
+            rayon::pool_spawned_threads(),
+            spawned,
+            "parallel regions after warm-up must not spawn threads"
+        );
     }
 
     #[test]

@@ -1,0 +1,137 @@
+//! Timing harness for `ExtractionSession::extract_batch` on a mixed batch
+//! of small and large graphs — the serving-path workload the hybrid batch
+//! scheduler targets.
+//!
+//! Run with `cargo run --release --example batch_scheduling`. The harness
+//! builds a batch of many small graphs plus a few large ones, then times
+//! `extract_batch` under the configured engine. It reports wall time per
+//! policy so the scoped-spawn baseline, the persistent pool, and the hybrid
+//! threshold policy can be compared across commits.
+
+use maximal_chordal::prelude::*;
+use std::time::Instant;
+
+fn mixed_batch() -> Vec<CsrGraph> {
+    let mut graphs = Vec::new();
+    // Many small requests...
+    for seed in 0..48 {
+        graphs.push(RmatParams::preset(RmatKind::G, 7, seed).generate());
+    }
+    // ...plus a few large ones, interleaved the way real traffic arrives.
+    for seed in 0..3 {
+        graphs.insert(
+            (seed as usize) * 16,
+            RmatParams::preset(RmatKind::B, 12, 100 + seed).generate(),
+        );
+    }
+    graphs
+}
+
+fn time_batch(label: &str, config: ExtractorConfig, refs: &[&CsrGraph]) {
+    let mut session = ExtractionSession::new(config);
+    // Warm-up: grows workspaces and (on pooled builds) spawns the workers.
+    let warm = session.extract_batch(refs);
+    let edges: usize = warm.iter().map(|r| r.num_chordal_edges()).sum();
+    let repeats = 5;
+    let mut best = f64::MAX;
+    let mut total = 0.0;
+    for _ in 0..repeats {
+        let start = Instant::now();
+        let results = session.extract_batch(refs);
+        let elapsed = start.elapsed().as_secs_f64();
+        assert_eq!(results.len(), refs.len());
+        best = best.min(elapsed);
+        total += elapsed;
+    }
+    println!(
+        "{label:<28} best {best:>8.4}s  mean {:>8.4}s  ({edges} chordal edges)",
+        total / repeats as f64
+    );
+}
+
+fn time_single(label: &str, config: ExtractorConfig, graph: &CsrGraph) {
+    let mut session = ExtractionSession::new(config);
+    let warm = session.extract(graph);
+    let repeats = 20;
+    let mut best = f64::MAX;
+    let mut total = 0.0;
+    for _ in 0..repeats {
+        let start = Instant::now();
+        let result = session.extract(graph);
+        let elapsed = start.elapsed().as_secs_f64();
+        assert_eq!(result.num_vertices(), warm.num_vertices());
+        best = best.min(elapsed);
+        total += elapsed;
+    }
+    println!(
+        "{label:<28} best {best:>8.4}s  mean {:>8.4}s",
+        total / repeats as f64
+    );
+}
+
+fn main() {
+    let graphs = mixed_batch();
+    let refs: Vec<&CsrGraph> = graphs.iter().collect();
+    let small = graphs.iter().filter(|g| g.num_edges() < 10_000).count();
+    println!(
+        "mixed batch: {} graphs ({} small, {} large), {} total edges",
+        graphs.len(),
+        small,
+        graphs.len() - small,
+        graphs.iter().map(|g| g.num_edges()).sum::<usize>()
+    );
+
+    for threads in [2, 4] {
+        for (policy, threshold) in [
+            ("fan-out", usize::MAX),
+            ("hybrid(10k)", 10_000),
+            ("intra", 0),
+        ] {
+            time_batch(
+                &format!("rayon x{threads} {policy}"),
+                ExtractorConfig::default()
+                    .with_engine(Engine::rayon(threads))
+                    .with_batch_threshold_edges(threshold),
+                &refs,
+            );
+            time_batch(
+                &format!("pool x{threads} {policy}"),
+                ExtractorConfig::default()
+                    .with_engine(Engine::chunked(threads))
+                    .with_batch_threshold_edges(threshold),
+                &refs,
+            );
+        }
+    }
+    time_batch(
+        "serial",
+        ExtractorConfig::serial(AdjacencyMode::Sorted),
+        &refs,
+    );
+
+    // Intra-graph parallelism on one large graph: the region-heavy path
+    // where per-region thread spawning hurts most.
+    let large = RmatParams::preset(RmatKind::B, 13, 7).generate();
+    println!(
+        "\nsingle large graph: {} vertices, {} edges",
+        large.num_vertices(),
+        large.num_edges()
+    );
+    for threads in [2, 4, 8] {
+        time_single(
+            &format!("single rayon x{threads}"),
+            ExtractorConfig::default().with_engine(Engine::rayon(threads)),
+            &large,
+        );
+        time_single(
+            &format!("single pool x{threads}"),
+            ExtractorConfig::default().with_engine(Engine::chunked(threads)),
+            &large,
+        );
+    }
+    time_single(
+        "single serial",
+        ExtractorConfig::serial(AdjacencyMode::Sorted),
+        &large,
+    );
+}

@@ -67,6 +67,35 @@
 //! assert_eq!(results.len(), graphs.len());
 //! ```
 //!
+//! ## Batch scheduling
+//!
+//! On a parallel engine, `extract_batch` schedules **hybridly**, pivoting
+//! on [`ExtractorConfig::batch_threshold_edges`]: graphs below the
+//! threshold are fanned out across the engine's workers (one serial
+//! extraction per graph, worker-local workspaces), graphs at or above it
+//! run one at a time with intra-graph parallelism — the paper's Algorithm 1
+//! scaling regime. `usize::MAX` forces pure fan-out, `0` pure intra-graph
+//! scheduling. Every parallel region executes on the process-wide
+//! persistent worker pool (sized by `CHORDAL_POOL_THREADS`, default all
+//! logical CPUs), so neither policy spawns threads per batch:
+//!
+//! ```
+//! use maximal_chordal::prelude::*;
+//!
+//! let graphs: Vec<_> = (0..6)
+//!     .map(|seed| RmatParams::preset(RmatKind::G, 7, seed).generate())
+//!     .collect();
+//! let refs: Vec<&_> = graphs.iter().collect();
+//!
+//! // Mixed serving traffic: fan small graphs out, run graphs with at
+//! // least 2_000 edges with intra-graph parallelism.
+//! let config = ExtractorConfig::default()
+//!     .with_engine(Engine::rayon(4))
+//!     .with_batch_threshold_edges(2_000);
+//! let results = ExtractionSession::new(config).extract_batch(&refs);
+//! assert_eq!(results.len(), graphs.len());
+//! ```
+//!
 //! ## The algorithm registry
 //!
 //! Every algorithm is reachable through [`Algorithm`] and one

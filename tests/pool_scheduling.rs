@@ -1,0 +1,226 @@
+//! Cross-algorithm lock-down suite for the persistent worker pool and the
+//! hybrid batch scheduler.
+//!
+//! The substrate underneath every parallel engine changed from per-region
+//! scoped threads to one persistent work-stealing pool, and
+//! `extract_batch` gained a hybrid scheduling policy
+//! (`batch_threshold_edges`). These tests pin the concurrency behaviour
+//! down so it cannot regress silently:
+//!
+//! * property sweeps over seeded random and R-MAT graphs asserting every
+//!   `Algorithm × Engine` output is chordal (where guaranteed) and
+//!   edge-subset-valid;
+//! * bit-for-bit agreement between pooled and serial engines for every
+//!   deterministic configuration;
+//! * hybrid-batch slot equivalence across thresholds and algorithms;
+//! * an end-to-end assertion that sustained extraction traffic reuses the
+//!   pool's workers instead of spawning threads.
+
+use maximal_chordal::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Seeded cases per property (kept moderate: the full matrix multiplies).
+const CASES: u64 = 12;
+
+/// One engine per scheduling style; thread counts deliberately exceed the
+/// single-core CI floor so the pool paths are exercised everywhere.
+fn engines() -> Vec<Engine> {
+    vec![
+        Engine::serial(),
+        Engine::chunked_with_grain(4, 8),
+        Engine::rayon(4),
+    ]
+}
+
+fn random_graph(rng: &mut StdRng, max_n: usize, max_edges: usize) -> CsrGraph {
+    let n = rng.gen_range(2..max_n);
+    let cap = (n * (n - 1) / 2).min(max_edges);
+    let m = rng.gen_range(0..cap.max(1) + 1);
+    let mut builder = GraphBuilder::new(n);
+    for _ in 0..m {
+        let u = rng.gen_range(0..n) as u32;
+        let v = rng.gen_range(0..n) as u32;
+        if u != v {
+            builder.add_edge(u, v);
+        }
+    }
+    builder.build()
+}
+
+/// Graph suite for the matrix sweeps: seeded random graphs plus one R-MAT
+/// preset per shape family.
+fn workloads(seed: u64) -> Vec<CsrGraph> {
+    let mut rng = StdRng::seed_from_u64(0x90_01 ^ seed);
+    vec![
+        random_graph(&mut rng, 36, 140),
+        RmatParams::preset(RmatKind::Er, 7, seed).generate(),
+        RmatParams::preset(RmatKind::B, 7, seed).generate(),
+    ]
+}
+
+#[test]
+fn every_algorithm_engine_pair_is_chordal_and_subset_valid() {
+    for seed in 0..CASES {
+        for graph in workloads(seed) {
+            for algorithm in Algorithm::ALL {
+                for engine in engines() {
+                    let label = format!("seed {seed} {algorithm}/{}", engine.name());
+                    let config = ExtractorConfig::default()
+                        .with_algorithm(algorithm)
+                        .with_engine(engine);
+                    let result = ExtractionSession::new(config).extract(&graph);
+                    for &(u, v) in result.edges() {
+                        assert!(graph.has_edge(u, v), "{label}: foreign edge ({u},{v})");
+                    }
+                    if algorithm.guarantees_chordal() {
+                        assert!(
+                            is_chordal(&result.subgraph(&graph)),
+                            "{label}: non-chordal output"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn pooled_engines_match_the_serial_engine_bit_for_bit() {
+    // Synchronous semantics make every algorithm deterministic on every
+    // engine, so the pooled schedules must reproduce the serial result
+    // exactly — the strongest cross-engine agreement the registry offers.
+    for seed in 0..CASES {
+        for graph in workloads(seed) {
+            for algorithm in Algorithm::ALL {
+                let serial = ExtractorConfig::default()
+                    .with_algorithm(algorithm)
+                    .with_engine(Engine::serial())
+                    .with_semantics(Semantics::Synchronous)
+                    // Pin the partition count so the partitioned baseline
+                    // does not re-derive it from each engine's threads.
+                    .with_partitions(
+                        3,
+                        maximal_chordal::core::partitioned::PartitionStrategy::Blocks,
+                    );
+                let expected = ExtractionSession::new(serial.clone()).extract(&graph);
+                for engine in engines() {
+                    let config = serial.clone().with_engine(engine);
+                    let got = ExtractionSession::new(config.clone()).extract(&graph);
+                    assert!(
+                        algorithm.is_deterministic(&config),
+                        "sync semantics must classify as deterministic"
+                    );
+                    assert_eq!(
+                        got.edges(),
+                        expected.edges(),
+                        "seed {seed} {algorithm}/{} diverged from serial",
+                        config.engine.name()
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn hybrid_batches_agree_with_single_runs_for_every_algorithm() {
+    // Mixed batch with the threshold placed between the two graph sizes,
+    // so both scheduling paths run in one call.
+    let graphs: Vec<CsrGraph> = (0..3)
+        .flat_map(|seed| {
+            [
+                RmatParams::preset(RmatKind::Er, 9, seed).generate(),
+                RmatParams::preset(RmatKind::G, 6, seed).generate(),
+            ]
+        })
+        .collect();
+    let refs: Vec<&CsrGraph> = graphs.iter().collect();
+    let threshold = 2_000;
+    assert!(graphs.iter().any(|g| g.num_edges() >= threshold));
+    assert!(graphs.iter().any(|g| g.num_edges() < threshold));
+    for algorithm in Algorithm::ALL {
+        let config = ExtractorConfig::default()
+            .with_algorithm(algorithm)
+            .with_engine(Engine::rayon(3))
+            .with_semantics(Semantics::Synchronous)
+            .with_batch_threshold_edges(threshold);
+        let batch = ExtractionSession::new(config.clone()).extract_batch(&refs);
+        assert_eq!(batch.len(), graphs.len());
+        let single_config = config
+            .clone()
+            .with_partitions(
+                config.effective_partitions(),
+                maximal_chordal::core::partitioned::PartitionStrategy::Blocks,
+            )
+            .with_engine(Engine::serial());
+        let mut single = ExtractionSession::new(single_config);
+        for (i, (graph, from_batch)) in graphs.iter().zip(&batch).enumerate() {
+            assert_eq!(
+                single.extract(graph).edges(),
+                from_batch.edges(),
+                "{algorithm} slot {i}"
+            );
+        }
+    }
+}
+
+#[test]
+fn batch_threshold_extremes_agree_on_random_batches() {
+    for seed in 0..6 {
+        let mut rng = StdRng::seed_from_u64(0xBA7C02 ^ seed);
+        let graphs: Vec<CsrGraph> = (0..5).map(|_| random_graph(&mut rng, 30, 120)).collect();
+        let refs: Vec<&CsrGraph> = graphs.iter().collect();
+        let base = ExtractorConfig::default()
+            .with_engine(Engine::rayon(3))
+            .with_semantics(Semantics::Synchronous);
+        let fanned = ExtractionSession::new(base.clone().with_batch_threshold_edges(usize::MAX))
+            .extract_batch(&refs);
+        let intra =
+            ExtractionSession::new(base.clone().with_batch_threshold_edges(0)).extract_batch(&refs);
+        let hybrid =
+            ExtractionSession::new(base.with_batch_threshold_edges(60)).extract_batch(&refs);
+        for ((a, b), c) in fanned.iter().zip(&intra).zip(&hybrid) {
+            assert_eq!(a.edges(), b.edges(), "seed {seed}");
+            assert_eq!(a.edges(), c.edges(), "seed {seed}");
+        }
+    }
+}
+
+#[test]
+fn sustained_extraction_traffic_never_spawns_threads_after_warmup() {
+    // Warm the pool with one parallel extraction...
+    let warm_graph = RmatParams::preset(RmatKind::G, 8, 1).generate();
+    let mut session =
+        ExtractionSession::new(ExtractorConfig::default().with_engine(Engine::rayon(4)));
+    session.extract(&warm_graph);
+    let spawned = rayon::pool_spawned_threads();
+    assert_eq!(
+        spawned,
+        rayon::pool_size(),
+        "warm-up must have spawned exactly the configured pool"
+    );
+    // ...then drive sustained single-graph and batch traffic over both
+    // parallel engines and assert the pool never grows: parallel regions
+    // reuse the persistent workers instead of spawning.
+    let graphs: Vec<CsrGraph> = (0..6)
+        .map(|seed| RmatParams::preset(RmatKind::Er, 7, seed).generate())
+        .collect();
+    let refs: Vec<&CsrGraph> = graphs.iter().collect();
+    for engine in [Engine::rayon(4), Engine::chunked(4)] {
+        let mut session = ExtractionSession::new(
+            ExtractorConfig::default()
+                .with_engine(engine)
+                .with_batch_threshold_edges(1_000),
+        );
+        for _ in 0..8 {
+            session.extract(&warm_graph);
+            session.extract_batch(&refs);
+        }
+    }
+    assert_eq!(
+        rayon::pool_spawned_threads(),
+        spawned,
+        "extraction traffic after warm-up must not spawn any thread"
+    );
+}
