@@ -15,6 +15,7 @@
 //!   table2            Speedups at full parallelism (Table II)
 //!   chordal-fraction  Percentage of chordal edges (Section V)
 //!   maximality-gap    Near-maximality probe (reproduction finding)
+//!   scheduler         Batch-scheduling policy ablation (pool counters)
 //!   all               Run everything above in order
 //!
 //! Options:
@@ -27,8 +28,8 @@
 //! ```
 
 use chordal_bench::experiments::{
-    chordal_fraction, figure2, figure3, figure7, maximality_gap, scaling, table1, table2,
-    HarnessOptions,
+    chordal_fraction, figure2, figure3, figure7, maximality_gap, scaling, scheduler, table1,
+    table2, HarnessOptions,
 };
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -75,6 +76,9 @@ fn main() -> ExitCode {
         "maximality-gap" => {
             maximality_gap::run_and_print(&options);
         }
+        "scheduler" => {
+            scheduler::run_and_print(&options);
+        }
         "all" => {
             table1::run_and_print(&options);
             println!();
@@ -95,6 +99,8 @@ fn main() -> ExitCode {
             chordal_fraction::run_and_print(&options);
             println!();
             maximality_gap::run_and_print(&options);
+            println!();
+            scheduler::run_and_print(&options);
         }
         "help" | "--help" | "-h" => {
             print_usage();
@@ -110,7 +116,7 @@ fn main() -> ExitCode {
 
 fn print_usage() {
     println!(
-        "usage: experiments <table1|figure2|figure3|figure4|figure5|figure6|figure7|table2|chordal-fraction|maximality-gap|all> \
+        "usage: experiments <table1|figure2|figure3|figure4|figure5|figure6|figure7|table2|chordal-fraction|maximality-gap|scheduler|all> \
          [--scale N] [--genes N] [--threads N] [--repeats N] [--out PATH] [--quick]"
     );
 }

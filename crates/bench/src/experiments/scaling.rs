@@ -91,7 +91,9 @@ pub fn measure_point(
         AdjacencyMode::Sorted => &prepared.sorted,
         AdjacencyMode::Unsorted => &prepared.scrambled,
     };
+    let stats_before = chordal_runtime::pool_stats();
     let (elapsed, result) = time_best_of(repeats, || session.extract(graph));
+    let stats = chordal_runtime::pool_stats();
     ScalingPoint {
         experiment: experiment.to_string(),
         graph: prepared.name.clone(),
@@ -102,6 +104,9 @@ pub fn measure_point(
         chordal_edges: result.num_chordal_edges(),
         iterations: result.iterations,
         workspace_bytes: session.workspace().allocated_bytes(),
+        steals: stats.steals - stats_before.steals,
+        regions: stats.regions - stats_before.regions,
+        region_overhead_ns: chordal_runtime::estimated_region_overhead_ns(),
     }
 }
 

@@ -1,0 +1,170 @@
+//! Scheduler ablation: batch-placement policies on a mixed batch.
+//!
+//! The serving path's hybrid batch scheduler
+//! ([`chordal_core::ExtractionSession::extract_batch`]) can place each
+//! graph of a batch by one of four policies: pure fan-out
+//! (`threshold = usize::MAX`), pure intra-graph parallelism
+//! (`threshold = 0`), the static default pivot, or the adaptive
+//! cost-model pivot ([`chordal_core::adaptive_batch_threshold_edges`]).
+//! This experiment times the same mixed batch — many small graphs plus a
+//! few large ones, the traffic shape the hybrid policy targets — under
+//! every policy on both parallel engines, and reports the pool's
+//! scheduling counters (regions, steals) plus the calibrated per-region
+//! dispatch overhead next to every timing, so placement decisions can be
+//! traced back to the dispatch costs that justify them.
+
+use super::HarnessOptions;
+use crate::records::SchedulerPoint;
+use crate::workloads::SUITE_SEED;
+use chordal_core::{ExtractionSession, ExtractorConfig};
+use chordal_generators::rmat::{RmatKind, RmatParams};
+use chordal_graph::CsrGraph;
+
+/// The policies the ablation sweeps, as `(label, pivot)`; `None` means
+/// adaptive (resolved per engine at run time).
+fn policies() -> [(&'static str, Option<usize>); 4] {
+    [
+        ("fan-out", Some(usize::MAX)),
+        ("intra", Some(0)),
+        (
+            "static",
+            Some(chordal_core::config::DEFAULT_BATCH_THRESHOLD_EDGES),
+        ),
+        ("adaptive", None),
+    ]
+}
+
+/// Builds the mixed batch: many small graphs plus a few large ones,
+/// interleaved the way batch traffic arrives.
+fn mixed_batch(options: &HarnessOptions) -> Vec<CsrGraph> {
+    let (small_count, small_scale, large_count, large_scale) = if options.quick {
+        (8, 6, 2, 9)
+    } else {
+        (48, 7, 3, 12)
+    };
+    let mut graphs: Vec<CsrGraph> = (0..small_count as u64)
+        .map(|seed| RmatParams::preset(RmatKind::G, small_scale, SUITE_SEED ^ seed).generate())
+        .collect();
+    for i in 0..large_count {
+        graphs.insert(
+            i * (small_count / large_count.max(1)).max(1),
+            RmatParams::preset(RmatKind::B, large_scale, SUITE_SEED ^ (100 + i as u64)).generate(),
+        );
+    }
+    graphs
+}
+
+/// Runs the ablation and returns one point per engine × policy.
+pub fn run(options: &HarnessOptions) -> Vec<SchedulerPoint> {
+    let graphs = mixed_batch(options);
+    let refs: Vec<&CsrGraph> = graphs.iter().collect();
+    let threads = options.max_threads.clamp(2, 8);
+    let mut points = Vec::new();
+    for engine_kind in super::scaling::EngineKind::all() {
+        for (policy, pivot) in policies() {
+            let mut config = ExtractorConfig::default().with_engine(engine_kind.build(threads));
+            config = match pivot {
+                Some(threshold) => config.with_batch_threshold_edges(threshold),
+                None => config.with_batch_adaptive(true),
+            };
+            let mut session = ExtractionSession::new(config);
+            let threshold = session.effective_batch_threshold();
+            // Warm-up grows the workspaces and spawns the pool workers, so
+            // the timed repeats measure the steady serving path.
+            let warm = session.extract_batch(&refs);
+            let chordal_edges: usize = warm.iter().map(|r| r.num_chordal_edges()).sum();
+            let stats_before = chordal_runtime::pool_stats();
+            let mut best = f64::MAX;
+            for _ in 0..options.repeats.max(1) {
+                let start = std::time::Instant::now();
+                let results = session.extract_batch(&refs);
+                best = best.min(start.elapsed().as_secs_f64());
+                assert_eq!(results.len(), refs.len());
+            }
+            let stats = chordal_runtime::pool_stats();
+            points.push(SchedulerPoint {
+                experiment: "scheduler".to_string(),
+                engine: engine_kind.label().to_string(),
+                threads,
+                policy: policy.to_string(),
+                threshold_edges: threshold,
+                batch_graphs: graphs.len(),
+                seconds: best,
+                chordal_edges,
+                steals: stats.steals - stats_before.steals,
+                regions: stats.regions - stats_before.regions,
+                region_overhead_ns: chordal_runtime::estimated_region_overhead_ns(),
+            });
+        }
+    }
+    points
+}
+
+/// Runs the ablation with printing and record output.
+pub fn run_and_print(options: &HarnessOptions) -> Vec<SchedulerPoint> {
+    println!("Scheduler ablation: batch placement policies on a mixed batch");
+    let points = run(options);
+    println!(
+        "  {:<7} {:>8} {:>9} {:>14} {:>10} {:>9} {:>8} {:>14}",
+        "engine",
+        "threads",
+        "policy",
+        "pivot(edges)",
+        "seconds",
+        "regions",
+        "steals",
+        "overhead(ns)"
+    );
+    for p in &points {
+        let pivot = if p.threshold_edges == usize::MAX {
+            "max".to_string()
+        } else {
+            p.threshold_edges.to_string()
+        };
+        println!(
+            "  {:<7} {:>8} {:>9} {:>14} {:>10.4} {:>9} {:>8} {:>14}",
+            p.engine,
+            p.threads,
+            p.policy,
+            pivot,
+            p.seconds,
+            p.regions,
+            p.steals,
+            p.region_overhead_ns
+        );
+    }
+    options.write_records(&points);
+    points
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::ToJson;
+    use chordal_core::adaptive_batch_threshold_edges;
+
+    #[test]
+    fn quick_ablation_covers_every_policy_on_both_engines() {
+        let options = HarnessOptions::tiny();
+        let points = run(&options);
+        assert_eq!(points.len(), 8, "2 engines x 4 policies");
+        for engine in ["pool", "rayon"] {
+            for policy in ["fan-out", "intra", "static", "adaptive"] {
+                let p = points
+                    .iter()
+                    .find(|p| p.engine == engine && p.policy == policy)
+                    .unwrap_or_else(|| panic!("missing {engine}/{policy}"));
+                assert!(p.seconds > 0.0);
+                assert!(p.chordal_edges > 0);
+                assert!(p.region_overhead_ns >= 1);
+                // Every point's record round-trips through the JSON layer.
+                assert!(p.to_json().contains("\"experiment\":\"scheduler\""));
+            }
+        }
+        let adaptive = points.iter().find(|p| p.policy == "adaptive").unwrap();
+        assert_eq!(
+            adaptive.threshold_edges,
+            adaptive_batch_threshold_edges(adaptive.threads)
+        );
+    }
+}

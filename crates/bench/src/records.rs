@@ -34,6 +34,14 @@ pub struct ScalingPoint {
     /// ([`chordal_core::Workspace::allocated_bytes`]) — the steady-state
     /// memory footprint of the serving path.
     pub workspace_bytes: usize,
+    /// Work-stealing events on the persistent pool attributable to this
+    /// point's timed runs (delta of [`chordal_runtime::pool_stats`]).
+    pub steals: u64,
+    /// Parallel regions the timed runs submitted to the pool (delta).
+    pub regions: u64,
+    /// The pool's calibrated per-region dispatch overhead on this machine,
+    /// in nanoseconds ([`chordal_runtime::estimated_region_overhead_ns`]).
+    pub region_overhead_ns: u64,
 }
 
 impl_to_json!(ScalingPoint {
@@ -46,6 +54,51 @@ impl_to_json!(ScalingPoint {
     chordal_edges,
     iterations,
     workspace_bytes,
+    steals,
+    regions,
+    region_overhead_ns,
+});
+
+/// One timing point of the `scheduler` ablation: a mixed batch extracted
+/// under one batch-scheduling policy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SchedulerPoint {
+    /// Experiment id (`"scheduler"`).
+    pub experiment: String,
+    /// Execution engine (`"pool"`, `"rayon"`).
+    pub engine: String,
+    /// Number of worker threads.
+    pub threads: usize,
+    /// Batch policy (`"fan-out"`, `"static"`, `"adaptive"`, `"intra"`).
+    pub policy: String,
+    /// Effective edge pivot the policy resolved to.
+    pub threshold_edges: usize,
+    /// Graphs in the batch.
+    pub batch_graphs: usize,
+    /// Best wall-clock seconds over the repeats.
+    pub seconds: f64,
+    /// Total chordal edges across the batch.
+    pub chordal_edges: usize,
+    /// Pool steals attributable to the timed runs (delta).
+    pub steals: u64,
+    /// Pool regions attributable to the timed runs (delta).
+    pub regions: u64,
+    /// Calibrated per-region dispatch overhead, nanoseconds.
+    pub region_overhead_ns: u64,
+}
+
+impl_to_json!(SchedulerPoint {
+    experiment,
+    engine,
+    threads,
+    policy,
+    threshold_edges,
+    batch_graphs,
+    seconds,
+    chordal_edges,
+    steals,
+    regions,
+    region_overhead_ns,
 });
 
 /// A free-form experiment record: an id plus a JSON-encodable payload. Used
@@ -103,11 +156,38 @@ mod tests {
             chordal_edges: 1000,
             iterations: 3,
             workspace_bytes: 65_536,
+            steals: 12,
+            regions: 40,
+            region_overhead_ns: 4_200,
         };
         let json = p.to_json();
         assert!(json.contains("\"threads\":4"));
         assert!(json.contains("RMAT-ER"));
         assert!(json.contains("\"workspace_bytes\":65536"));
+        assert!(json.contains("\"steals\":12"));
+        assert!(json.contains("\"regions\":40"));
+        assert!(json.contains("\"region_overhead_ns\":4200"));
+    }
+
+    #[test]
+    fn scheduler_point_serialises_to_json() {
+        let p = SchedulerPoint {
+            experiment: "scheduler".into(),
+            engine: "rayon".into(),
+            threads: 4,
+            policy: "adaptive".into(),
+            threshold_edges: 2_048,
+            batch_graphs: 17,
+            seconds: 0.01,
+            chordal_edges: 999,
+            steals: 3,
+            regions: 21,
+            region_overhead_ns: 5_000,
+        };
+        let json = p.to_json();
+        assert!(json.contains("\"experiment\":\"scheduler\""));
+        assert!(json.contains("\"policy\":\"adaptive\""));
+        assert!(json.contains("\"threshold_edges\":2048"));
     }
 
     #[test]

@@ -7,9 +7,19 @@
 //! chordal extract  --in graph.txt --out chordal.txt [--algorithm alg1|reference|dearing|partitioned]
 //!                  [--threads 8] [--engine pool|rayon|serial] [--variant opt|unopt]
 //!                  [--semantics async|sync] [--partitions N] [--stats] [--stitch] [--repair]
+//! chordal batch    --in a.txt,b.txt,c.txt [--batch-threshold N | --adaptive]
+//!                  [--threads 8] [--engine pool|rayon|serial] [--repeat N] [...extract flags]
 //! chordal analyze  --in graph.txt
 //! chordal verify   --graph graph.txt --subgraph chordal.txt
 //! ```
+//!
+//! `batch` drives many input files through
+//! [`ExtractionSession::extract_batch`], exercising the hybrid batch
+//! scheduler end to end: graphs below the pivot fan out across the
+//! engine's workers, larger ones get intra-graph parallelism, and
+//! `--adaptive` replaces the static pivot with the machine-calibrated
+//! cost-model estimate. The command reports the effective pivot, per-file
+//! results and the pool's scheduling counters for the run.
 //!
 //! All configuration parsing goes through the typed helpers of
 //! `chordal-core` ([`Algorithm::parse`], [`AdjacencyMode::parse`],
@@ -44,6 +54,7 @@ fn main() -> ExitCode {
     let outcome = parse_flags(&args[1..]).and_then(|options| match command.as_str() {
         "generate" => cmd_generate(&options),
         "extract" => cmd_extract(&options),
+        "batch" => cmd_batch(&options),
         "analyze" => cmd_analyze(&options),
         "verify" => cmd_verify(&options),
         "help" | "--help" | "-h" => {
@@ -72,6 +83,8 @@ fn print_usage() {
          \x20          [--threads N] [--engine serial|pool|rayon] [--variant opt|unopt]\n\
          \x20          [--semantics async|sync] [--partitions N] [--stats] [--stitch]\n\
          \x20          [--repair]\n\
+         \x20 batch    --in FILE[,FILE...] [--batch-threshold EDGES | --adaptive]\n\
+         \x20          [--repeat N] [...extract flags]\n\
          \x20 analyze  --in FILE\n\
          \x20 verify   --graph FILE --subgraph FILE [--maximality N]\n\
          \x20 help\n\
@@ -90,7 +103,7 @@ fn parse_flags(args: &[String]) -> Result<Flags, ExtractError> {
             return Err(ExtractError::UnexpectedArgument(arg.clone()));
         };
         // Boolean flags.
-        if matches!(name, "stats" | "stitch" | "quick" | "repair") {
+        if matches!(name, "stats" | "stitch" | "quick" | "repair" | "adaptive") {
             flags.insert(name.to_string(), "true".to_string());
             continue;
         }
@@ -189,6 +202,11 @@ fn extraction_config(flags: &Flags) -> Result<ExtractorConfig, ExtractError> {
             .unwrap_or("async"),
     )?;
     let partitions: usize = parse_number(flags, "partitions", 0)?;
+    let batch_threshold: usize = parse_number(
+        flags,
+        "batch-threshold",
+        chordal_core::config::DEFAULT_BATCH_THRESHOLD_EDGES,
+    )?;
     ExtractorConfig::default()
         .with_algorithm(algorithm)
         .with_adjacency(adjacency)
@@ -199,6 +217,8 @@ fn extraction_config(flags: &Flags) -> Result<ExtractorConfig, ExtractError> {
             partitions,
             chordal_core::partitioned::PartitionStrategy::Blocks,
         )
+        .with_batch_threshold_edges(batch_threshold)
+        .with_batch_adaptive(flags.contains_key("adaptive"))
         .with_engine_name(
             flags.get("engine").map(String::as_str).unwrap_or("rayon"),
             threads,
@@ -242,6 +262,90 @@ fn cmd_extract(flags: &Flags) -> Result<(), ExtractError> {
             .map_err(|e| ExtractError::io(format!("writing {out}"), e))?;
         println!("chordal subgraph written to {out}");
     }
+    Ok(())
+}
+
+fn cmd_batch(flags: &Flags) -> Result<(), ExtractError> {
+    let inputs = require(flags, "in")?;
+    let paths: Vec<&str> = inputs.split(',').filter(|p| !p.is_empty()).collect();
+    if paths.is_empty() {
+        return Err(ExtractError::invalid_option("in", inputs));
+    }
+    let graphs: Vec<CsrGraph> = paths
+        .iter()
+        .map(|path| load_graph(path))
+        .collect::<Result<_, _>>()?;
+    let repeats: usize = parse_number(flags, "repeat", 1)?;
+    if repeats == 0 {
+        return Err(ExtractError::invalid_option("repeat", "0"));
+    }
+    let config = extraction_config(flags)?;
+    let mut session = ExtractionSession::new(config);
+    let refs: Vec<&CsrGraph> = graphs.iter().collect();
+    let threshold = session.effective_batch_threshold();
+    // extract_batch short-circuits to plain sequential extraction for a
+    // serial engine or a single input; the pivot is never consulted there,
+    // so the report must not claim hybrid placement happened.
+    let hybrid = session.config().engine.threads() > 1 && graphs.len() > 1;
+    if hybrid {
+        println!(
+            "batch: {} graphs, engine {} x{}, pivot {} edges ({}), {} repeat(s)",
+            graphs.len(),
+            session.config().engine.name(),
+            session.config().engine.threads(),
+            threshold,
+            if session.config().batch_adaptive {
+                "adaptive"
+            } else {
+                "static"
+            },
+            repeats
+        );
+    } else {
+        println!(
+            "batch: {} graphs, engine {} x{}, sequential (no hybrid scheduling), {} repeat(s)",
+            graphs.len(),
+            session.config().engine.name(),
+            session.config().engine.threads(),
+            repeats
+        );
+    }
+    let stats_before = chordal_runtime::pool_stats();
+    let mut results = Vec::new();
+    let mut best = f64::MAX;
+    let start = std::time::Instant::now();
+    for _ in 0..repeats {
+        let round_start = std::time::Instant::now();
+        results = session.extract_batch(&refs);
+        best = best.min(round_start.elapsed().as_secs_f64());
+    }
+    let total = start.elapsed().as_secs_f64();
+    let stats = chordal_runtime::pool_stats();
+    for (path, (graph, result)) in paths.iter().zip(graphs.iter().zip(&results)) {
+        println!(
+            "  {:<32} {:>9} edges -> {:>9} chordal ({:.2}%) [{}]",
+            path,
+            graph.num_edges(),
+            result.num_chordal_edges(),
+            100.0 * result.chordal_fraction(graph),
+            if !hybrid {
+                "sequential"
+            } else if graph.num_edges() >= threshold {
+                "intra-graph"
+            } else {
+                "fan-out"
+            }
+        );
+    }
+    println!(
+        "batch done: {} chordal edges total, best {:.4}s (total {:.4}s); pool: +{} regions, +{} tickets, +{} steals",
+        results.iter().map(|r| r.num_chordal_edges()).sum::<usize>(),
+        best,
+        total,
+        stats.regions - stats_before.regions,
+        stats.tickets - stats_before.tickets,
+        stats.steals - stats_before.steals,
+    );
     Ok(())
 }
 

@@ -1,0 +1,455 @@
+//! Lock-free dispatch structures of the persistent pool: a fixed-capacity
+//! Chase–Lev work-stealing deque (one per worker) and a bounded MPMC
+//! injector queue (for submissions from threads outside the pool).
+//!
+//! Both structures move opaque `*mut ()` values (the pool stores
+//! `Arc<Region>` tickets through `Arc::into_raw`); ownership of the pointee
+//! transfers to whoever pops or steals the value. Capacity is fixed and a
+//! full queue rejects the push — that is safe for the pool because a ticket
+//! is only an *invitation* to help with a region, never the work itself
+//! (the region's iteration space lives behind an atomic cursor that the
+//! submitting thread always drains), so a dropped invitation costs
+//! parallelism, not correctness.
+//!
+//! # Chase–Lev deque
+//!
+//! The owner pushes and pops at the *bottom* (LIFO, cache-warm), thieves
+//! take from the *top* (FIFO) with a CAS; the single contended case — one
+//! element left, owner popping while a thief steals — is resolved by a CAS
+//! on `top`. Memory orderings follow Lê, Pop, Cohen and Nardelli, *Correct
+//! and Efficient Work-Stealing for Weak Memory Models* (PPoPP 2013). With a
+//! fixed power-of-two buffer, slot `i & mask` can only be reused once `top`
+//! has advanced past `i` (the push-side full check keeps `bottom - top`
+//! within capacity), and any steal that read a recycled slot loses its CAS
+//! on `top`, so a successful steal always returns the value that was stored
+//! for its index.
+//!
+//! # Injector
+//!
+//! A bounded MPMC ring with per-slot sequence numbers (Dmitry Vyukov's
+//! bounded queue): producers claim a slot by CAS on `tail`, publish the
+//! value with a release store of the slot's sequence; consumers mirror the
+//! protocol on `head`. No element is ever observed half-written and the
+//! queue is linearisable without any lock.
+
+use std::sync::atomic::{fence, AtomicIsize, AtomicPtr, AtomicUsize, Ordering};
+
+/// Result of a steal attempt on a [`ChaseLev`] deque.
+#[derive(Debug, PartialEq, Eq)]
+pub(crate) enum Steal {
+    /// The deque had no stealable element.
+    Empty,
+    /// Lost a race with the owner or another thief; worth retrying.
+    Retry,
+    /// Took the element at the top of the deque.
+    Taken(*mut ()),
+}
+
+/// Fixed-capacity Chase–Lev work-stealing deque of `*mut ()` values.
+///
+/// `push` and `pop` may only be called by the owning worker thread;
+/// `steal` may be called by any thread.
+pub(crate) struct ChaseLev {
+    /// Steal end. Monotonically increasing.
+    top: AtomicIsize,
+    /// Owner end. Only the owner writes it outside the pop CAS protocol.
+    bottom: AtomicIsize,
+    /// Power-of-two ring of value slots.
+    slots: Box<[AtomicPtr<()>]>,
+    /// `slots.len() - 1`, for index masking.
+    mask: isize,
+}
+
+// SAFETY: all fields are atomics; the single-owner restriction on
+// `push`/`pop` is a protocol requirement, not a memory-safety one (both are
+// plain atomic operations).
+unsafe impl Send for ChaseLev {}
+unsafe impl Sync for ChaseLev {}
+
+impl ChaseLev {
+    /// Creates a deque with the given power-of-two capacity.
+    pub(crate) fn new(capacity: usize) -> Self {
+        assert!(
+            capacity.is_power_of_two(),
+            "capacity must be a power of two"
+        );
+        Self {
+            top: AtomicIsize::new(0),
+            bottom: AtomicIsize::new(0),
+            slots: (0..capacity)
+                .map(|_| AtomicPtr::new(std::ptr::null_mut()))
+                .collect(),
+            mask: capacity as isize - 1,
+        }
+    }
+
+    /// Pushes a value at the bottom. Owner only. Returns the value back when
+    /// the deque is full.
+    pub(crate) fn push(&self, value: *mut ()) -> Result<(), *mut ()> {
+        let b = self.bottom.load(Ordering::Relaxed);
+        let t = self.top.load(Ordering::Acquire);
+        if b - t > self.mask {
+            return Err(value);
+        }
+        self.slots[(b & self.mask) as usize].store(value, Ordering::Relaxed);
+        // Publish the slot before the new bottom becomes visible to thieves.
+        self.bottom.store(b + 1, Ordering::Release);
+        Ok(())
+    }
+
+    /// Pops the most recently pushed value. Owner only.
+    pub(crate) fn pop(&self) -> Option<*mut ()> {
+        let b = self.bottom.load(Ordering::Relaxed) - 1;
+        self.bottom.store(b, Ordering::Relaxed);
+        // The store above must be globally visible before the top load, or a
+        // concurrent thief and this pop could both take the last element.
+        fence(Ordering::SeqCst);
+        let t = self.top.load(Ordering::Relaxed);
+        if t > b {
+            // Deque was already empty; restore bottom.
+            self.bottom.store(b + 1, Ordering::Relaxed);
+            return None;
+        }
+        let value = self.slots[(b & self.mask) as usize].load(Ordering::Relaxed);
+        if t == b {
+            // Last element: race the thieves for it via the top CAS.
+            let won = self
+                .top
+                .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
+                .is_ok();
+            self.bottom.store(b + 1, Ordering::Relaxed);
+            return won.then_some(value);
+        }
+        Some(value)
+    }
+
+    /// Attempts to steal the oldest value. Any thread.
+    pub(crate) fn steal(&self) -> Steal {
+        let t = self.top.load(Ordering::Acquire);
+        fence(Ordering::SeqCst);
+        let b = self.bottom.load(Ordering::Acquire);
+        if t >= b {
+            return Steal::Empty;
+        }
+        let value = self.slots[(t & self.mask) as usize].load(Ordering::Relaxed);
+        if self
+            .top
+            .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
+            .is_ok()
+        {
+            Steal::Taken(value)
+        } else {
+            Steal::Retry
+        }
+    }
+
+    /// Whether the deque currently appears empty (racy; scheduling hint
+    /// only — the pool's sleep protocol tolerates stale answers).
+    pub(crate) fn is_empty(&self) -> bool {
+        self.top.load(Ordering::Acquire) >= self.bottom.load(Ordering::Acquire)
+    }
+}
+
+/// One slot of the [`Injector`] ring: a sequence number gating a value.
+struct InjectorSlot {
+    sequence: AtomicUsize,
+    value: AtomicPtr<()>,
+}
+
+/// Bounded lock-free MPMC queue of `*mut ()` values (Vyukov's algorithm).
+pub(crate) struct Injector {
+    slots: Box<[InjectorSlot]>,
+    mask: usize,
+    /// Consumer cursor.
+    head: AtomicUsize,
+    /// Producer cursor.
+    tail: AtomicUsize,
+}
+
+unsafe impl Send for Injector {}
+unsafe impl Sync for Injector {}
+
+impl Injector {
+    /// Creates an injector with the given power-of-two capacity.
+    pub(crate) fn new(capacity: usize) -> Self {
+        assert!(
+            capacity.is_power_of_two(),
+            "capacity must be a power of two"
+        );
+        Self {
+            slots: (0..capacity)
+                .map(|i| InjectorSlot {
+                    sequence: AtomicUsize::new(i),
+                    value: AtomicPtr::new(std::ptr::null_mut()),
+                })
+                .collect(),
+            mask: capacity - 1,
+            head: AtomicUsize::new(0),
+            tail: AtomicUsize::new(0),
+        }
+    }
+
+    /// Enqueues a value; returns it back when the queue is full.
+    pub(crate) fn push(&self, value: *mut ()) -> Result<(), *mut ()> {
+        let mut tail = self.tail.load(Ordering::Relaxed);
+        loop {
+            let slot = &self.slots[tail & self.mask];
+            let seq = slot.sequence.load(Ordering::Acquire);
+            let dif = seq as isize - tail as isize;
+            if dif == 0 {
+                // Slot free for this lap; claim it.
+                match self.tail.compare_exchange_weak(
+                    tail,
+                    tail + 1,
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => {
+                        slot.value.store(value, Ordering::Relaxed);
+                        slot.sequence.store(tail + 1, Ordering::Release);
+                        return Ok(());
+                    }
+                    Err(current) => tail = current,
+                }
+            } else if dif < 0 {
+                // A full lap behind: the queue is full.
+                return Err(value);
+            } else {
+                tail = self.tail.load(Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Dequeues the oldest value, or `None` when the queue is empty.
+    pub(crate) fn pop(&self) -> Option<*mut ()> {
+        let mut head = self.head.load(Ordering::Relaxed);
+        loop {
+            let slot = &self.slots[head & self.mask];
+            let seq = slot.sequence.load(Ordering::Acquire);
+            let dif = seq as isize - (head + 1) as isize;
+            if dif == 0 {
+                match self.head.compare_exchange_weak(
+                    head,
+                    head + 1,
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => {
+                        let value = slot.value.load(Ordering::Relaxed);
+                        // Release the slot for the producers' next lap.
+                        slot.sequence.store(head + self.mask + 1, Ordering::Release);
+                        return Some(value);
+                    }
+                    Err(current) => head = current,
+                }
+            } else if dif < 0 {
+                return None;
+            } else {
+                head = self.head.load(Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Whether the queue currently appears empty (racy; scheduling hint
+    /// only).
+    pub(crate) fn is_empty(&self) -> bool {
+        self.head.load(Ordering::Acquire) >= self.tail.load(Ordering::Acquire)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+    use std::sync::atomic::AtomicBool;
+
+    fn boxed(v: usize) -> *mut () {
+        Box::into_raw(Box::new(v)) as *mut ()
+    }
+
+    /// SAFETY: `p` must come from `boxed` and be consumed exactly once.
+    unsafe fn unbox(p: *mut ()) -> usize {
+        *Box::from_raw(p as *mut usize)
+    }
+
+    #[test]
+    fn deque_lifo_for_owner_fifo_for_thief() {
+        let d = ChaseLev::new(8);
+        for v in 0..3 {
+            d.push(boxed(v)).unwrap();
+        }
+        assert_eq!(unsafe { unbox(d.pop().unwrap()) }, 2, "owner pops LIFO");
+        match d.steal() {
+            Steal::Taken(p) => assert_eq!(unsafe { unbox(p) }, 0, "thief takes FIFO"),
+            other => panic!("unexpected steal result {other:?}"),
+        }
+        assert_eq!(unsafe { unbox(d.pop().unwrap()) }, 1);
+        assert!(d.pop().is_none());
+        assert_eq!(d.steal(), Steal::Empty);
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn deque_rejects_push_when_full() {
+        let d = ChaseLev::new(4);
+        for v in 0..4 {
+            d.push(boxed(v)).unwrap();
+        }
+        let extra = boxed(99);
+        let rejected = d.push(extra).expect_err("full deque must reject");
+        assert_eq!(unsafe { unbox(rejected) }, 99);
+        // Popping one frees a slot again.
+        unsafe { unbox(d.pop().unwrap()) };
+        d.push(boxed(4)).unwrap();
+        while let Some(p) = d.pop() {
+            unsafe { unbox(p) };
+        }
+    }
+
+    #[test]
+    fn deque_stress_every_value_taken_exactly_once() {
+        // One owner pushing and popping, three thieves stealing: across
+        // several seeded rounds every pushed value must surface exactly once
+        // (no loss, no duplication) across pops and steals.
+        const VALUES: usize = 20_000;
+        const THIEVES: usize = 3;
+        for seed in 0..4u64 {
+            let d = ChaseLev::new(256);
+            let done = AtomicBool::new(false);
+            let (owner_got, thief_got) = std::thread::scope(|s| {
+                let mut handles = Vec::new();
+                for _ in 0..THIEVES {
+                    handles.push(s.spawn(|| {
+                        let mut got = Vec::new();
+                        while !done.load(Ordering::Acquire) {
+                            match d.steal() {
+                                Steal::Taken(p) => got.push(unsafe { unbox(p) }),
+                                Steal::Retry => std::hint::spin_loop(),
+                                Steal::Empty => std::hint::spin_loop(),
+                            }
+                        }
+                        // Drain whatever is left after the owner finished.
+                        loop {
+                            match d.steal() {
+                                Steal::Taken(p) => got.push(unsafe { unbox(p) }),
+                                Steal::Retry => continue,
+                                Steal::Empty => break,
+                            }
+                        }
+                        got
+                    }));
+                }
+                let mut rng = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+                let mut owner_got = Vec::new();
+                let mut next = 0usize;
+                while next < VALUES {
+                    rng = rng
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
+                    // Seeded interleaving of pushes and pops.
+                    if rng & 3 != 0 {
+                        if d.push(boxed(next)).is_ok() {
+                            next += 1;
+                        } else if let Some(p) = d.pop() {
+                            owner_got.push(unsafe { unbox(p) });
+                        }
+                    } else if let Some(p) = d.pop() {
+                        owner_got.push(unsafe { unbox(p) });
+                    }
+                }
+                done.store(true, Ordering::Release);
+                let thief_got: Vec<usize> = handles
+                    .into_iter()
+                    .flat_map(|h| h.join().unwrap())
+                    .collect();
+                (owner_got, thief_got)
+            });
+            let mut seen = HashSet::new();
+            for v in owner_got.iter().chain(&thief_got) {
+                assert!(seen.insert(*v), "seed {seed}: value {v} surfaced twice");
+            }
+            assert_eq!(seen.len(), VALUES, "seed {seed}: values lost");
+        }
+    }
+
+    #[test]
+    fn injector_fifo_and_full_behaviour() {
+        let q = Injector::new(4);
+        for v in 0..4 {
+            q.push(boxed(v)).unwrap();
+        }
+        let extra = boxed(42);
+        let rejected = q.push(extra).expect_err("full injector must reject");
+        assert_eq!(unsafe { unbox(rejected) }, 42);
+        for v in 0..4 {
+            assert_eq!(unsafe { unbox(q.pop().unwrap()) }, v, "FIFO order");
+        }
+        assert!(q.pop().is_none());
+        assert!(q.is_empty());
+        // Wrap-around lap works.
+        q.push(boxed(7)).unwrap();
+        assert_eq!(unsafe { unbox(q.pop().unwrap()) }, 7);
+    }
+
+    #[test]
+    fn injector_stress_mpmc_accounts_for_every_value() {
+        const PER_PRODUCER: usize = 8_000;
+        const PRODUCERS: usize = 4;
+        const CONSUMERS: usize = 4;
+        let q = Injector::new(128);
+        let done = AtomicBool::new(false);
+        let (q, done) = (&q, &done);
+        let consumed: Vec<usize> = std::thread::scope(|s| {
+            let mut consumers = Vec::new();
+            for _ in 0..CONSUMERS {
+                consumers.push(s.spawn(|| {
+                    let mut got = Vec::new();
+                    loop {
+                        match q.pop() {
+                            Some(p) => got.push(unsafe { unbox(p) }),
+                            None if done.load(Ordering::Acquire) => match q.pop() {
+                                Some(p) => got.push(unsafe { unbox(p) }),
+                                None => break,
+                            },
+                            None => std::hint::spin_loop(),
+                        }
+                    }
+                    got
+                }));
+            }
+            let producers: Vec<_> = (0..PRODUCERS)
+                .map(|p| {
+                    s.spawn(move || {
+                        for i in 0..PER_PRODUCER {
+                            let mut value = boxed(p * PER_PRODUCER + i);
+                            loop {
+                                match q.push(value) {
+                                    Ok(()) => break,
+                                    Err(back) => {
+                                        value = back;
+                                        std::hint::spin_loop();
+                                    }
+                                }
+                            }
+                        }
+                    })
+                })
+                .collect();
+            for h in producers {
+                h.join().unwrap();
+            }
+            done.store(true, Ordering::Release);
+            consumers
+                .into_iter()
+                .flat_map(|h| h.join().unwrap())
+                .collect()
+        });
+        let unique: HashSet<usize> = consumed.iter().copied().collect();
+        assert_eq!(
+            consumed.len(),
+            PRODUCERS * PER_PRODUCER,
+            "duplicates or loss"
+        );
+        assert_eq!(unique.len(), PRODUCERS * PER_PRODUCER);
+    }
+}

@@ -9,27 +9,37 @@
 //! with `install`.
 //!
 //! All parallel work runs on one **lazily-spawned persistent worker pool**
-//! (see [`mod@pool`]): parallel regions submit work tickets to per-worker
-//! queues with stealing, panics propagate to the submitting thread, and no
-//! OS thread is ever spawned per region — after warm-up the pool's thread
-//! count is constant ([`pool_spawned_threads`]). The pool is sized by the
-//! `CHORDAL_POOL_THREADS` environment variable (default: all logical
-//! CPUs); [`ThreadPool::install`] bounds the parallelism of the regions it
-//! scopes without creating threads of its own. `par_sort_unstable` is a
-//! genuinely parallel merge sort (parallel chunk sorts + parallel merge
-//! passes).
+//! (see [`mod@pool`]): parallel regions publish work tickets to lock-free
+//! per-worker Chase–Lev deques (LIFO for the owning worker, FIFO CAS
+//! steals for everyone else) with a bounded lock-free injector for
+//! submissions from outside the pool, panics propagate to the submitting
+//! thread, and no OS thread is ever spawned per region — after warm-up the
+//! pool's thread count is constant ([`pool_spawned_threads`]). Per-chunk
+//! results are collected through pre-sized write-once slots
+//! ([`slots::ChunkSlots`]) instead of a mutex-guarded vector, so neither
+//! ticket dispatch nor result collection takes a lock on the region hot
+//! path. The pool is sized by the `CHORDAL_POOL_THREADS` environment
+//! variable (default: all logical CPUs); [`ThreadPool::install`] bounds
+//! the parallelism of the regions it scopes without creating threads of
+//! its own. `par_sort_unstable` is a genuinely parallel merge sort
+//! (parallel chunk sorts + parallel merge passes).
 //!
 //! Extensions beyond the real rayon API, used by `chordal-runtime` and the
 //! test-suite: [`run_pooled_region`], [`pool_size`],
-//! [`pool_spawned_threads`].
+//! [`pool_spawned_threads`], [`pool_stats`],
+//! [`estimated_region_overhead_ns`], and the [`slots`] module.
 
+mod deque;
 mod pool;
+pub mod slots;
 mod sort;
 
+pub use pool::PoolStats;
+
+use slots::{ChunkSlots, ItemSlots};
 use std::cell::Cell;
 use std::fmt;
 use std::ops::Range;
-use std::sync::Mutex;
 
 thread_local! {
     /// Thread-count override installed by [`ThreadPool::install`];
@@ -80,6 +90,23 @@ pub fn pool_size() -> usize {
 /// spawning threads.
 pub fn pool_spawned_threads() -> usize {
     pool::spawned_so_far()
+}
+
+/// Monotonic scheduling counters of the shared pool (regions submitted,
+/// tickets published, foreign-deque steals); all zero before the first
+/// parallel region. Callers interested in one workload take a delta around
+/// it — benchmarks report those deltas next to their timings.
+pub fn pool_stats() -> PoolStats {
+    pool::stats_so_far()
+}
+
+/// Measured cost of dispatching and joining one (near-empty) parallel
+/// region, in nanoseconds: ticket publication, worker wake-up, cursor
+/// handshake and join. Calibrated on the shared pool at first call and
+/// memoised; the adaptive batch scheduler in `chordal-core` uses this
+/// sample to decide when intra-graph parallelism amortises.
+pub fn estimated_region_overhead_ns() -> u64 {
+    pool::estimated_overhead_ns()
 }
 
 // ---------------------------------------------------------------------------
@@ -175,6 +202,11 @@ impl ThreadPool {
 
 /// Splits `0..len` into chunks and runs `f` over them on the persistent
 /// pool, returning the per-chunk results in chunk order.
+///
+/// Collection is slot-based: the region's cursor hands out disjoint,
+/// grain-aligned ranges, so chunk `range.start / chunk` writes its result
+/// into its own pre-sized slot — no mutex, no append contention, no
+/// post-hoc sort (the slots are already in chunk order).
 fn drive_chunks<T, F>(len: usize, f: F) -> Vec<T>
 where
     T: Send,
@@ -188,17 +220,16 @@ where
         return vec![f(0..len)];
     }
     // Over-decompose so skewed chunks load-balance, like rayon's splitting.
+    // `threads >= 2` here, so the region below always splits by `chunk`
+    // (never the inline single-range path) and the slot indexing is exact.
     let chunk = len.div_ceil(threads * 4).max(1);
     let chunks = len.div_ceil(chunk);
-    let out: Mutex<Vec<(usize, T)>> = Mutex::new(Vec::with_capacity(chunks));
+    let out: ChunkSlots<T> = ChunkSlots::new(chunks);
     pool::Pool::global().run_region(len, chunk, threads, |range| {
-        let start = range.start;
-        let value = f(range);
-        out.lock().unwrap().push((start, value));
+        let index = range.start / chunk;
+        out.write(index, f(range));
     });
-    let mut pairs = out.into_inner().unwrap();
-    pairs.sort_unstable_by_key(|&(start, _)| start);
-    pairs.into_iter().map(|(_, v)| v).collect()
+    out.into_vec()
 }
 
 /// Runs `f` over every work item exactly once, on the persistent pool.
@@ -220,11 +251,12 @@ where
         }
         return;
     }
-    let slots: Vec<Mutex<Option<I>>> = items.into_iter().map(|i| Mutex::new(Some(i))).collect();
+    let slots = ItemSlots::new(items);
     pool::Pool::global().run_region(n, 1, threads, |range| {
-        for slot in &slots[range] {
-            let item = slot.lock().unwrap().take();
-            if let Some(item) = item {
+        for i in range {
+            // SAFETY: the region hands out disjoint ranges, so this thread
+            // is the unique taker of index `i`.
+            if let Some(item) = unsafe { slots.take(i) } {
                 f(item);
             }
         }
@@ -642,6 +674,7 @@ mod tests {
     use super::prelude::*;
     use super::*;
     use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
 
     #[test]
     fn range_for_each_visits_every_index_once() {

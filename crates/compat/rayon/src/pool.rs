@@ -3,55 +3,90 @@
 //! The first parallel region lazily spawns a fixed set of worker threads
 //! (sized by the `CHORDAL_POOL_THREADS` environment variable, falling back
 //! to the number of logical CPUs). Every subsequent region is executed by
-//! those same workers — no per-region thread spawning — via a small
+//! those same workers — no per-region thread spawning — via a **lock-free**
 //! work-stealing scheduler:
 //!
 //! * A **region** is one parallel call site: an iteration space `0..len`
 //!   split into `grain`-sized chunks behind an atomic cursor (dynamic
 //!   self-scheduling, so skewed chunks load-balance).
-//! * Submitting a region pushes `participants - 1` *tickets* onto the
-//!   per-worker queues (round-robin) and then the submitting thread joins
-//!   the region itself. A ticket is an invitation to help: the thread that
-//!   pops it claims chunks from the region's cursor until the region is
-//!   drained.
-//! * Workers pop from their own queue first and **steal** from the other
-//!   workers' queues when theirs is empty, so tickets never strand behind a
-//!   busy worker.
-//! * The submitting thread participates too, and while waiting for the
-//!   region to quiesce it drains *its own region's* remaining tickets from
-//!   the queues (turning them into immediate no-ops). A thread that waits
-//!   can therefore always retire the work it waits for, which keeps nested
-//!   regions deadlock-free even on a single-worker pool. Helping is
-//!   deliberately restricted to the joined region: executing *foreign*
-//!   chunks while joining would re-enter outer region bodies on a thread
-//!   that may be mid-chunk — breaking callers whose chunk bodies hold
-//!   thread-local state (e.g. the batch scheduler's per-worker workspace)
-//!   across a nested parallel region.
+//! * Submitting a region publishes `participants - 1` *tickets* and then
+//!   the submitting thread joins the region itself. A ticket is an
+//!   **invitation** to help: the thread that pops it claims chunks from the
+//!   region's cursor until the region is drained. Tickets travel through
+//!   per-worker [Chase–Lev deques](crate::deque) — a worker submitting a
+//!   nested region pushes to its own deque (LIFO for the owner, cheap and
+//!   cache-warm), external threads submit through a bounded lock-free MPMC
+//!   injector. Workers pop their own deque first, then the injector, then
+//!   **steal** (FIFO, via CAS) from the other workers' deques. No mutex is
+//!   taken anywhere on the dispatch path.
+//! * Because a ticket is only an invitation, a full queue simply drops it
+//!   (the submitter keeps one fewer helper) and a *stale* ticket — one
+//!   popped after its region already finished — is a no-op. Region
+//!   accounting is two atomic counters: `pending` (invitations not yet
+//!   claimed) and `active` (threads executing chunks). A helper *claims* an
+//!   invitation by incrementing `active` **before** decrementing `pending`,
+//!   so the joiner can never observe both counters at zero while a claimed
+//!   helper has yet to start.
+//! * The submitting thread participates too; when its share of the cursor
+//!   is drained it **cancels** the remaining invitations (one atomic swap
+//!   of `pending` to zero — the replacement for PR 2's lock-guarded ticket
+//!   removal) and then waits, spinning briefly and parking, until `active`
+//!   reaches zero. The last finishing helper unparks it. A joining thread
+//!   never executes *foreign* chunks — the region-restricted-helping rule
+//!   that keeps chunk bodies free to hold thread-local state across nested
+//!   regions — and never waits on anything but actively-running chunks, so
+//!   nested regions cannot deadlock even on a single-worker pool.
 //! * Panics inside a chunk abort the region's remaining chunks, are carried
 //!   across the pool, and are re-thrown on the submitting thread once every
-//!   ticket has retired (a panic-propagating join, matching
-//!   `std::thread::scope` semantics).
+//!   active participant has retired (a panic-propagating join, matching
+//!   `std::thread::scope` semantics). The panic payload slot is the one
+//!   remaining mutex and it is only ever touched on the panic path.
 //!
 //! Safety of the lifetime-erased region body rests on one invariant:
-//! [`Pool::run_region`] does not return until every ticket of its region
-//! has been popped and retired and no thread is executing chunks, so no
-//! dereference of the body can outlive the caller's borrow.
+//! [`Pool::run_region`] does not return until `pending` has been cancelled
+//! and `active` has reached zero, and a helper only dereferences the body
+//! after successfully claiming a `pending` invitation — so no dereference
+//! of the body can outlive the caller's borrow.
+//!
+//! The pool also keeps [scheduling counters](PoolStats) (regions
+//! submitted, tickets published, steals) and can
+//! [calibrate](estimated_overhead_ns) the per-region dispatch overhead;
+//! the adaptive batch scheduler in `chordal-core` uses that sample to
+//! decide between graph fan-out and intra-graph parallelism.
 
+use crate::deque::{ChaseLev, Injector, Steal};
+use std::cell::Cell;
 use std::ops::Range;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::sync::atomic::{fence, AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::thread::Thread;
+use std::time::Duration;
 
-/// Quiescence bookkeeping of one region, guarded by one mutex.
-struct RegionSync {
-    /// Threads currently inside [`Region::participate`].
-    active: usize,
-    /// Tickets pushed to the pool queues and not yet retired.
-    tickets: usize,
+/// Capacity of each worker's Chase–Lev deque (tickets, not chunks).
+const DEQUE_CAPACITY: usize = 256;
+
+/// Capacity of the external-submission injector queue.
+const INJECTOR_CAPACITY: usize = 1024;
+
+/// Spin iterations before a joining thread parks.
+const JOIN_SPINS: u32 = 128;
+
+/// Backstop park timeout for idle workers; wake-ups normally arrive via
+/// `unpark` from the push path, this only bounds the cost of a lost race.
+const WORKER_PARK: Duration = Duration::from_millis(50);
+
+/// Backstop park timeout for a joining thread waiting on active helpers.
+const JOIN_PARK: Duration = Duration::from_micros(200);
+
+thread_local! {
+    /// Index of this thread in the pool's worker array; `usize::MAX` for
+    /// threads that are not pool workers.
+    static WORKER_INDEX: Cell<usize> = const { Cell::new(usize::MAX) };
 }
 
 /// One parallel region: an iteration space drained cooperatively by the
-/// submitting thread and any pool workers that pick up its tickets.
+/// submitting thread and any pool workers that claim its invitations.
 struct Region {
     /// Next unclaimed index of the iteration space.
     cursor: AtomicUsize,
@@ -61,37 +96,50 @@ struct Region {
     grain: usize,
     /// Set when a chunk panicked: remaining chunks are abandoned.
     aborted: AtomicBool,
-    /// The region body, lifetime-erased. Only dereferenced inside
-    /// [`Region::participate`], which [`Pool::run_region`] outlives.
+    /// The region body, lifetime-erased to a raw pointer. Only dereferenced
+    /// by a thread that claimed a `pending` invitation (or by the submitter
+    /// itself), both of which [`Pool::run_region`] outlives. A raw pointer
+    /// (not a reference) because cancelled tickets keep their `Region`
+    /// alive in the queues after `run_region` returns — the body is dead by
+    /// then, and a dangling pointer that is never dereferenced is sound
+    /// where a dangling reference would not be.
     func: FuncPtr,
-    /// Participation and ticket accounting.
-    sync: Mutex<RegionSync>,
-    /// Signalled when the region quiesces (`active == 0 && tickets == 0`).
-    quiescent: Condvar,
-    /// First panic payload raised by a chunk.
+    /// Invitations published and not yet claimed. The joiner swaps this to
+    /// zero when it finishes participating; stale tickets then no-op.
+    pending: AtomicUsize,
+    /// Threads executing (or committed to executing) chunks, including the
+    /// submitter.
+    active: AtomicUsize,
+    /// The submitting thread, unparked when the region quiesces.
+    joiner: Thread,
+    /// First panic payload raised by a chunk (cold path only).
     panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
 }
 
-/// A lifetime-erased `&dyn Fn(Range<usize>)` region body.
-struct FuncPtr(&'static (dyn Fn(Range<usize>) + Sync));
+/// A lifetime-erased `&dyn Fn(Range<usize>)` region body, stored raw.
+struct FuncPtr(*const (dyn Fn(Range<usize>) + Sync));
 
 // SAFETY: the pointee is `Sync`, and `Pool::run_region` guarantees every
-// dereference happens before the caller's borrow ends (see module docs).
+// dereference happens before the caller's borrow ends (see module docs);
+// after that the pointer may dangle inside stale tickets but is never
+// dereferenced again (the `pending == 0` claim guard).
 unsafe impl Send for FuncPtr {}
 unsafe impl Sync for FuncPtr {}
 
 impl Region {
     /// Claims and executes chunks until the region is drained or aborted.
-    /// Called by the submitter and by every thread that pops a ticket.
-    fn participate(&self) {
-        self.sync.lock().unwrap().active += 1;
+    /// The caller must already be counted in `active`.
+    fn execute_chunks(&self) {
         while !self.aborted.load(Ordering::Relaxed) {
             let start = self.cursor.fetch_add(self.grain, Ordering::Relaxed);
             if start >= self.len {
                 break;
             }
             let end = (start + self.grain).min(self.len);
-            let body = self.func.0;
+            // SAFETY: reaching a chunk means this thread claimed a
+            // `pending` invitation (or is the submitter), so `run_region`
+            // is still on the submitter's stack and the body is alive.
+            let body = unsafe { &*self.func.0 };
             if let Err(payload) = catch_unwind(AssertUnwindSafe(|| body(start..end))) {
                 self.aborted.store(true, Ordering::Relaxed);
                 let mut slot = self.panic.lock().unwrap();
@@ -100,105 +148,208 @@ impl Region {
                 }
             }
         }
-        let mut sync = self.sync.lock().unwrap();
-        sync.active -= 1;
-        if sync.active == 0 && sync.tickets == 0 {
-            self.quiescent.notify_all();
+    }
+
+    /// Retires one participation; the last one out wakes the joiner.
+    fn finish(&self) {
+        if self.active.fetch_sub(1, Ordering::SeqCst) == 1
+            && self.pending.load(Ordering::SeqCst) == 0
+        {
+            self.joiner.unpark();
         }
     }
 
-    /// Marks one ticket of this region as consumed. Every popped ticket is
-    /// retired exactly once, after its `participate` call returns.
-    fn retire_ticket(&self) {
-        let mut sync = self.sync.lock().unwrap();
-        sync.tickets -= 1;
-        if sync.active == 0 && sync.tickets == 0 {
-            self.quiescent.notify_all();
+    /// Entry point for a popped ticket: claim one invitation and help, or
+    /// no-op if the region was already cancelled.
+    ///
+    /// The order is load-bearing: `active` is incremented *before* the
+    /// `pending` claim, so once the joiner has cancelled `pending` and seen
+    /// `active == 0` (both SeqCst), no helper can still be about to
+    /// dereference the body.
+    fn help(&self) {
+        self.active.fetch_add(1, Ordering::SeqCst);
+        let mut invitations = self.pending.load(Ordering::SeqCst);
+        loop {
+            if invitations == 0 {
+                // Cancelled or fully claimed: stale ticket, nothing to do.
+                self.finish();
+                return;
+            }
+            match self.pending.compare_exchange_weak(
+                invitations,
+                invitations - 1,
+                Ordering::SeqCst,
+                Ordering::SeqCst,
+            ) {
+                Ok(_) => break,
+                Err(current) => invitations = current,
+            }
         }
+        self.execute_chunks();
+        self.finish();
     }
 }
 
-/// Ticket dispatch state, guarded by one mutex so pushes, pops, steals and
-/// the sleep predicate can never observe each other half-applied.
-struct Dispatch {
-    /// One ticket queue per worker; workers steal from each other's.
-    queues: Vec<Vec<Arc<Region>>>,
-    /// Queued, unclaimed tickets (the condvar predicate for sleeping
-    /// workers). Always equals the sum of the queue lengths.
-    pending: usize,
+/// One pool worker's dispatch state.
+struct Worker {
+    /// This worker's own ticket deque (owner pushes/pops, others steal).
+    deque: ChaseLev,
+    /// Set while the worker is parked (the push path's wake predicate).
+    sleeping: AtomicBool,
+    /// The worker's thread handle, registered when its loop starts.
+    handle: OnceLock<Thread>,
+}
+
+/// Monotonic scheduling counters of the shared pool.
+///
+/// All counters start at zero when the process starts and only ever grow;
+/// callers interested in one workload's behaviour take a delta around it.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Parallel regions submitted to the pool (excludes inline serial runs).
+    pub regions: u64,
+    /// Help-invitation tickets successfully published to the queues.
+    pub tickets: u64,
+    /// Tickets taken from a *foreign* worker's deque (work stealing events).
+    pub steals: u64,
 }
 
 /// The shared state of the persistent pool.
 struct Shared {
-    /// Queues + pending count under a single lock.
-    dispatch: Mutex<Dispatch>,
-    /// Wakes sleeping workers when tickets arrive.
-    available: Condvar,
-    /// Round-robin cursor for ticket placement.
-    next_queue: AtomicUsize,
+    /// One dispatch slot per worker.
+    workers: Box<[Worker]>,
+    /// Lock-free MPMC queue for submissions from non-worker threads.
+    injector: Injector,
     /// Total OS threads ever spawned by this pool. Stays equal to the pool
     /// size after warm-up — the "no per-region spawning" observable.
     spawned: AtomicUsize,
+    /// Parallel regions submitted.
+    regions: AtomicU64,
+    /// Tickets successfully published.
+    tickets: AtomicU64,
+    /// Foreign-deque steals.
+    steals: AtomicU64,
 }
 
 impl Shared {
-    /// Pops a ticket: the `home` queue first (LIFO), then steal from the
-    /// others.
-    fn take(&self, home: usize) -> Option<Arc<Region>> {
-        let mut dispatch = self.dispatch.lock().unwrap();
-        let n = dispatch.queues.len();
-        for k in 0..n {
-            let q = (home + k) % n;
-            if let Some(ticket) = dispatch.queues[q].pop() {
-                dispatch.pending -= 1;
-                return Some(ticket);
+    /// Converts a ticket into its queue representation.
+    fn into_raw(ticket: Arc<Region>) -> *mut () {
+        Arc::into_raw(ticket) as *mut ()
+    }
+
+    /// Recovers a ticket from its queue representation.
+    ///
+    /// SAFETY: `raw` must come from [`Shared::into_raw`] and be consumed
+    /// exactly once.
+    unsafe fn from_raw(raw: *mut ()) -> Arc<Region> {
+        Arc::from_raw(raw as *const Region)
+    }
+
+    /// Publishes one ticket and wakes a worker. Returns `false` when every
+    /// queue was full — the invitation is dropped, which costs parallelism
+    /// but never correctness (the submitter drains the cursor regardless).
+    fn push(&self, ticket: Arc<Region>) -> bool {
+        let raw = Self::into_raw(ticket);
+        let home = WORKER_INDEX.with(Cell::get);
+        let result = if home != usize::MAX {
+            // Worker thread: own deque first (LIFO locality), injector as
+            // the overflow path.
+            self.workers[home]
+                .deque
+                .push(raw)
+                .or_else(|raw| self.injector.push(raw))
+        } else {
+            self.injector.push(raw)
+        };
+        match result {
+            Ok(()) => {
+                self.tickets.fetch_add(1, Ordering::Relaxed);
+                // Store-load barrier of the sleep protocol: the ticket must
+                // be visible before we read the sleep flags, or a worker
+                // checking for work just before our push could park unseen.
+                fence(Ordering::SeqCst);
+                self.wake_one();
+                true
+            }
+            Err(raw) => {
+                // SAFETY: `raw` was created above and never enqueued.
+                drop(unsafe { Self::from_raw(raw) });
+                false
             }
         }
-        None
     }
 
-    /// Pushes one ticket and wakes a worker.
-    fn push(&self, ticket: Arc<Region>) {
-        let mut dispatch = self.dispatch.lock().unwrap();
-        let q = self.next_queue.fetch_add(1, Ordering::Relaxed) % dispatch.queues.len();
-        dispatch.queues[q].push(ticket);
-        dispatch.pending += 1;
-        drop(dispatch);
-        self.available.notify_one();
-    }
-
-    /// Removes one still-queued ticket of `region`, wherever it sits. Used
-    /// by the joining thread to retire its own region's unclaimed tickets
-    /// without ever executing foreign work.
-    fn take_ticket_of(&self, region: &Arc<Region>) -> Option<Arc<Region>> {
-        let mut dispatch = self.dispatch.lock().unwrap();
-        for q in 0..dispatch.queues.len() {
-            if let Some(pos) = dispatch.queues[q]
-                .iter()
-                .position(|t| Arc::ptr_eq(t, region))
+    /// Unparks one sleeping worker, if any.
+    fn wake_one(&self) {
+        for worker in self.workers.iter() {
+            if worker.sleeping.load(Ordering::SeqCst)
+                && worker.sleeping.swap(false, Ordering::SeqCst)
             {
-                let ticket = dispatch.queues[q].swap_remove(pos);
-                dispatch.pending -= 1;
-                return Some(ticket);
+                if let Some(handle) = worker.handle.get() {
+                    handle.unpark();
+                }
+                return;
+            }
+        }
+    }
+
+    /// Whether any queue appears to hold a ticket (racy hint for the sleep
+    /// predicate; the park timeout bounds the cost of a stale answer).
+    fn has_work(&self) -> bool {
+        !self.injector.is_empty() || self.workers.iter().any(|w| !w.deque.is_empty())
+    }
+
+    /// Pops a ticket: the own deque first (LIFO), then the injector, then
+    /// steals from the other workers (FIFO).
+    fn take(&self, home: usize) -> Option<Arc<Region>> {
+        if let Some(raw) = self.workers[home].deque.pop() {
+            // SAFETY: queue values are uniquely-owned `into_raw` tickets.
+            return Some(unsafe { Self::from_raw(raw) });
+        }
+        if let Some(raw) = self.injector.pop() {
+            // SAFETY: as above.
+            return Some(unsafe { Self::from_raw(raw) });
+        }
+        let n = self.workers.len();
+        for k in 1..n {
+            let victim = &self.workers[(home + k) % n];
+            loop {
+                match victim.deque.steal() {
+                    Steal::Taken(raw) => {
+                        self.steals.fetch_add(1, Ordering::Relaxed);
+                        // SAFETY: as above.
+                        return Some(unsafe { Self::from_raw(raw) });
+                    }
+                    Steal::Retry => std::hint::spin_loop(),
+                    Steal::Empty => break,
+                }
             }
         }
         None
     }
 
-    /// The worker main loop: pop or steal a ticket, drain its region, sleep
+    /// The worker main loop: pop or steal a ticket, help its region, park
     /// when no work is queued.
-    fn worker_loop(&self, home: usize) {
+    fn worker_loop(&self, index: usize) {
+        WORKER_INDEX.with(|cell| cell.set(index));
+        let me = &self.workers[index];
+        let _ = me.handle.set(std::thread::current());
         loop {
-            if let Some(region) = self.take(home) {
-                region.participate();
-                region.retire_ticket();
+            if let Some(region) = self.take(index) {
+                region.help();
                 continue;
             }
-            let mut dispatch = self.dispatch.lock().unwrap();
-            while dispatch.pending == 0 {
-                dispatch = self.available.wait(dispatch).unwrap();
+            // Sleep protocol (Dekker-style): publish the sleeping flag,
+            // then re-check the queues. A pusher either sees the flag (and
+            // unparks us) or we see its ticket here.
+            me.sleeping.store(true, Ordering::SeqCst);
+            fence(Ordering::SeqCst);
+            if self.has_work() {
+                me.sleeping.store(false, Ordering::SeqCst);
+                continue;
             }
-            // Tickets arrived; retry the pop/steal cycle without the lock.
+            std::thread::park_timeout(WORKER_PARK);
+            me.sleeping.store(false, Ordering::SeqCst);
         }
     }
 }
@@ -211,20 +362,25 @@ pub(crate) struct Pool {
 impl Pool {
     fn new(workers: usize) -> Self {
         let shared = Arc::new(Shared {
-            dispatch: Mutex::new(Dispatch {
-                queues: (0..workers).map(|_| Vec::new()).collect(),
-                pending: 0,
-            }),
-            available: Condvar::new(),
-            next_queue: AtomicUsize::new(0),
+            workers: (0..workers)
+                .map(|_| Worker {
+                    deque: ChaseLev::new(DEQUE_CAPACITY),
+                    sleeping: AtomicBool::new(false),
+                    handle: OnceLock::new(),
+                })
+                .collect(),
+            injector: Injector::new(INJECTOR_CAPACITY),
             spawned: AtomicUsize::new(0),
+            regions: AtomicU64::new(0),
+            tickets: AtomicU64::new(0),
+            steals: AtomicU64::new(0),
         });
-        for home in 0..workers {
+        for index in 0..workers {
             let shared = Arc::clone(&shared);
             shared.spawned.fetch_add(1, Ordering::Relaxed);
             std::thread::Builder::new()
-                .name(format!("chordal-pool-{home}"))
-                .spawn(move || shared.worker_loop(home))
+                .name(format!("chordal-pool-{index}"))
+                .spawn(move || shared.worker_loop(index))
                 .expect("failed to spawn pool worker");
         }
         Self { shared }
@@ -248,58 +404,83 @@ impl Pool {
         }
         let grain = grain.max(1);
         let chunks = len.div_ceil(grain);
-        let participants = parallelism.max(1).min(chunks);
+        // Cap at the pool size plus the caller: invitations beyond the
+        // worker count can never be claimed concurrently, so publishing
+        // them would be pure dispatch waste (push + wake per ticket).
+        let participants = parallelism
+            .max(1)
+            .min(chunks)
+            .min(self.shared.workers.len() + 1);
         if participants <= 1 {
             f(0..len);
             return;
         }
         let body: &(dyn Fn(Range<usize>) + Sync) = &f;
-        // SAFETY: this function does not return until the region quiesces
-        // (every ticket popped and retired, no thread inside `participate`),
-        // so the erased borrow outlives every dereference.
-        let body: &'static (dyn Fn(Range<usize>) + Sync) = unsafe { std::mem::transmute(body) };
+        // SAFETY: lifetime erasure to a raw wide pointer (same layout).
+        // This function does not return until the region quiesces (pending
+        // invitations cancelled, no thread active in the region), so the
+        // pointer outlives every dereference; cancelled tickets may keep
+        // it around longer, but they never dereference it (see
+        // `Region::help`).
+        let body: *const (dyn Fn(Range<usize>) + Sync) = unsafe { std::mem::transmute(body) };
         let region = Arc::new(Region {
             cursor: AtomicUsize::new(0),
             len,
             grain,
             aborted: AtomicBool::new(false),
             func: FuncPtr(body),
-            sync: Mutex::new(RegionSync {
-                active: 0,
-                tickets: participants - 1,
-            }),
-            quiescent: Condvar::new(),
+            pending: AtomicUsize::new(participants - 1),
+            // The submitter counts as active from the start, so helpers'
+            // quiescence checks cannot fire before it has joined.
+            active: AtomicUsize::new(1),
+            joiner: std::thread::current(),
             panic: Mutex::new(None),
         });
+        self.shared.regions.fetch_add(1, Ordering::Relaxed);
         for _ in 0..participants - 1 {
-            self.shared.push(Arc::clone(&region));
+            if !self.shared.push(Arc::clone(&region)) {
+                // Queues full: withdraw the invitation we failed to publish.
+                region.pending.fetch_sub(1, Ordering::SeqCst);
+            }
         }
-        region.participate();
-        // Join: first retire this region's still-queued tickets (turning
-        // them into no-ops — the cursor is already drained or aborted once
-        // `participate` returns, so this is bookkeeping, not execution),
-        // then wait for in-flight participants on other threads. Only
-        // tickets of *this* region are touched; see the module docs for why
-        // the joiner must never execute foreign chunks.
-        while let Some(ticket) = self.shared.take_ticket_of(&region) {
-            ticket.participate();
-            ticket.retire_ticket();
+        region.execute_chunks();
+        // Join. Cancel every unclaimed invitation — stale tickets in the
+        // queues become no-ops (the cursor is already drained or aborted
+        // once `execute_chunks` returns, so cancelled helpers lose nothing)
+        // — then wait for in-flight helpers to retire. Only actively
+        // running chunks are ever waited on, which is what keeps nested
+        // regions deadlock-free on any pool size.
+        region.pending.swap(0, Ordering::SeqCst);
+        region.active.fetch_sub(1, Ordering::SeqCst);
+        let mut spins = 0u32;
+        while region.active.load(Ordering::SeqCst) > 0 {
+            if spins < JOIN_SPINS {
+                spins += 1;
+                std::hint::spin_loop();
+            } else {
+                std::thread::park_timeout(JOIN_PARK);
+            }
         }
-        let sync = region.sync.lock().unwrap();
-        let sync = region
-            .quiescent
-            .wait_while(sync, |s| s.active > 0 || s.tickets > 0)
-            .unwrap();
-        drop(sync);
-        let panicked = region.panic.lock().unwrap().take();
-        if let Some(payload) = panicked {
-            resume_unwind(payload);
+        if region.aborted.load(Ordering::Relaxed) {
+            let panicked = region.panic.lock().unwrap().take();
+            if let Some(payload) = panicked {
+                resume_unwind(payload);
+            }
         }
     }
 
     /// Total OS threads this pool has ever spawned.
     pub(crate) fn spawned_threads(&self) -> usize {
         self.shared.spawned.load(Ordering::Relaxed)
+    }
+
+    /// Current scheduling counters.
+    pub(crate) fn stats(&self) -> PoolStats {
+        PoolStats {
+            regions: self.shared.regions.load(Ordering::Relaxed),
+            tickets: self.shared.tickets.load(Ordering::Relaxed),
+            steals: self.shared.steals.load(Ordering::Relaxed),
+        }
     }
 }
 
@@ -310,6 +491,34 @@ static POOL: OnceLock<Pool> = OnceLock::new();
 /// first parallel region forces initialisation).
 pub(crate) fn spawned_so_far() -> usize {
     POOL.get().map(Pool::spawned_threads).unwrap_or(0)
+}
+
+/// Scheduling counters of the shared pool so far (all zero before the first
+/// parallel region forces initialisation).
+pub(crate) fn stats_so_far() -> PoolStats {
+    POOL.get().map(Pool::stats).unwrap_or_default()
+}
+
+/// Measured cost of dispatching and joining one (near-empty) parallel
+/// region on this machine, in nanoseconds. Calibrated once on first call by
+/// timing a burst of two-chunk regions on the shared pool and memoised for
+/// the process lifetime; the sample covers ticket publication, a worker
+/// wake-up, the cursor handshake and the park/unpark join.
+pub(crate) fn estimated_overhead_ns() -> u64 {
+    static SAMPLE: OnceLock<u64> = OnceLock::new();
+    *SAMPLE.get_or_init(|| {
+        let pool = Pool::global();
+        // Warm up: spawn the workers and fault in the code paths.
+        for _ in 0..8 {
+            pool.run_region(2, 1, 2, |_| {});
+        }
+        let rounds = 64u32;
+        let start = std::time::Instant::now();
+        for _ in 0..rounds {
+            pool.run_region(2, 1, 2, |_| {});
+        }
+        (start.elapsed().as_nanos() as u64 / u64::from(rounds)).max(1)
+    })
 }
 
 /// Pool size: `CHORDAL_POOL_THREADS` when set to a positive integer,
@@ -328,4 +537,107 @@ pub(crate) fn configured_size() -> usize {
                     .unwrap_or(1)
             })
     })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_grow_with_submitted_regions() {
+        let pool = Pool::global();
+        let before = pool.stats();
+        for _ in 0..16 {
+            pool.run_region(64, 1, 2, |_| {});
+        }
+        let after = pool.stats();
+        assert!(
+            after.regions >= before.regions + 16,
+            "regions {} -> {}",
+            before.regions,
+            after.regions
+        );
+        assert!(after.tickets >= before.tickets, "tickets must not shrink");
+        assert!(after.steals >= before.steals, "steals must not shrink");
+    }
+
+    #[test]
+    fn overhead_estimate_is_positive_and_memoised() {
+        let first = estimated_overhead_ns();
+        assert!(first >= 1);
+        assert_eq!(first, estimated_overhead_ns(), "sample must be memoised");
+    }
+
+    #[test]
+    fn concurrent_external_submitters_all_complete() {
+        // Many non-worker threads submitting regions at once exercises the
+        // injector path and the wake protocol under contention.
+        let pool = Pool::global();
+        let totals: Vec<usize> = std::thread::scope(|s| {
+            (0..6usize)
+                .map(|t| {
+                    s.spawn(move || {
+                        let sum = AtomicUsize::new(0);
+                        for round in 0..24 {
+                            pool.run_region(500 + t + round, 16, 3, |r| {
+                                sum.fetch_add(r.len(), Ordering::Relaxed);
+                            });
+                        }
+                        sum.into_inner()
+                    })
+                })
+                .map(|h| h.join().unwrap())
+                .collect()
+        });
+        for (t, total) in totals.into_iter().enumerate() {
+            let expected: usize = (0..24).map(|round| 500 + t + round).sum();
+            assert_eq!(total, expected, "submitter {t}");
+        }
+    }
+
+    #[test]
+    fn panics_under_contention_reach_their_own_submitter() {
+        // Several concurrent submitters, half of them panicking: each panic
+        // must surface on its own submitting thread and leave the others
+        // (and the pool) intact.
+        let pool = Pool::global();
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..4usize)
+                .map(|t| {
+                    s.spawn(move || {
+                        let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                            pool.run_region(2_000, 8, 3, |r| {
+                                if t % 2 == 0 && r.contains(&1_111) {
+                                    panic!("contended boom {t}");
+                                }
+                            });
+                        }));
+                        (t, outcome)
+                    })
+                })
+                .collect();
+            for handle in handles {
+                let (t, outcome) = handle.join().unwrap();
+                if t % 2 == 0 {
+                    let payload = outcome.expect_err("even submitters must observe their panic");
+                    let message = payload
+                        .downcast_ref::<String>()
+                        .cloned()
+                        .unwrap_or_default();
+                    assert!(
+                        message.contains(&format!("contended boom {t}")),
+                        "wrong payload for submitter {t}: {message}"
+                    );
+                } else {
+                    outcome.expect("odd submitters must complete cleanly");
+                }
+            }
+        });
+        // The pool still runs work afterwards.
+        let sum = AtomicUsize::new(0);
+        pool.run_region(100, 4, 2, |r| {
+            sum.fetch_add(r.len(), Ordering::Relaxed);
+        });
+        assert_eq!(sum.into_inner(), 100);
+    }
 }

@@ -132,8 +132,19 @@ pub struct ExtractorConfig {
     /// parallelism on the configured engine; smaller graphs are fanned out
     /// across the engine's workers, each extracted serially. `0` forces
     /// intra-graph parallelism for every graph, `usize::MAX` forces pure
-    /// fan-out.
+    /// fan-out. Ignored when [`batch_adaptive`](Self::batch_adaptive) is
+    /// set.
     pub batch_threshold_edges: usize,
+    /// Adaptive batch scheduling: instead of the static
+    /// [`batch_threshold_edges`](Self::batch_threshold_edges) pivot,
+    /// [`crate::ExtractionSession::extract_batch`] derives the pivot from a
+    /// per-graph cost model — estimated extraction work per edge against
+    /// the pool's calibrated per-region dispatch overhead
+    /// ([`chordal_runtime::estimated_region_overhead_ns`]) — so each graph
+    /// is placed where the scheduling overhead actually amortises on this
+    /// machine. Placement never changes extraction output for
+    /// deterministic configurations.
+    pub batch_adaptive: bool,
 }
 
 impl Default for ExtractorConfig {
@@ -148,6 +159,7 @@ impl Default for ExtractorConfig {
             partition_strategy: PartitionStrategy::Blocks,
             repair: false,
             batch_threshold_edges: DEFAULT_BATCH_THRESHOLD_EDGES,
+            batch_adaptive: false,
         }
     }
 }
@@ -168,6 +180,7 @@ impl ExtractorConfig {
             partition_strategy: PartitionStrategy::Blocks,
             repair: false,
             batch_threshold_edges: DEFAULT_BATCH_THRESHOLD_EDGES,
+            batch_adaptive: false,
         }
     }
 
@@ -231,6 +244,13 @@ impl ExtractorConfig {
         self
     }
 
+    /// Builder-style: enables or disables the adaptive batch scheduling
+    /// policy (see [`batch_adaptive`](ExtractorConfig::batch_adaptive)).
+    pub fn with_batch_adaptive(mut self, adaptive: bool) -> Self {
+        self.batch_adaptive = adaptive;
+        self
+    }
+
     /// The partition count the partitioned baseline will actually use
     /// (explicit value, or one partition per engine worker).
     pub fn effective_partitions(&self) -> usize {
@@ -268,6 +288,7 @@ mod tests {
         assert!(!c.record_stats);
         assert!(!c.repair);
         assert_eq!(c.batch_threshold_edges, DEFAULT_BATCH_THRESHOLD_EDGES);
+        assert!(!c.batch_adaptive);
         assert!(c.engine.threads() >= 1);
         assert_eq!(c.effective_partitions(), c.engine.threads());
     }
@@ -282,10 +303,12 @@ mod tests {
             .with_algorithm(Algorithm::Dearing)
             .with_partitions(6, PartitionStrategy::RoundRobin)
             .with_repair(true)
-            .with_batch_threshold_edges(1_000);
+            .with_batch_threshold_edges(1_000)
+            .with_batch_adaptive(true);
         assert!(c.record_stats);
         assert!(c.repair);
         assert_eq!(c.batch_threshold_edges, 1_000);
+        assert!(c.batch_adaptive);
         assert_eq!(c.semantics, Semantics::Asynchronous);
         assert_eq!(c.adjacency, AdjacencyMode::Sorted);
         assert_eq!(c.engine.threads(), 2);

@@ -123,7 +123,7 @@ pub use error::ExtractError;
 pub use extractor::{Algorithm, ChordalExtractor};
 pub use parallel::MaximalChordalExtractor;
 pub use result::ChordalResult;
-pub use session::ExtractionSession;
+pub use session::{adaptive_batch_threshold_edges, ExtractionSession};
 pub use stats::IterationStats;
 pub use workspace::Workspace;
 

@@ -14,7 +14,7 @@
 //! suite can compare against it and *measure* the chordality violations the
 //! paper only discusses qualitatively.
 
-use crate::dearing::extract_dearing;
+use crate::dearing::DearingExtractor;
 use crate::extractor::ChordalExtractor;
 use crate::result::ChordalResult;
 use crate::verify::is_chordal;
@@ -95,24 +95,49 @@ impl ChordalExtractor for PartitionedExtractor {
         "partitioned"
     }
 
-    fn extract_into(&self, graph: &CsrGraph, _workspace: &mut Workspace) -> ChordalResult {
-        // The per-partition Dearing runs work on induced subgraphs of
-        // varying shapes, so this baseline allocates internally rather than
-        // through the workspace; it exists for comparison, not for the
-        // serving path.
-        let report = self.extract_report(graph);
+    fn extract_into(&self, graph: &CsrGraph, workspace: &mut Workspace) -> ChordalResult {
+        // Each partition's Dearing run borrows its own child workspace from
+        // the session workspace's sub-pool, so repeated extractions with
+        // the same partition count reuse every per-part scratch buffer
+        // instead of allocating per run.
+        let partitions = clamp_partitions(graph, self.partitions);
+        let report = extract_partitioned_with(
+            graph,
+            partitions,
+            self.strategy,
+            workspace.sub_pool(partitions),
+        );
         ChordalResult::new(graph.num_vertices(), report.edges, report.partitions, None)
     }
 }
 
-/// Runs the partitioned baseline with `partitions` parts.
+/// Clamps a requested partition count to `[1, num_vertices]`.
+fn clamp_partitions(graph: &CsrGraph, partitions: usize) -> usize {
+    partitions.max(1).min(graph.num_vertices().max(1))
+}
+
+/// Runs the partitioned baseline with `partitions` parts and throwaway
+/// per-partition workspaces. Callers on a repeated path should go through
+/// [`PartitionedExtractor`] and a session workspace instead.
 pub fn extract_partitioned(
     graph: &CsrGraph,
     partitions: usize,
     strategy: PartitionStrategy,
 ) -> PartitionedResult {
+    let partitions = clamp_partitions(graph, partitions);
+    let mut subs: Vec<Workspace> = (0..partitions).map(|_| Workspace::new()).collect();
+    extract_partitioned_with(graph, partitions, strategy, &mut subs)
+}
+
+/// The partitioned pipeline over caller-supplied per-partition workspaces
+/// (`subs.len() >= partitions`, already clamped).
+fn extract_partitioned_with(
+    graph: &CsrGraph,
+    partitions: usize,
+    strategy: PartitionStrategy,
+    subs: &mut [Workspace],
+) -> PartitionedResult {
     let n = graph.num_vertices();
-    let partitions = partitions.max(1).min(n.max(1));
     let part_of = |v: VertexId| -> usize {
         match strategy {
             PartitionStrategy::Blocks => {
@@ -130,32 +155,50 @@ pub fn extract_partitioned(
     }
 
     // Per-partition Dearing extraction (in parallel, as the distributed
-    // algorithm would run them concurrently on different processors).
-    let local_edge_sets: Vec<Vec<Edge>> = members
-        .par_iter()
-        .map(|verts| {
-            if verts.is_empty() {
-                return Vec::new();
-            }
-            let sub = induced_subgraph(graph, verts);
-            let local = extract_dearing(&sub.graph);
-            local
-                .edges()
-                .iter()
-                .map(|&(a, b)| {
-                    let ga = sub.local_to_global[a as usize];
-                    let gb = sub.local_to_global[b as usize];
-                    if ga < gb {
-                        (ga, gb)
-                    } else {
-                        (gb, ga)
-                    }
-                })
-                .collect()
+    // algorithm would run them concurrently on different processors). Each
+    // partition owns one task pairing its member list with its reusable
+    // child workspace and an output slot, so the parallel sweep shares
+    // nothing and the collected edge order stays deterministic (partition
+    // order, then Dearing's own order).
+    struct PartTask<'a> {
+        workspace: &'a mut Workspace,
+        members: &'a [VertexId],
+        edges: Vec<Edge>,
+    }
+    let mut tasks: Vec<PartTask<'_>> = subs
+        .iter_mut()
+        .zip(&members)
+        .map(|(workspace, members)| PartTask {
+            workspace,
+            members,
+            edges: Vec::new(),
         })
         .collect();
+    tasks.as_mut_slice().par_iter_mut().for_each(|task| {
+        if task.members.is_empty() {
+            return;
+        }
+        let sub = induced_subgraph(graph, task.members);
+        let local = DearingExtractor::new().extract_into(&sub.graph, task.workspace);
+        task.edges = local
+            .edges()
+            .iter()
+            .map(|&(a, b)| {
+                let ga = sub.local_to_global[a as usize];
+                let gb = sub.local_to_global[b as usize];
+                if ga < gb {
+                    (ga, gb)
+                } else {
+                    (gb, ga)
+                }
+            })
+            .collect();
+    });
 
-    let mut edges: Vec<Edge> = local_edge_sets.into_iter().flatten().collect();
+    let mut edges: Vec<Edge> = Vec::with_capacity(tasks.iter().map(|t| t.edges.len()).sum());
+    for task in &mut tasks {
+        edges.append(&mut task.edges);
+    }
     let chordal_set: HashSet<Edge> = edges.iter().copied().collect();
 
     // Adjacency of the current chordal set, for the triangle test.
@@ -206,6 +249,7 @@ pub fn extract_partitioned(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::dearing::extract_dearing;
     use chordal_generators::{rmat::RmatKind, rmat::RmatParams, structured};
 
     #[test]
@@ -263,6 +307,32 @@ mod tests {
             })
             .collect();
         assert!(is_chordal(&edge_subgraph(&g, &no_border)));
+    }
+
+    #[test]
+    fn repeated_extractions_reuse_the_per_partition_sub_workspaces() {
+        let g = RmatParams::preset(RmatKind::G, 8, 3).generate();
+        let extractor = PartitionedExtractor::new(4, PartitionStrategy::Blocks);
+        let mut workspace = Workspace::new();
+        let first = extractor.extract_into(&g, &mut workspace);
+        let allocations = workspace.allocations();
+        let bytes = workspace.allocated_bytes();
+        assert!(bytes > 0, "per-part workspaces must be retained");
+        let second = extractor.extract_into(&g, &mut workspace);
+        assert_eq!(
+            first.edges(),
+            second.edges(),
+            "reuse must not change output"
+        );
+        assert_eq!(
+            workspace.allocations(),
+            allocations,
+            "same graph and partition count must not grow the sub-pool"
+        );
+        assert_eq!(workspace.allocated_bytes(), bytes);
+        // The trait path agrees with the standalone pipeline.
+        let standalone = extract_partitioned(&g, 4, PartitionStrategy::Blocks);
+        assert_eq!(first.edges().len(), standalone.num_edges());
     }
 
     #[test]

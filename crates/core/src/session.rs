@@ -39,6 +39,21 @@
 //! Setting the threshold to `usize::MAX` recovers pure fan-out, `0` pure
 //! intra-graph scheduling. All parallel regions execute on the process-wide
 //! persistent worker pool, so neither policy spawns threads per batch.
+//!
+//! # Adaptive scheduling
+//!
+//! With [`ExtractorConfig::batch_adaptive`](crate::config::ExtractorConfig::batch_adaptive)
+//! set, the pivot is not a configured constant but is derived per machine
+//! from a cost model ([`adaptive_batch_threshold_edges`]): intra-graph
+//! parallelism saves roughly `edges · ns_per_edge · (1 - 1/threads)`
+//! nanoseconds of wall time on a graph, and costs about
+//! `regions_per_extraction · region_overhead_ns`, where the per-region
+//! dispatch overhead is the pool's calibrated sample
+//! ([`chordal_runtime::estimated_region_overhead_ns`]). Each graph is
+//! placed on whichever side wins for *it*. Because the fan-out and
+//! intra-graph paths are slot-identical for deterministic configurations,
+//! the adaptive policy can never change extraction output — only where
+//! each graph runs.
 
 use crate::config::ExtractorConfig;
 use crate::extractor::{Algorithm, ChordalExtractor};
@@ -47,6 +62,42 @@ use crate::workspace::Workspace;
 use chordal_graph::CsrGraph;
 use chordal_runtime::Engine;
 use std::sync::OnceLock;
+
+/// Approximate serial extraction work per (undirected) edge, in
+/// nanoseconds. A mid-range figure for Algorithm 1 on cache-resident
+/// R-MAT-like inputs; the adaptive policy only needs the right order of
+/// magnitude, since the clamp below absorbs the rest.
+const ADAPTIVE_NS_PER_EDGE: u64 = 25;
+
+/// Parallel regions one intra-graph extraction typically issues: an init
+/// sweep, a few iterations of queue processing plus next-queue collection,
+/// and the final edge materialisation.
+const ADAPTIVE_REGIONS_PER_EXTRACTION: u64 = 12;
+
+/// Lower clamp of the adaptive pivot: below this, even a free region could
+/// not amortise against cache and queue effects.
+const ADAPTIVE_MIN_THRESHOLD_EDGES: usize = 1_024;
+
+/// Upper clamp of the adaptive pivot: graphs this large always benefit
+/// from intra-graph parallelism on any machine we target.
+const ADAPTIVE_MAX_THRESHOLD_EDGES: usize = 1 << 20;
+
+/// Computes the adaptive batch pivot for an engine with `threads` workers:
+/// the edge count above which a graph's estimated parallel win
+/// (`edges · ns_per_edge · (1 - 1/threads)`) exceeds the scheduling cost
+/// of the regions an intra-graph extraction issues, using the pool's
+/// calibrated per-region overhead sample. Deterministic per process (the
+/// overhead sample is memoised), monotonically decreasing in `threads`,
+/// and clamped to a sane range so a noisy calibration cannot produce a
+/// degenerate policy.
+pub fn adaptive_batch_threshold_edges(threads: usize) -> usize {
+    let overhead_ns = chordal_runtime::estimated_region_overhead_ns().max(1);
+    let t = threads.max(2) as u64;
+    let win_per_edge_ns = (ADAPTIVE_NS_PER_EDGE * (t - 1) / t).max(1);
+    let region_cost_ns = overhead_ns.saturating_mul(ADAPTIVE_REGIONS_PER_EXTRACTION);
+    ((region_cost_ns / win_per_edge_ns) as usize)
+        .clamp(ADAPTIVE_MIN_THRESHOLD_EDGES, ADAPTIVE_MAX_THRESHOLD_EDGES)
+}
 
 /// A configured extractor paired with a reusable [`Workspace`].
 pub struct ExtractionSession {
@@ -99,6 +150,21 @@ impl ExtractionSession {
         self.extractor.extract_into(graph, &mut self.workspace)
     }
 
+    /// The batch pivot [`ExtractionSession::extract_batch`] will use:
+    /// the static
+    /// [`batch_threshold_edges`](crate::config::ExtractorConfig::batch_threshold_edges),
+    /// or — when
+    /// [`batch_adaptive`](crate::config::ExtractorConfig::batch_adaptive)
+    /// is set — the machine-calibrated estimate of
+    /// [`adaptive_batch_threshold_edges`].
+    pub fn effective_batch_threshold(&self) -> usize {
+        if self.config.batch_adaptive {
+            adaptive_batch_threshold_edges(self.config.engine.threads())
+        } else {
+            self.config.batch_threshold_edges
+        }
+    }
+
     /// Extracts from every graph of a batch, in input order, under the
     /// hybrid scheduling policy.
     ///
@@ -115,6 +181,11 @@ impl ExtractionSession {
     ///   [`ExtractionSession::extract`] — the configured engine's
     ///   intra-graph parallelism and the session workspace.
     ///
+    /// With
+    /// [`ExtractorConfig::batch_adaptive`](crate::config::ExtractorConfig::batch_adaptive)
+    /// the pivot is [`adaptive_batch_threshold_edges`] instead of the
+    /// static configuration value (see the module docs).
+    ///
     /// Results are slot-identical to single-graph runs for every
     /// deterministic configuration, whichever side of the threshold a graph
     /// lands on.
@@ -125,7 +196,7 @@ impl ExtractionSession {
         if self.config.engine.threads() <= 1 || graphs.len() == 1 {
             return graphs.iter().map(|g| self.extract(g)).collect();
         }
-        let threshold = self.config.batch_threshold_edges;
+        let threshold = self.effective_batch_threshold();
         let small: Vec<usize> = (0..graphs.len())
             .filter(|&i| graphs[i].num_edges() < threshold)
             .collect();
@@ -331,6 +402,71 @@ mod tests {
         assert_eq!(session.workspace().allocations(), allocations);
         for (a, b) in first.iter().zip(&second) {
             assert_eq!(a.num_vertices(), b.num_vertices());
+        }
+    }
+
+    #[test]
+    fn adaptive_threshold_is_clamped_and_stable() {
+        for threads in [1, 2, 4, 16] {
+            let t = adaptive_batch_threshold_edges(threads);
+            assert!(
+                (ADAPTIVE_MIN_THRESHOLD_EDGES..=ADAPTIVE_MAX_THRESHOLD_EDGES).contains(&t),
+                "threads {threads}: pivot {t} out of clamp range"
+            );
+            // The overhead sample is memoised, so the pivot is stable
+            // within a process.
+            assert_eq!(t, adaptive_batch_threshold_edges(threads));
+        }
+        // More workers means more win per edge, so the pivot can only drop.
+        assert!(adaptive_batch_threshold_edges(8) <= adaptive_batch_threshold_edges(2));
+    }
+
+    #[test]
+    fn adaptive_sessions_report_the_calibrated_pivot() {
+        let session = ExtractionSession::new(
+            ExtractorConfig::default()
+                .with_engine(chordal_runtime::Engine::rayon(3))
+                .with_batch_threshold_edges(777)
+                .with_batch_adaptive(true),
+        );
+        assert_eq!(
+            session.effective_batch_threshold(),
+            adaptive_batch_threshold_edges(3),
+            "adaptive sessions must ignore the static pivot"
+        );
+        let static_session = ExtractionSession::new(
+            ExtractorConfig::default()
+                .with_engine(chordal_runtime::Engine::rayon(3))
+                .with_batch_threshold_edges(777),
+        );
+        assert_eq!(static_session.effective_batch_threshold(), 777);
+    }
+
+    #[test]
+    fn adaptive_batches_match_the_static_policy_exactly() {
+        // Deterministic configs: placement must never change output, so the
+        // adaptive policy agrees slot for slot with every static pivot.
+        let graphs: Vec<CsrGraph> = (0..3)
+            .flat_map(|seed| {
+                [
+                    RmatParams::preset(RmatKind::Er, 9, seed).generate(),
+                    RmatParams::preset(RmatKind::G, 6, seed).generate(),
+                ]
+            })
+            .collect();
+        let refs: Vec<&CsrGraph> = graphs.iter().collect();
+        let base = ExtractorConfig::default()
+            .with_engine(chordal_runtime::Engine::rayon(3))
+            .with_semantics(Semantics::Synchronous);
+        let adaptive =
+            ExtractionSession::new(base.clone().with_batch_adaptive(true)).extract_batch(&refs);
+        for pivot in [0, 2_000, usize::MAX] {
+            let static_batch =
+                ExtractionSession::new(base.clone().with_batch_threshold_edges(pivot))
+                    .extract_batch(&refs);
+            for (i, (a, b)) in adaptive.iter().zip(&static_batch).enumerate() {
+                assert_eq!(a.edges(), b.edges(), "pivot {pivot} slot {i}");
+            }
         }
     }
 

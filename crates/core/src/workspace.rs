@@ -57,6 +57,10 @@ pub struct Workspace {
     pub(crate) lists: Vec<Vec<VertexId>>,
     /// Bucket queue over set cardinalities (Dearing's max-selection).
     pub(crate) buckets: Vec<Vec<VertexId>>,
+    /// Pool of child workspaces for extractors that run nested per-part
+    /// extractions concurrently (the partitioned baseline gives each
+    /// partition its own). Grown on demand, retained across runs.
+    pub(crate) subs: Vec<Workspace>,
     /// Number of buffer-growth events since the workspace was created.
     allocations: usize,
 }
@@ -104,6 +108,24 @@ impl Workspace {
             + vec_bytes(self.queue_b.capacity(), size_of::<VertexId>())
             + nested(&self.lists)
             + nested(&self.buckets)
+            + self.subs.capacity() * std::mem::size_of::<Workspace>()
+            + self
+                .subs
+                .iter()
+                .map(Workspace::allocated_bytes)
+                .sum::<usize>()
+    }
+
+    /// A pool of `count` child workspaces, one per concurrent nested
+    /// extraction (e.g. one per partition of the partitioned baseline).
+    /// Children are created once and reused across runs, so repeated
+    /// extractions with the same partition count stop allocating.
+    pub(crate) fn sub_pool(&mut self, count: usize) -> &mut [Workspace] {
+        if self.subs.len() < count {
+            self.allocations += 1;
+            self.subs.resize_with(count, Workspace::new);
+        }
+        &mut self.subs[..count]
     }
 
     /// Resets and sizes the atomic per-vertex state for a graph with `n`

@@ -1,4 +1,11 @@
 //! Lock-amortised parallel collection of per-worker buffers.
+//!
+//! Note: the engines' own chunk-result collection
+//! ([`crate::Engine::parallel_collect`]) no longer uses this type — it
+//! writes pre-sized per-chunk slots (`rayon::slots::ChunkSlots`) with no
+//! synchronization at all. [`ParallelCollector`] remains for callers whose
+//! producers do not map onto a region's chunk structure (ad-hoc scoped
+//! threads, unknown-cardinality accumulation).
 
 use std::sync::Mutex;
 
@@ -6,9 +13,7 @@ use std::sync::Mutex;
 ///
 /// Each worker accumulates results into its own `Vec` and appends the whole
 /// buffer under a short critical section; contention is therefore one lock
-/// acquisition per *chunk*, not per item. The frontier construction of
-/// Algorithm 1 (building queue `Q2` from the vertices whose lowest parent
-/// advanced) uses this to avoid a concurrent queue.
+/// acquisition per *chunk*, not per item.
 #[derive(Debug, Default)]
 pub struct ParallelCollector<T> {
     inner: Mutex<Vec<T>>,

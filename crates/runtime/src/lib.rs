@@ -212,23 +212,57 @@ impl Engine {
         }
     }
 
+    /// Indices one scheduled work unit of this engine processes (the grain
+    /// size); irrelevant for the serial engine, which runs everything as a
+    /// single unit.
+    fn grain_size(&self) -> usize {
+        match self {
+            Engine::Serial => usize::MAX,
+            Engine::Chunked(c) => c.grain(),
+            Engine::Rayon { grain, .. } => *grain,
+        }
+    }
+
     /// Runs `f` for every index, collecting the items each call appends to a
-    /// thread-local buffer into one output vector. Ordering of the result is
-    /// unspecified for parallel engines.
+    /// thread-local buffer into one output vector, in chunk order.
+    ///
+    /// Collection is slot-based ([`rayon::slots::ChunkSlots`]): every chunk
+    /// of the iteration space owns one pre-sized result slot that it writes
+    /// without synchronization, so the former per-chunk mutex append is
+    /// gone from the region hot path — and, as a byproduct, the output
+    /// order is deterministic (index order, matching the serial engine)
+    /// instead of completion order.
     pub fn parallel_collect<T, F>(&self, n: usize, f: F) -> Vec<T>
     where
         T: Send,
         F: Fn(usize, &mut Vec<T>) + Sync,
     {
-        let collector = ParallelCollector::new();
+        if n == 0 {
+            return Vec::new();
+        }
+        let grain = self.grain_size();
+        let chunks = n.div_ceil(grain.max(1));
+        if self.threads() <= 1 || chunks <= 1 {
+            let mut out = Vec::new();
+            for i in 0..n {
+                f(i, &mut out);
+            }
+            return out;
+        }
+        let slots: rayon::slots::ChunkSlots<Vec<T>> = rayon::slots::ChunkSlots::new(chunks);
         self.parallel_for_chunks(n, |range| {
             let mut local = Vec::new();
-            for i in range {
+            for i in range.clone() {
                 f(i, &mut local);
             }
-            collector.append(local);
+            slots.write(range.start / grain, local);
         });
-        collector.into_vec()
+        let buffers = slots.into_vec();
+        let mut out = Vec::with_capacity(buffers.iter().map(Vec::len).sum());
+        for buffer in buffers {
+            out.extend(buffer);
+        }
+        out
     }
 }
 
@@ -237,6 +271,27 @@ pub fn available_threads() -> usize {
     std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1)
+}
+
+/// Monotonic scheduling counters of the shared persistent pool (regions
+/// submitted, tickets published, steals). Re-exported from the pool layer
+/// so schedulers and benchmarks above the runtime can observe dispatch
+/// behaviour without depending on the rayon substitute directly.
+pub use rayon::PoolStats;
+
+/// Current scheduling counters of the shared persistent pool; all zero
+/// before the first parallel region. Take a delta around a workload to
+/// attribute regions/tickets/steals to it.
+pub fn pool_stats() -> PoolStats {
+    rayon::pool_stats()
+}
+
+/// Calibrated per-region dispatch overhead of the shared pool in
+/// nanoseconds (ticket publication, worker wake-up, cursor handshake,
+/// join). Memoised after the first call. The adaptive batch scheduler uses
+/// this sample to pick between graph fan-out and intra-graph parallelism.
+pub fn estimated_region_overhead_ns() -> u64 {
+    rayon::estimated_region_overhead_ns()
 }
 
 #[cfg(test)]
@@ -306,6 +361,32 @@ mod tests {
             let expected: Vec<usize> = (0..n).filter(|i| i % 3 == 0).collect();
             assert_eq!(out, expected, "engine {:?}", engine);
         }
+    }
+
+    #[test]
+    fn parallel_collect_returns_items_in_index_order() {
+        // Slot-based collection makes the output deterministic: chunk order
+        // equals index order, matching the serial engine exactly — no sort
+        // needed.
+        for engine in engines() {
+            let n = 2_377;
+            let out = engine.parallel_collect(n, |i, buf| {
+                if i % 5 != 2 {
+                    buf.push(i * 3);
+                }
+            });
+            let expected: Vec<usize> = (0..n).filter(|i| i % 5 != 2).map(|i| i * 3).collect();
+            assert_eq!(out, expected, "engine {:?}", engine);
+        }
+    }
+
+    #[test]
+    fn pool_stats_and_overhead_are_observable() {
+        let before = pool_stats();
+        Engine::chunked(4).parallel_for(50_000, |_| {});
+        let after = pool_stats();
+        assert!(after.regions >= before.regions, "regions must not shrink");
+        assert!(estimated_region_overhead_ns() >= 1);
     }
 
     #[test]

@@ -7,6 +7,14 @@
 //! `extract_batch` under the configured engine. It reports wall time per
 //! policy so the scoped-spawn baseline, the persistent pool, and the hybrid
 //! threshold policy can be compared across commits.
+//!
+//! Besides the static pivots (pure fan-out, a fixed hybrid threshold, pure
+//! intra-graph), the sweep includes the **adaptive** policy
+//! (`ExtractorConfig::with_batch_adaptive`): the pivot is derived at run
+//! time from the pool's calibrated per-region dispatch overhead, so the
+//! printout shows what the cost model chose on this machine next to the
+//! hand-picked thresholds it competes with. For the raw dispatch-overhead
+//! numbers the policy consumes, see `examples/pool_overhead.rs`.
 
 use maximal_chordal::prelude::*;
 use std::time::Instant;
@@ -83,26 +91,32 @@ fn main() {
 
     for threads in [2, 4] {
         for (policy, threshold) in [
-            ("fan-out", usize::MAX),
-            ("hybrid(10k)", 10_000),
-            ("intra", 0),
+            ("fan-out", Some(usize::MAX)),
+            ("hybrid(10k)", Some(10_000)),
+            ("intra", Some(0)),
+            ("adaptive", None),
         ] {
+            let configure = |config: ExtractorConfig| match threshold {
+                Some(threshold) => config.with_batch_threshold_edges(threshold),
+                None => config.with_batch_adaptive(true),
+            };
             time_batch(
                 &format!("rayon x{threads} {policy}"),
-                ExtractorConfig::default()
-                    .with_engine(Engine::rayon(threads))
-                    .with_batch_threshold_edges(threshold),
+                configure(ExtractorConfig::default().with_engine(Engine::rayon(threads))),
                 &refs,
             );
             time_batch(
                 &format!("pool x{threads} {policy}"),
-                ExtractorConfig::default()
-                    .with_engine(Engine::chunked(threads))
-                    .with_batch_threshold_edges(threshold),
+                configure(ExtractorConfig::default().with_engine(Engine::chunked(threads))),
                 &refs,
             );
         }
     }
+    println!(
+        "adaptive pivot resolved to {} edges on this machine (region overhead sample {} ns)",
+        maximal_chordal::core::adaptive_batch_threshold_edges(4),
+        maximal_chordal::runtime::estimated_region_overhead_ns()
+    );
     time_batch(
         "serial",
         ExtractorConfig::serial(AdjacencyMode::Sorted),

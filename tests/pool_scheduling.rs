@@ -12,9 +12,14 @@
 //!   edge-subset-valid;
 //! * bit-for-bit agreement between pooled and serial engines for every
 //!   deterministic configuration;
-//! * hybrid-batch slot equivalence across thresholds and algorithms;
+//! * hybrid-batch slot equivalence across thresholds and algorithms, and
+//!   equivalence of the adaptive policy
+//!   (`ExtractorConfig::batch_adaptive`) with every static pivot — batch
+//!   placement must never change extraction output for deterministic
+//!   configs;
 //! * an end-to-end assertion that sustained extraction traffic reuses the
-//!   pool's workers instead of spawning threads.
+//!   pool's workers instead of spawning threads, with the pool's lock-free
+//!   dispatch counters growing as regions are submitted.
 
 use maximal_chordal::prelude::*;
 use rand::rngs::StdRng;
@@ -185,6 +190,79 @@ fn batch_threshold_extremes_agree_on_random_batches() {
             assert_eq!(a.edges(), c.edges(), "seed {seed}");
         }
     }
+}
+
+#[test]
+fn adaptive_batches_agree_with_static_policies_for_every_algorithm() {
+    // Mixed sizes so the adaptive pivot genuinely splits the batch on at
+    // least some machines; whatever it resolves to, the output must be
+    // identical to every static pivot under deterministic (synchronous)
+    // semantics.
+    let graphs: Vec<CsrGraph> = (0..3)
+        .flat_map(|seed| {
+            [
+                RmatParams::preset(RmatKind::Er, 9, seed).generate(),
+                RmatParams::preset(RmatKind::G, 6, seed).generate(),
+            ]
+        })
+        .collect();
+    let refs: Vec<&CsrGraph> = graphs.iter().collect();
+    for algorithm in Algorithm::ALL {
+        let base = ExtractorConfig::default()
+            .with_algorithm(algorithm)
+            .with_engine(Engine::rayon(3))
+            .with_semantics(Semantics::Synchronous)
+            .with_partitions(
+                3,
+                maximal_chordal::core::partitioned::PartitionStrategy::Blocks,
+            );
+        let mut adaptive_session = ExtractionSession::new(base.clone().with_batch_adaptive(true));
+        assert_eq!(
+            adaptive_session.effective_batch_threshold(),
+            maximal_chordal::core::adaptive_batch_threshold_edges(3),
+            "{algorithm}: adaptive sessions must use the calibrated pivot"
+        );
+        let adaptive = adaptive_session.extract_batch(&refs);
+        for pivot in [0, 2_000, usize::MAX] {
+            let static_batch =
+                ExtractionSession::new(base.clone().with_batch_threshold_edges(pivot))
+                    .extract_batch(&refs);
+            for (i, (a, b)) in adaptive.iter().zip(&static_batch).enumerate() {
+                assert_eq!(
+                    a.edges(),
+                    b.edges(),
+                    "{algorithm}: adaptive diverged from pivot {pivot} at slot {i}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn batch_traffic_grows_the_pool_dispatch_counters() {
+    // Scale 11 (2048 vertices): comfortably above the engines' grain, so
+    // the intra-graph sweeps split into several chunks and submit real
+    // regions instead of running inline.
+    let graphs: Vec<CsrGraph> = (0..3)
+        .map(|seed| RmatParams::preset(RmatKind::Er, 11, seed).generate())
+        .collect();
+    let refs: Vec<&CsrGraph> = graphs.iter().collect();
+    let mut session = ExtractionSession::new(
+        ExtractorConfig::default()
+            .with_engine(Engine::rayon(4))
+            .with_batch_threshold_edges(0), // intra-graph: every graph submits regions
+    );
+    let before = rayon::pool_stats();
+    session.extract_batch(&refs);
+    let after = rayon::pool_stats();
+    assert!(
+        after.regions > before.regions,
+        "intra-graph batch extraction must submit pool regions ({} -> {})",
+        before.regions,
+        after.regions
+    );
+    assert!(after.tickets >= before.tickets);
+    assert!(after.steals >= before.steals);
 }
 
 #[test]
