@@ -16,6 +16,7 @@
 //!   chordal-fraction  Percentage of chordal edges (Section V)
 //!   maximality-gap    Near-maximality probe (reproduction finding)
 //!   scheduler         Batch-scheduling policy ablation (pool counters)
+//!   repair            Maximality-repair strategy ablation (incremental vs scratch)
 //!   all               Run everything above in order
 //!
 //! Options:
@@ -28,8 +29,8 @@
 //! ```
 
 use chordal_bench::experiments::{
-    chordal_fraction, figure2, figure3, figure7, maximality_gap, scaling, scheduler, table1,
-    table2, HarnessOptions,
+    chordal_fraction, figure2, figure3, figure7, maximality_gap, repair, scaling, scheduler,
+    table1, table2, HarnessOptions,
 };
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -79,6 +80,9 @@ fn main() -> ExitCode {
         "scheduler" => {
             scheduler::run_and_print(&options);
         }
+        "repair" => {
+            repair::run_and_print(&options);
+        }
         "all" => {
             table1::run_and_print(&options);
             println!();
@@ -101,6 +105,8 @@ fn main() -> ExitCode {
             maximality_gap::run_and_print(&options);
             println!();
             scheduler::run_and_print(&options);
+            println!();
+            repair::run_and_print(&options);
         }
         "help" | "--help" | "-h" => {
             print_usage();
@@ -116,7 +122,7 @@ fn main() -> ExitCode {
 
 fn print_usage() {
     println!(
-        "usage: experiments <table1|figure2|figure3|figure4|figure5|figure6|figure7|table2|chordal-fraction|maximality-gap|scheduler|all> \
+        "usage: experiments <table1|figure2|figure3|figure4|figure5|figure6|figure7|table2|chordal-fraction|maximality-gap|scheduler|repair|all> \
          [--scale N] [--genes N] [--threads N] [--repeats N] [--out PATH] [--quick]"
     );
 }

@@ -4,9 +4,9 @@
 //! (Table I, Figures 2–7, Table II), to one quantitative claim made in the
 //! text (chordal edge fractions, near-maximality of the output), or to one
 //! implementation ablation beyond the paper (the `scheduler` batch-policy
-//! sweep). The `experiments` binary dispatches to these based on its
-//! subcommand; the modules are also exercised directly by the integration
-//! tests at reduced sizes.
+//! sweep and the `repair` strategy ablation). The `experiments` binary
+//! dispatches to these based on its subcommand; the modules are also
+//! exercised directly by the integration tests at reduced sizes.
 
 pub mod chordal_fraction;
 pub mod figure2;
@@ -14,6 +14,7 @@ pub mod figure3;
 pub mod figure7;
 pub mod maximality_gap;
 pub mod options;
+pub mod repair;
 pub mod scaling;
 pub mod scheduler;
 pub mod table1;

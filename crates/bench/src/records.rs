@@ -101,6 +101,53 @@ impl_to_json!(SchedulerPoint {
     region_overhead_ns,
 });
 
+/// One point of the `repair` ablation: one graph repaired with one
+/// [`chordal_core::RepairStrategy`] after an `alg1` extraction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RepairPoint {
+    /// Experiment id (`"repair"`).
+    pub experiment: String,
+    /// Graph name (e.g. `"RMAT-ER(14)"`).
+    pub graph: String,
+    /// Repair strategy (`"incremental"`, `"scratch"`).
+    pub strategy: String,
+    /// Edges of the host graph.
+    pub graph_edges: usize,
+    /// Chordal edges before the repair pass.
+    pub base_edges: usize,
+    /// Chordal edges after the repair pass.
+    pub repaired_edges: usize,
+    /// Edges the repair pass added back.
+    pub added: usize,
+    /// Distinct rejected candidates the pass examined.
+    pub examined: usize,
+    /// Best wall-clock seconds of the base extraction (no repair).
+    pub extract_seconds: f64,
+    /// Best wall-clock seconds of the repair pass alone.
+    pub repair_seconds: f64,
+    /// Heap bytes retained by the repair workspace after the runs.
+    pub workspace_bytes: usize,
+    /// Workspace buffer-growth events during the timed (post-warm-up)
+    /// repairs — the regression lock that repeated repairs are
+    /// allocation-free (expected 0).
+    pub allocations_delta: usize,
+}
+
+impl_to_json!(RepairPoint {
+    experiment,
+    graph,
+    strategy,
+    graph_edges,
+    base_edges,
+    repaired_edges,
+    added,
+    examined,
+    extract_seconds,
+    repair_seconds,
+    workspace_bytes,
+    allocations_delta,
+});
+
 /// A free-form experiment record: an id plus a JSON-encodable payload. Used
 /// for the non-timing experiments (Table I, Figures 2-3, 7, Table II,
 /// chordal fractions).
@@ -188,6 +235,29 @@ mod tests {
         assert!(json.contains("\"experiment\":\"scheduler\""));
         assert!(json.contains("\"policy\":\"adaptive\""));
         assert!(json.contains("\"threshold_edges\":2048"));
+    }
+
+    #[test]
+    fn repair_point_serialises_to_json() {
+        let p = RepairPoint {
+            experiment: "repair".into(),
+            graph: "RMAT-ER(14)".into(),
+            strategy: "incremental".into(),
+            graph_edges: 131_000,
+            base_edges: 15_000,
+            repaired_edges: 16_000,
+            added: 1_000,
+            examined: 115_000,
+            extract_seconds: 0.007,
+            repair_seconds: 0.008,
+            workspace_bytes: 1_048_576,
+            allocations_delta: 0,
+        };
+        let json = p.to_json();
+        assert!(json.contains("\"experiment\":\"repair\""));
+        assert!(json.contains("\"strategy\":\"incremental\""));
+        assert!(json.contains("\"graph_edges\":131000"));
+        assert!(json.contains("\"allocations_delta\":0"));
     }
 
     #[test]

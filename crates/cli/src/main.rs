@@ -7,6 +7,7 @@
 //! chordal extract  --in graph.txt --out chordal.txt [--algorithm alg1|reference|dearing|partitioned]
 //!                  [--threads 8] [--engine pool|rayon|serial] [--variant opt|unopt]
 //!                  [--semantics async|sync] [--partitions N] [--stats] [--stitch] [--repair]
+//!                  [--repair-strategy incremental|scratch]
 //! chordal batch    --in a.txt,b.txt,c.txt [--batch-threshold N | --adaptive]
 //!                  [--threads 8] [--engine pool|rayon|serial] [--repeat N] [...extract flags]
 //! chordal analyze  --in graph.txt
@@ -34,7 +35,8 @@ use chordal_analysis::TableRow;
 use chordal_core::connect::stitch_components;
 use chordal_core::verify::{check_maximality, is_chordal, MaximalityReport};
 use chordal_core::{
-    AdjacencyMode, Algorithm, ExtractError, ExtractionSession, ExtractorConfig, Semantics,
+    AdjacencyMode, Algorithm, ExtractError, ExtractionSession, ExtractorConfig, RepairStrategy,
+    Semantics,
 };
 use chordal_generators::bio::GeneNetworkKind;
 use chordal_generators::rmat::{RmatKind, RmatParams};
@@ -82,7 +84,7 @@ fn print_usage() {
          \x20 extract  --in FILE [--out FILE] [--algorithm alg1|reference|dearing|partitioned]\n\
          \x20          [--threads N] [--engine serial|pool|rayon] [--variant opt|unopt]\n\
          \x20          [--semantics async|sync] [--partitions N] [--stats] [--stitch]\n\
-         \x20          [--repair]\n\
+         \x20          [--repair] [--repair-strategy incremental|scratch]\n\
          \x20 batch    --in FILE[,FILE...] [--batch-threshold EDGES | --adaptive]\n\
          \x20          [--repeat N] [...extract flags]\n\
          \x20 analyze  --in FILE\n\
@@ -207,12 +209,18 @@ fn extraction_config(flags: &Flags) -> Result<ExtractorConfig, ExtractError> {
         "batch-threshold",
         chordal_core::config::DEFAULT_BATCH_THRESHOLD_EDGES,
     )?;
+    let repair_strategy = match flags.get("repair-strategy") {
+        None => RepairStrategy::default(),
+        Some(name) => RepairStrategy::parse(name)?,
+    };
     ExtractorConfig::default()
         .with_algorithm(algorithm)
         .with_adjacency(adjacency)
         .with_semantics(semantics)
         .with_stats(flags.contains_key("stats"))
-        .with_repair(flags.contains_key("repair"))
+        // Naming a strategy implies the repair pass itself.
+        .with_repair(flags.contains_key("repair") || flags.contains_key("repair-strategy"))
+        .with_repair_strategy(repair_strategy)
         .with_partitions(
             partitions,
             chordal_core::partitioned::PartitionStrategy::Blocks,

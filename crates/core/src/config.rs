@@ -4,6 +4,7 @@
 use crate::error::ExtractError;
 use crate::extractor::Algorithm;
 use crate::partitioned::PartitionStrategy;
+use crate::repair::RepairStrategy;
 use chordal_runtime::Engine;
 
 /// How neighbour lists are traversed when searching for the next lowest
@@ -126,6 +127,12 @@ pub struct ExtractorConfig {
     /// extraction, restoring strict maximality (`alg1 + repair` is the
     /// configuration comparable against the Dearing baseline end to end).
     pub repair: bool,
+    /// How the repair pass decides whether a candidate edge is addable:
+    /// [`RepairStrategy::Incremental`] (default — maintained chordal
+    /// subgraph, separator test per candidate) or
+    /// [`RepairStrategy::Scratch`] (full re-verification per candidate,
+    /// kept for differential testing). CLI flag `--repair-strategy`.
+    pub repair_strategy: RepairStrategy,
     /// Edge-count pivot of the hybrid batch scheduling policy in
     /// [`crate::ExtractionSession::extract_batch`]: graphs with at least
     /// this many (undirected) edges run one at a time with intra-graph
@@ -158,6 +165,7 @@ impl Default for ExtractorConfig {
             partitions: 0,
             partition_strategy: PartitionStrategy::Blocks,
             repair: false,
+            repair_strategy: RepairStrategy::default(),
             batch_threshold_edges: DEFAULT_BATCH_THRESHOLD_EDGES,
             batch_adaptive: false,
         }
@@ -179,6 +187,7 @@ impl ExtractorConfig {
             partitions: 0,
             partition_strategy: PartitionStrategy::Blocks,
             repair: false,
+            repair_strategy: RepairStrategy::default(),
             batch_threshold_edges: DEFAULT_BATCH_THRESHOLD_EDGES,
             batch_adaptive: false,
         }
@@ -236,6 +245,13 @@ impl ExtractorConfig {
         self
     }
 
+    /// Builder-style: sets the strategy of the maximality repair post-pass
+    /// (see [`repair_strategy`](ExtractorConfig::repair_strategy)).
+    pub fn with_repair_strategy(mut self, strategy: RepairStrategy) -> Self {
+        self.repair_strategy = strategy;
+        self
+    }
+
     /// Builder-style: sets the edge-count pivot of the hybrid batch
     /// scheduling policy (see
     /// [`batch_threshold_edges`](ExtractorConfig::batch_threshold_edges)).
@@ -287,6 +303,7 @@ mod tests {
         assert_eq!(c.semantics, Semantics::Asynchronous);
         assert!(!c.record_stats);
         assert!(!c.repair);
+        assert_eq!(c.repair_strategy, RepairStrategy::Incremental);
         assert_eq!(c.batch_threshold_edges, DEFAULT_BATCH_THRESHOLD_EDGES);
         assert!(!c.batch_adaptive);
         assert!(c.engine.threads() >= 1);
@@ -303,10 +320,12 @@ mod tests {
             .with_algorithm(Algorithm::Dearing)
             .with_partitions(6, PartitionStrategy::RoundRobin)
             .with_repair(true)
+            .with_repair_strategy(RepairStrategy::Scratch)
             .with_batch_threshold_edges(1_000)
             .with_batch_adaptive(true);
         assert!(c.record_stats);
         assert!(c.repair);
+        assert_eq!(c.repair_strategy, RepairStrategy::Scratch);
         assert_eq!(c.batch_threshold_edges, 1_000);
         assert!(c.batch_adaptive);
         assert_eq!(c.semantics, Semantics::Asynchronous);

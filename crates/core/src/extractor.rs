@@ -146,7 +146,11 @@ impl Algorithm {
             )),
         };
         if config.repair {
-            Box::new(crate::repair::RepairExtractor::new(inner, self))
+            Box::new(crate::repair::RepairExtractor::new(
+                inner,
+                self,
+                config.repair_strategy,
+            ))
         } else {
             inner
         }

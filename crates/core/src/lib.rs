@@ -98,7 +98,12 @@
 //! controls its size), so batch traffic never spawns threads per region.
 //! Adding [`ExtractorConfig::repair`] (CLI `--repair`) appends the
 //! maximality repair post-pass, making `alg1 + repair` comparable against
-//! the Dearing baseline end to end.
+//! the Dearing baseline end to end. The pass defaults to the *incremental*
+//! chordality maintainer ([`repair::incremental`]: maintained chordal
+//! subgraph + separator test per candidate, no per-candidate subgraph
+//! rebuild); [`ExtractorConfig::repair_strategy`] (CLI `--repair-strategy
+//! incremental|scratch`) selects the quadratic from-scratch baseline for
+//! differential testing.
 
 #![deny(missing_docs)]
 
@@ -122,6 +127,7 @@ pub use config::{AdjacencyMode, ExtractorConfig, Semantics};
 pub use error::ExtractError;
 pub use extractor::{Algorithm, ChordalExtractor};
 pub use parallel::MaximalChordalExtractor;
+pub use repair::RepairStrategy;
 pub use result::ChordalResult;
 pub use session::{adaptive_batch_threshold_edges, ExtractionSession};
 pub use stats::IterationStats;
@@ -134,6 +140,7 @@ pub mod prelude {
     pub use crate::extract_maximal_chordal;
     pub use crate::extractor::{Algorithm, ChordalExtractor};
     pub use crate::parallel::MaximalChordalExtractor;
+    pub use crate::repair::RepairStrategy;
     pub use crate::result::ChordalResult;
     pub use crate::session::ExtractionSession;
     pub use crate::verify;

@@ -8,16 +8,85 @@
 //! rejected edges and re-adds every edge whose addition keeps the subgraph
 //! chordal.
 //!
-//! The pass re-verifies chordality from scratch after every tentative
-//! addition (`O(V + E log Δ)` per candidate), so it is intended for
-//! moderate-size graphs or as an offline post-processing step; the paper's
-//! algorithm itself remains the fast path.
+//! # Strategies
+//!
+//! Whether a candidate edge is addable can be decided two ways, selected by
+//! [`RepairStrategy`] (config field
+//! [`crate::ExtractorConfig::repair_strategy`], CLI `--repair-strategy`):
+//!
+//! * [`RepairStrategy::Incremental`] (the default) maintains the current
+//!   chordal subgraph across candidates ([`incremental`]) and answers the
+//!   insertion question with an early-exit separator search —
+//!   `O(deg u + deg v + explored)` per candidate, no subgraph rebuild, no
+//!   per-candidate allocation. This is what makes `alg1 + repair` viable at
+//!   benchmark scale.
+//! * [`RepairStrategy::Scratch`] re-verifies chordality from scratch after
+//!   every tentative addition (`O(V + E log Δ)` per candidate, quadratic
+//!   over a pass). It is kept as the differential-testing baseline; both
+//!   strategies scan the same candidates in the same order and accept
+//!   exactly the same edges, so their outputs are identical.
+//!
+//! Both strategies run through one greedy driver whose scratch state lives
+//! in the [`Workspace`], so repeated repairs reuse allocations.
+//!
+//! # Result metadata
+//!
+//! [`repair_result_with`] counts the repair pass as one extra iteration of
+//! the repaired [`ChordalResult`] and — when per-iteration stats were
+//! recorded — appends one aggregate record (`examined` candidates,
+//! `added` edges), keeping the invariants
+//! `stats.iterations() == result.iterations` and
+//! `stats.total_edges() == result.num_chordal_edges()` intact for repaired
+//! results.
 
+pub mod incremental;
+
+use crate::error::ExtractError;
+use crate::repair::incremental::{IncrementalChordal, RepairMarks, RepairScratch};
 use crate::result::ChordalResult;
 use crate::verify::is_chordal;
+use crate::workspace::Workspace;
 use chordal_graph::subgraph::edge_subgraph;
-use chordal_graph::{CsrGraph, Edge};
-use std::collections::HashSet;
+use chordal_graph::{CsrGraph, Edge, VertexId};
+
+/// How the repair pass decides whether a candidate edge is addable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum RepairStrategy {
+    /// Maintain the chordal subgraph incrementally and answer each
+    /// candidate with the separator test (see [`incremental`]). Falls back
+    /// to [`RepairStrategy::Scratch`] when the input edge set is not
+    /// chordal (the partitioned baseline can produce such sets).
+    #[default]
+    Incremental,
+    /// Rebuild the subgraph and re-verify chordality from scratch per
+    /// candidate. Quadratic; kept for differential testing.
+    Scratch,
+}
+
+impl RepairStrategy {
+    /// Short label used in CLI/bench output.
+    pub fn label(self) -> &'static str {
+        match self {
+            RepairStrategy::Incremental => "incremental",
+            RepairStrategy::Scratch => "scratch",
+        }
+    }
+
+    /// Parses a strategy name as accepted by front ends.
+    pub fn parse(name: &str) -> Result<Self, ExtractError> {
+        match name {
+            "incremental" | "incr" => Ok(RepairStrategy::Incremental),
+            "scratch" => Ok(RepairStrategy::Scratch),
+            other => Err(ExtractError::invalid_option("repair-strategy", other)),
+        }
+    }
+}
+
+impl std::fmt::Display for RepairStrategy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
 
 /// Outcome of a repair pass.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -26,57 +95,196 @@ pub struct RepairOutcome {
     pub edges: Vec<Edge>,
     /// Edges that were added on top of the input edge set.
     pub added: Vec<Edge>,
-    /// Number of rejected edges examined.
+    /// Number of *distinct* rejected edges examined.
     pub examined: usize,
 }
 
-/// Greedily adds rejected edges back while chordality is preserved.
+/// Greedily adds rejected edges back while chordality is preserved, using
+/// the [`RepairStrategy::Scratch`] baseline and a throwaway [`Workspace`].
 ///
-/// `limit` bounds how many candidate edges are examined (`None` examines all
-/// of them); candidates are scanned in canonical edge order, so the pass is
-/// deterministic.
+/// `limit` bounds how many **distinct** candidate edges are examined
+/// (`None` examines all of them); re-examining a candidate in a later
+/// greedy pass does not consume budget, and candidates beyond the budget
+/// are skipped rather than aborting the pass. Candidates are scanned in
+/// canonical edge order, so the pass is deterministic.
+///
+/// Prefer [`repair_maximality_with`] (and the incremental strategy) for
+/// repeated or large-scale repairs.
 pub fn repair_maximality(
     graph: &CsrGraph,
     chordal_edges: &[Edge],
     limit: Option<usize>,
 ) -> RepairOutcome {
-    let mut retained: HashSet<Edge> = chordal_edges
+    repair_maximality_with(
+        graph,
+        chordal_edges,
+        limit,
+        RepairStrategy::Scratch,
+        &mut Workspace::new(),
+    )
+}
+
+/// Greedily adds rejected edges back while chordality is preserved, with an
+/// explicit [`RepairStrategy`] and a reusable [`Workspace`].
+///
+/// Both strategies scan candidates in canonical edge order, repeat greedy
+/// passes until a full pass adds nothing, and bound `limit` by distinct
+/// candidates — so for any chordal input edge set their outputs are
+/// identical edge for edge. A non-chordal input (possible for the
+/// partitioned baseline) makes the incremental separator test inapplicable;
+/// it is detected up front and the scratch strategy is used instead.
+pub fn repair_maximality_with(
+    graph: &CsrGraph,
+    chordal_edges: &[Edge],
+    limit: Option<usize>,
+    strategy: RepairStrategy,
+    workspace: &mut Workspace,
+) -> RepairOutcome {
+    repair_with(graph, chordal_edges, limit, strategy, workspace, false)
+}
+
+/// [`repair_maximality_with`] without the up-front chordality certification
+/// of the incremental strategy: the caller asserts that `chordal_edges`
+/// induces a chordal subgraph (e.g. it is the output of an algorithm with
+/// [`crate::Algorithm::guarantees_chordal`]), so no `edge_subgraph` is
+/// built at all — the whole repair runs on reused [`Workspace`] buffers.
+///
+/// This is what [`RepairExtractor`] runs for chordality-guaranteeing inner
+/// algorithms, and what steady-state timing should measure. With a
+/// non-chordal input the call stays memory-safe and terminates, but the
+/// incremental strategy's accept/reject answers — and hence the output —
+/// are unspecified; use [`repair_maximality_with`] when the input is not
+/// certified.
+pub fn repair_maximality_assume_chordal(
+    graph: &CsrGraph,
+    chordal_edges: &[Edge],
+    limit: Option<usize>,
+    strategy: RepairStrategy,
+    workspace: &mut Workspace,
+) -> RepairOutcome {
+    repair_with(graph, chordal_edges, limit, strategy, workspace, true)
+}
+
+/// Shared implementation. `assume_chordal` skips the up-front chordality
+/// certification of the incremental strategy; only callers that *know* the
+/// input is chordal (extractors whose algorithm guarantees it) may set it.
+pub(crate) fn repair_with(
+    graph: &CsrGraph,
+    chordal_edges: &[Edge],
+    limit: Option<usize>,
+    strategy: RepairStrategy,
+    workspace: &mut Workspace,
+    assume_chordal: bool,
+) -> RepairOutcome {
+    let mut edges: Vec<Edge> = chordal_edges
         .iter()
         .map(|&(u, v)| if u <= v { (u, v) } else { (v, u) })
         .collect();
-    let mut edges: Vec<Edge> = retained.iter().copied().collect();
     edges.sort_unstable();
+    edges.dedup();
+    match strategy {
+        RepairStrategy::Scratch => {
+            let scratch = workspace.prepare_repair(graph.total_degree(), None);
+            greedy_repair(
+                graph,
+                edges,
+                limit,
+                &mut scratch.marks,
+                |_, with_candidate| is_chordal(&edge_subgraph(graph, with_candidate)),
+            )
+        }
+        RepairStrategy::Incremental => {
+            if !assume_chordal && !is_chordal(&edge_subgraph(graph, &edges)) {
+                return repair_with(
+                    graph,
+                    chordal_edges,
+                    limit,
+                    RepairStrategy::Scratch,
+                    workspace,
+                    false,
+                );
+            }
+            let scratch =
+                workspace.prepare_repair(graph.total_degree(), Some(graph.num_vertices()));
+            let RepairScratch { marks, incr } = scratch;
+            let mut maintainer = IncrementalChordal::from_state(graph.num_vertices(), &edges, incr);
+            greedy_repair(graph, edges, limit, marks, |(u, v), _| {
+                maintainer.try_insert(u, v)
+            })
+        }
+    }
+}
+
+/// Directed CSR slot of the canonical orientation of `(u, v)` in `graph`,
+/// or `None` when the edge is not present.
+fn edge_position(graph: &CsrGraph, u: VertexId, v: VertexId) -> Option<usize> {
+    let neighbors = graph.neighbors(u);
+    let base = graph.offsets()[u as usize];
+    if graph.is_sorted() {
+        neighbors.binary_search(&v).ok().map(|i| base + i)
+    } else {
+        neighbors.iter().position(|&x| x == v).map(|i| base + i)
+    }
+}
+
+/// The greedy repair driver shared by both strategies: scans rejected edges
+/// in canonical order, asks `try_add` whether each one is addable (the
+/// callback receives the candidate and the current edge set *including* the
+/// candidate as its last element), and repeats until a full pass adds
+/// nothing. Adding one edge can make a previously unaddable edge addable
+/// (it may supply the chord a larger cycle was missing), so the multi-pass
+/// loop is required; each pass adds at least one edge or terminates, so it
+/// is bounded by `|E \ EC|` passes.
+fn greedy_repair(
+    graph: &CsrGraph,
+    mut edges: Vec<Edge>,
+    limit: Option<usize>,
+    marks: &mut RepairMarks,
+    mut try_add: impl FnMut(Edge, &[Edge]) -> bool,
+) -> RepairOutcome {
+    for &(u, v) in &edges {
+        // Edges of the input set that are not host edges (callers validate
+        // separately) simply never collide with a candidate.
+        if let Some(pos) = edge_position(graph, u, v) {
+            marks.retained[pos] = true;
+        }
+    }
+    let offsets = graph.offsets();
     let mut added = Vec::new();
     let mut examined = 0usize;
-    // Adding one edge can make a previously unaddable edge addable (it may
-    // supply the chord a larger cycle was missing), so the greedy scan is
-    // repeated until a full pass adds nothing. Each pass adds at least one
-    // edge or terminates, so the loop is bounded by |E \ EC| passes.
     loop {
         let mut changed = false;
-        let mut budget_exhausted = false;
-        for (u, v) in graph.edges() {
-            if retained.contains(&(u, v)) {
-                continue;
-            }
-            if let Some(max) = limit {
-                if examined >= max {
-                    budget_exhausted = true;
-                    break;
+        for (u, &base) in offsets[..graph.num_vertices()].iter().enumerate() {
+            let u = u as VertexId;
+            for (i, &v) in graph.neighbors(u).iter().enumerate() {
+                if v <= u {
+                    continue;
+                }
+                let pos = base + i;
+                if marks.retained[pos] {
+                    continue;
+                }
+                if !marks.seen[pos] {
+                    // The budget bounds distinct candidates: unseen
+                    // candidates beyond it are skipped, re-examinations in
+                    // later passes are free.
+                    if limit.is_some_and(|max| examined >= max) {
+                        continue;
+                    }
+                    marks.seen[pos] = true;
+                    examined += 1;
+                }
+                edges.push((u, v));
+                if try_add((u, v), &edges) {
+                    marks.retained[pos] = true;
+                    added.push((u, v));
+                    changed = true;
+                } else {
+                    edges.pop();
                 }
             }
-            examined += 1;
-            edges.push((u, v));
-            let candidate_graph = edge_subgraph(graph, &edges);
-            if is_chordal(&candidate_graph) {
-                retained.insert((u, v));
-                added.push((u, v));
-                changed = true;
-            } else {
-                edges.pop();
-            }
         }
-        if !changed || budget_exhausted {
+        if !changed {
             break;
         }
     }
@@ -88,15 +296,56 @@ pub fn repair_maximality(
     }
 }
 
-/// Convenience wrapper operating on a [`ChordalResult`]: returns a new
-/// result with the repaired edge set (iteration metadata preserved).
+/// Convenience wrapper operating on a [`ChordalResult`] with the default
+/// strategy and a throwaway [`Workspace`]; see [`repair_result_with`].
 pub fn repair_result(graph: &CsrGraph, result: &ChordalResult) -> ChordalResult {
-    let outcome = repair_maximality(graph, result.edges(), None);
+    repair_result_with(
+        graph,
+        result,
+        RepairStrategy::default(),
+        &mut Workspace::new(),
+    )
+}
+
+/// Repairs a [`ChordalResult`], returning a new result with the augmented
+/// edge set. The repair pass is counted as one extra iteration, and — when
+/// the inner extraction recorded per-iteration stats — one aggregate stats
+/// record (`examined` candidates as the work proxy, `added.len()` edges) is
+/// appended, so the repaired result keeps the stats invariants of the
+/// unrepaired one.
+pub fn repair_result_with(
+    graph: &CsrGraph,
+    result: &ChordalResult,
+    strategy: RepairStrategy,
+    workspace: &mut Workspace,
+) -> ChordalResult {
+    repair_result_impl(graph, result, strategy, workspace, false)
+}
+
+pub(crate) fn repair_result_impl(
+    graph: &CsrGraph,
+    result: &ChordalResult,
+    strategy: RepairStrategy,
+    workspace: &mut Workspace,
+    assume_chordal: bool,
+) -> ChordalResult {
+    let outcome = repair_with(
+        graph,
+        result.edges(),
+        None,
+        strategy,
+        workspace,
+        assume_chordal,
+    );
+    let mut stats = result.stats.clone();
+    if let Some(stats) = &mut stats {
+        stats.record(outcome.examined, outcome.added.len());
+    }
     ChordalResult::new(
         graph.num_vertices(),
         outcome.edges,
-        result.iterations,
-        result.stats.clone(),
+        result.iterations + 1,
+        stats,
     )
 }
 
@@ -107,17 +356,30 @@ pub fn repair_result(graph: &CsrGraph, result: &ChordalResult) -> ChordalResult 
 /// [`crate::ExtractorConfig::repair`] is set (CLI flag `--repair`), so
 /// `alg1 + repair` — strictly maximal, like the Dearing baseline — is
 /// reachable through the same dispatch path as every other configuration.
+/// The repair pass runs with the configured [`RepairStrategy`] and shares
+/// the extraction [`Workspace`]; when the inner algorithm guarantees
+/// chordal output the incremental strategy skips its up-front chordality
+/// certification.
 pub struct RepairExtractor {
     inner: Box<dyn crate::ChordalExtractor>,
     name: &'static str,
+    strategy: RepairStrategy,
+    inner_guarantees_chordal: bool,
 }
 
 impl RepairExtractor {
-    /// Wraps `inner`, taking the repaired registry name for `algorithm`.
-    pub fn new(inner: Box<dyn crate::ChordalExtractor>, algorithm: crate::Algorithm) -> Self {
+    /// Wraps `inner`, taking the repaired registry name for `algorithm` and
+    /// the strategy the post-pass should use.
+    pub fn new(
+        inner: Box<dyn crate::ChordalExtractor>,
+        algorithm: crate::Algorithm,
+        strategy: RepairStrategy,
+    ) -> Self {
         Self {
             inner,
             name: algorithm.repaired_name(),
+            strategy,
+            inner_guarantees_chordal: algorithm.guarantees_chordal(),
         }
     }
 }
@@ -129,7 +391,13 @@ impl crate::ChordalExtractor for RepairExtractor {
 
     fn extract_into(&self, graph: &CsrGraph, workspace: &mut crate::Workspace) -> ChordalResult {
         let result = self.inner.extract_into(graph, workspace);
-        repair_result(graph, &result)
+        repair_result_impl(
+            graph,
+            &result,
+            self.strategy,
+            workspace,
+            self.inner_guarantees_chordal,
+        )
     }
 }
 
@@ -167,21 +435,38 @@ mod tests {
 
     #[test]
     fn repair_never_breaks_chordality_and_achieves_maximality() {
-        for seed in 0..3 {
-            let g = RmatParams::preset(RmatKind::G, 7, seed).generate();
+        for strategy in [RepairStrategy::Incremental, RepairStrategy::Scratch] {
+            let mut workspace = Workspace::new();
+            for seed in 0..3 {
+                let g = RmatParams::preset(RmatKind::G, 7, seed).generate();
+                let r = extract_maximal_chordal_serial(&g);
+                let outcome = repair_maximality_with(&g, r.edges(), None, strategy, &mut workspace);
+                let sub = edge_subgraph(&g, &outcome.edges);
+                assert!(is_chordal(&sub), "{strategy} seed {seed}");
+                assert!(
+                    check_maximality(&g, &outcome.edges, None, 0).is_maximal(),
+                    "{strategy} seed {seed}: repaired subgraph must be maximal"
+                );
+                assert!(outcome.edges.len() >= r.num_chordal_edges());
+                assert_eq!(
+                    outcome.edges.len(),
+                    r.num_chordal_edges() + outcome.added.len()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn strategies_agree_edge_for_edge() {
+        for seed in 0..4 {
+            let g = RmatParams::preset(RmatKind::B, 7, seed).generate();
             let r = extract_maximal_chordal_serial(&g);
-            let outcome = repair_maximality(&g, r.edges(), None);
-            let sub = edge_subgraph(&g, &outcome.edges);
-            assert!(is_chordal(&sub), "seed {seed}");
-            assert!(
-                check_maximality(&g, &outcome.edges, None, 0).is_maximal(),
-                "seed {seed}: repaired subgraph must be maximal"
-            );
-            assert!(outcome.edges.len() >= r.num_chordal_edges());
-            assert_eq!(
-                outcome.edges.len(),
-                r.num_chordal_edges() + outcome.added.len()
-            );
+            let mut ws = Workspace::new();
+            let incremental =
+                repair_maximality_with(&g, r.edges(), None, RepairStrategy::Incremental, &mut ws);
+            let scratch =
+                repair_maximality_with(&g, r.edges(), None, RepairStrategy::Scratch, &mut ws);
+            assert_eq!(incremental, scratch, "seed {seed}");
         }
     }
 
@@ -195,11 +480,79 @@ mod tests {
     }
 
     #[test]
-    fn limit_bounds_the_examined_candidates() {
+    fn limit_bounds_distinct_examined_candidates() {
         let g = structured::grid(6, 6);
         let r = extract_maximal_chordal_serial(&g);
-        let outcome = repair_maximality(&g, r.edges(), Some(3));
-        assert!(outcome.examined <= 3);
+        for strategy in [RepairStrategy::Incremental, RepairStrategy::Scratch] {
+            let mut ws = Workspace::new();
+            let outcome = repair_maximality_with(&g, r.edges(), Some(3), strategy, &mut ws);
+            assert!(outcome.examined <= 3, "{strategy}");
+            // A zero budget examines nothing and adds nothing.
+            let outcome = repair_maximality_with(&g, r.edges(), Some(0), strategy, &mut ws);
+            assert_eq!(outcome.examined, 0);
+            assert!(outcome.added.is_empty());
+        }
+    }
+
+    #[test]
+    fn limit_counts_candidates_not_reexaminations() {
+        // The figure-1 gap graph: the reference drops exactly one edge, so a
+        // budget of 1 must examine that single distinct candidate even
+        // though the greedy loop makes a second (confirming) pass.
+        let g = graph_from_edges(
+            6,
+            vec![
+                (0, 1),
+                (0, 2),
+                (1, 2),
+                (1, 3),
+                (2, 3),
+                (3, 4),
+                (4, 5),
+                (3, 5),
+            ],
+        );
+        let r = extract_reference(&g);
+        let outcome = repair_maximality(&g, r.edges(), Some(1));
+        assert_eq!(outcome.examined, 1);
+        assert_eq!(outcome.added.len(), 1);
+    }
+
+    #[test]
+    fn repaired_stats_and_iterations_stay_consistent() {
+        use crate::config::{AdjacencyMode, ExtractorConfig};
+        use crate::ExtractionSession;
+        let g = RmatParams::preset(RmatKind::G, 7, 5).generate();
+        let config = ExtractorConfig::serial(AdjacencyMode::Sorted)
+            .with_stats(true)
+            .with_repair(true);
+        let mut session = ExtractionSession::new(config);
+        let result = session.extract(&g);
+        let stats = result.stats.as_ref().expect("stats were requested");
+        assert_eq!(stats.iterations(), result.iterations);
+        assert_eq!(
+            stats.total_edges(),
+            result.num_chordal_edges(),
+            "repaired stats must account for the edges the repair pass added"
+        );
+    }
+
+    #[test]
+    fn repeated_repairs_reuse_the_workspace() {
+        let g = RmatParams::preset(RmatKind::G, 8, 2).generate();
+        let r = extract_maximal_chordal_serial(&g);
+        let mut ws = Workspace::new();
+        let first =
+            repair_maximality_with(&g, r.edges(), None, RepairStrategy::Incremental, &mut ws);
+        let allocations = ws.allocations();
+        let again =
+            repair_maximality_with(&g, r.edges(), None, RepairStrategy::Incremental, &mut ws);
+        assert_eq!(first, again);
+        assert_eq!(
+            ws.allocations(),
+            allocations,
+            "second repair of the same graph must not grow the workspace"
+        );
     }
 
     #[test]
@@ -233,6 +586,33 @@ mod tests {
             dearing.extract(&g).edges(),
             repaired_dearing.extract(&g).edges()
         );
+    }
+
+    #[test]
+    fn non_chordal_input_falls_back_to_scratch() {
+        // A chordless 4-cycle as the "chordal" input: the incremental
+        // strategy must detect it and produce the scratch answer.
+        let g = structured::cycle(4);
+        let edges: Vec<_> = g.edges().collect();
+        let mut ws = Workspace::new();
+        let incremental =
+            repair_maximality_with(&g, &edges, None, RepairStrategy::Incremental, &mut ws);
+        let scratch = repair_maximality_with(&g, &edges, None, RepairStrategy::Scratch, &mut ws);
+        assert_eq!(incremental, scratch);
+    }
+
+    #[test]
+    fn strategy_names_round_trip() {
+        for strategy in [RepairStrategy::Incremental, RepairStrategy::Scratch] {
+            assert_eq!(RepairStrategy::parse(strategy.label()).unwrap(), strategy);
+            assert_eq!(strategy.to_string(), strategy.label());
+        }
+        assert_eq!(
+            RepairStrategy::parse("incr").unwrap(),
+            RepairStrategy::Incremental
+        );
+        assert!(RepairStrategy::parse("magic").is_err());
+        assert_eq!(RepairStrategy::default(), RepairStrategy::Incremental);
     }
 
     #[test]

@@ -87,12 +87,20 @@ const ADAPTIVE_MAX_THRESHOLD_EDGES: usize = 1 << 20;
 /// (`edges · ns_per_edge · (1 - 1/threads)`) exceeds the scheduling cost
 /// of the regions an intra-graph extraction issues, using the pool's
 /// calibrated per-region overhead sample. Deterministic per process (the
-/// overhead sample is memoised), monotonically decreasing in `threads`,
-/// and clamped to a sane range so a noisy calibration cannot produce a
-/// degenerate policy.
+/// overhead sample is memoised), monotonically decreasing in `threads`
+/// for parallel engines, and clamped to a sane range so a noisy
+/// calibration cannot produce a degenerate policy.
+///
+/// A serial engine (`threads <= 1`) has no intra-graph parallelism to win
+/// anything with — every region it would issue is pure scheduling overhead
+/// — so the pivot is `usize::MAX`: every graph takes the fan-out
+/// (sequential) path, no graph is ever placed intra-graph.
 pub fn adaptive_batch_threshold_edges(threads: usize) -> usize {
+    if threads <= 1 {
+        return usize::MAX;
+    }
     let overhead_ns = chordal_runtime::estimated_region_overhead_ns().max(1);
-    let t = threads.max(2) as u64;
+    let t = threads as u64;
     let win_per_edge_ns = (ADAPTIVE_NS_PER_EDGE * (t - 1) / t).max(1);
     let region_cost_ns = overhead_ns.saturating_mul(ADAPTIVE_REGIONS_PER_EXTRACTION);
     ((region_cost_ns / win_per_edge_ns) as usize)
@@ -407,7 +415,7 @@ mod tests {
 
     #[test]
     fn adaptive_threshold_is_clamped_and_stable() {
-        for threads in [1, 2, 4, 16] {
+        for threads in [2, 4, 16] {
             let t = adaptive_batch_threshold_edges(threads);
             assert!(
                 (ADAPTIVE_MIN_THRESHOLD_EDGES..=ADAPTIVE_MAX_THRESHOLD_EDGES).contains(&t),
@@ -419,6 +427,21 @@ mod tests {
         }
         // More workers means more win per edge, so the pivot can only drop.
         assert!(adaptive_batch_threshold_edges(8) <= adaptive_batch_threshold_edges(2));
+    }
+
+    #[test]
+    fn adaptive_threshold_never_places_intra_graph_on_serial_engines() {
+        // A 1-thread engine cannot win anything from intra-graph
+        // parallelism: the pivot must be "never", not a finite value that
+        // would buy pure region overhead.
+        assert_eq!(adaptive_batch_threshold_edges(0), usize::MAX);
+        assert_eq!(adaptive_batch_threshold_edges(1), usize::MAX);
+        let serial_session = ExtractionSession::new(
+            ExtractorConfig::default()
+                .with_engine(chordal_runtime::Engine::serial())
+                .with_batch_adaptive(true),
+        );
+        assert_eq!(serial_session.effective_batch_threshold(), usize::MAX);
     }
 
     #[test]

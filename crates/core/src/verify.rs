@@ -200,12 +200,24 @@ pub fn check_maximality(
             candidates.truncate(limit);
         }
     }
+    // With a chordal base the per-candidate question reduces to the
+    // separator test — no augmented-subgraph rebuild per candidate, and one
+    // scratch reused across the whole loop. A non-chordal base keeps the
+    // literal "is the augmented graph chordal?" semantics (adding an edge
+    // can complete a missing chord).
+    let base_chordal = is_chordal(&sub);
+    let mut scratch = base_chordal.then(|| SeparatorScratch::new(sub.num_vertices()));
     let mut violations = Vec::new();
     for &(u, v) in &candidates {
-        let mut augmented: Vec<Edge> = chordal_edges.to_vec();
-        augmented.push((u, v));
-        let aug_graph = edge_subgraph(graph, &augmented);
-        if is_chordal(&aug_graph) {
+        let addable = match &mut scratch {
+            Some(scratch) => scratch.separates(&sub, u, v),
+            None => {
+                let mut augmented: Vec<Edge> = chordal_edges.to_vec();
+                augmented.push((u, v));
+                is_chordal(&edge_subgraph(graph, &augmented))
+            }
+        };
+        if addable {
             violations.push((u, v));
         }
     }
@@ -219,6 +231,97 @@ pub fn check_maximality(
 /// Convenience wrapper: full (non-sampled) maximality check.
 pub fn is_maximal_chordal_subgraph(graph: &CsrGraph, chordal_edges: &[Edge]) -> bool {
     check_maximality(graph, chordal_edges, None, 0).is_maximal()
+}
+
+/// Whether adding the edge `(u, v)` to the **chordal** graph `chordal`
+/// keeps it chordal, for a pair that is not already adjacent.
+///
+/// Uses the separator characterisation of chordal edge insertion (the
+/// separator form of Ibarra's clique-tree condition; see
+/// [`crate::repair::incremental`] for the proof sketch): `chordal + uv` is
+/// chordal iff `N(u) ∩ N(v)` separates `u` from `v` — vacuously true when
+/// the endpoints lie in different components, since a bridge creates no
+/// cycle. One early-exit breadth-first search instead of a full MCS +
+/// perfect-elimination re-verification per query.
+///
+/// The answer is only meaningful when `chordal` is chordal and `(u, v)` is
+/// not one of its edges; callers certify both (as
+/// [`check_maximality`] does).
+///
+/// This is deliberately a *simple, unidirectional* implementation — the
+/// independent oracle the test-suite holds the optimised maintained one
+/// ([`crate::repair::incremental::IncrementalChordal`]) against. One-shot
+/// convenience wrapper; loops over many candidates should reuse a
+/// [`SeparatorScratch`] the way [`check_maximality`] does.
+pub fn addition_preserves_chordality(chordal: &CsrGraph, u: VertexId, v: VertexId) -> bool {
+    SeparatorScratch::new(chordal.num_vertices()).separates(chordal, u, v)
+}
+
+/// Reusable epoch-stamped buffers of the separator test, so a loop over
+/// many candidate edges (as in [`check_maximality`]) allocates once instead
+/// of per candidate.
+struct SeparatorScratch {
+    /// `epoch - 1` marks `N(u)`, `epoch` marks the blocked common
+    /// neighbourhood `N(u) ∩ N(v)`.
+    stamp: Vec<u32>,
+    /// `epoch` marks vertices reached from `u`.
+    visited: Vec<u32>,
+    queue: Vec<VertexId>,
+    epoch: u32,
+}
+
+impl SeparatorScratch {
+    fn new(n: usize) -> Self {
+        Self {
+            stamp: vec![0; n],
+            visited: vec![0; n],
+            queue: Vec::new(),
+            epoch: 0,
+        }
+    }
+
+    /// Whether `N(u) ∩ N(v)` separates `u` from `v` in `chordal` — i.e.
+    /// whether `chordal + uv` stays chordal.
+    fn separates(&mut self, chordal: &CsrGraph, u: VertexId, v: VertexId) -> bool {
+        self.epoch = match self.epoch.checked_add(2) {
+            Some(e) => e,
+            None => {
+                self.stamp.fill(0);
+                self.visited.fill(0);
+                2
+            }
+        };
+        let epoch = self.epoch;
+        for &w in chordal.neighbors(u) {
+            self.stamp[w as usize] = epoch - 1;
+        }
+        // Upgrading the common neighbourhood to the blocked stamp keeps the
+        // search from ever entering it.
+        for &w in chordal.neighbors(v) {
+            if self.stamp[w as usize] == epoch - 1 {
+                self.stamp[w as usize] = epoch;
+            }
+        }
+        self.queue.clear();
+        self.queue.push(u);
+        self.visited[u as usize] = epoch;
+        let mut head = 0;
+        while head < self.queue.len() {
+            let w = self.queue[head];
+            head += 1;
+            for &x in chordal.neighbors(w) {
+                if x == v {
+                    return false;
+                }
+                let xi = x as usize;
+                if self.stamp[xi] != epoch && self.visited[xi] != epoch {
+                    self.visited[xi] = epoch;
+                    self.queue.push(x);
+                }
+            }
+        }
+        true
+    }
 }
 
 #[cfg(test)]
@@ -330,6 +433,37 @@ mod tests {
         );
         let retained = vec![(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)];
         assert!(is_maximal_chordal_subgraph(&g, &retained));
+    }
+
+    #[test]
+    fn addition_test_matches_the_rebuild_oracle() {
+        use chordal_generators::rmat::{RmatKind, RmatParams};
+        for seed in 0..3 {
+            let g = RmatParams::preset(RmatKind::G, 6, seed).generate();
+            let result = crate::extract_maximal_chordal_serial(&g);
+            let sub = result.subgraph(&g);
+            assert!(is_chordal(&sub));
+            for (u, v) in g.edges() {
+                if result.contains_edge(u, v) {
+                    continue;
+                }
+                let mut augmented = result.edges().to_vec();
+                augmented.push((u, v));
+                assert_eq!(
+                    addition_preserves_chordality(&sub, u, v),
+                    is_chordal(&edge_subgraph(&g, &augmented)),
+                    "seed {seed}: disagreement on ({u},{v})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bridge_additions_preserve_chordality() {
+        // Two disjoint triangles: any cross-component edge is a bridge.
+        let g = graph_from_edges(6, vec![(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)]);
+        assert!(addition_preserves_chordality(&g, 0, 3));
+        assert!(addition_preserves_chordality(&g, 2, 5));
     }
 
     #[test]

@@ -15,6 +15,7 @@
 //! incrementing after the first run, which the test-suite (and the quick
 //! start doctests) assert.
 
+use crate::repair::incremental::RepairScratch;
 use chordal_graph::{VertexId, NO_VERTEX};
 use chordal_runtime::AtomicFlags;
 use std::sync::atomic::{AtomicU32, Ordering};
@@ -61,6 +62,11 @@ pub struct Workspace {
     /// extractions concurrently (the partitioned baseline gives each
     /// partition its own). Grown on demand, retained across runs.
     pub(crate) subs: Vec<Workspace>,
+    /// Scratch of the maximality-repair pass: candidate marks plus the
+    /// incrementally maintained chordal subgraph (adjacency, stamps,
+    /// union-find). Retained across repairs, so repeated `alg1 + repair`
+    /// traffic stops allocating.
+    pub(crate) repair: RepairScratch,
     /// Number of buffer-growth events since the workspace was created.
     allocations: usize,
 }
@@ -114,6 +120,28 @@ impl Workspace {
                 .iter()
                 .map(Workspace::allocated_bytes)
                 .sum::<usize>()
+            + self.repair.allocated_bytes()
+    }
+
+    /// Sizes and resets the repair scratch: candidate marks for a host
+    /// graph with `directed_edges` directed CSR slots, plus — when
+    /// `vertices` is given — the incremental maintainer's per-vertex state.
+    /// Growth is counted in [`Workspace::allocations`], so repeated repairs
+    /// over same-shaped graphs keep the counter flat.
+    pub(crate) fn prepare_repair(
+        &mut self,
+        directed_edges: usize,
+        vertices: Option<usize>,
+    ) -> &mut RepairScratch {
+        if self.repair.marks.prepare(directed_edges) {
+            self.allocations += 1;
+        }
+        if let Some(n) = vertices {
+            if self.repair.incr.prepare(n) {
+                self.allocations += 1;
+            }
+        }
+        &mut self.repair
     }
 
     /// A pool of `count` child workspaces, one per concurrent nested

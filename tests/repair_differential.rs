@@ -1,0 +1,171 @@
+//! Differential and property suite for the maximality-repair strategies.
+//!
+//! The incremental repair strategy (maintained chordal subgraph + separator
+//! test) must be observably identical to the scratch baseline (full
+//! re-verification per candidate): same repaired edge sets, same added
+//! edges, same examined counts — across every algorithm of the registry and
+//! under every pool size of the CI matrix (`CHORDAL_POOL_THREADS={1,2,8}`).
+//! On top of the differential checks, a property sweep asserts the repaired
+//! output is *strictly maximal* (no rejected edge remains addable) and that
+//! repeated repairs through a session stop allocating.
+
+use maximal_chordal::core::repair::{repair_maximality_with, RepairStrategy};
+use maximal_chordal::core::verify::{check_maximality, is_chordal};
+use maximal_chordal::core::{Algorithm, ExtractionSession, ExtractorConfig, Semantics, Workspace};
+use maximal_chordal::generators::rmat::{RmatKind, RmatParams};
+use maximal_chordal::generators::structured;
+use maximal_chordal::graph::CsrGraph;
+
+fn workloads() -> Vec<(String, CsrGraph)> {
+    let mut graphs = vec![
+        ("grid-7x7".to_string(), structured::grid(7, 7)),
+        ("cycle-12".to_string(), structured::cycle(12)),
+        (
+            "bipartite-4x5".to_string(),
+            structured::complete_bipartite(4, 5),
+        ),
+    ];
+    for seed in 0..3u64 {
+        for kind in [RmatKind::Er, RmatKind::G, RmatKind::B] {
+            graphs.push((
+                format!("rmat-{kind:?}-{seed}"),
+                RmatParams::preset(kind, 7, seed).generate(),
+            ));
+        }
+    }
+    graphs
+}
+
+#[test]
+fn incremental_and_scratch_repair_are_identical_across_algorithms() {
+    let mut workspace = Workspace::new();
+    for algorithm in Algorithm::ALL {
+        let config = ExtractorConfig::default()
+            .with_engine(maximal_chordal::runtime::Engine::serial())
+            .with_algorithm(algorithm);
+        let mut session = ExtractionSession::new(config);
+        for (name, graph) in workloads() {
+            let base = session.extract(&graph);
+            let incremental = repair_maximality_with(
+                &graph,
+                base.edges(),
+                None,
+                RepairStrategy::Incremental,
+                &mut workspace,
+            );
+            let scratch = repair_maximality_with(
+                &graph,
+                base.edges(),
+                None,
+                RepairStrategy::Scratch,
+                &mut workspace,
+            );
+            assert_eq!(
+                incremental, scratch,
+                "{algorithm}/{name}: strategies must produce byte-identical outcomes"
+            );
+        }
+    }
+}
+
+#[test]
+fn session_level_repair_strategies_agree_under_the_configured_pool() {
+    // Deterministic (synchronous) parallel extraction + repair through the
+    // registry: the two strategies must produce identical results whatever
+    // CHORDAL_POOL_THREADS the CI matrix sets.
+    for algorithm in [Algorithm::Parallel, Algorithm::Reference] {
+        let base = ExtractorConfig::default()
+            .with_algorithm(algorithm)
+            .with_semantics(Semantics::Synchronous)
+            .with_repair(true);
+        let mut incremental = ExtractionSession::new(
+            base.clone()
+                .with_repair_strategy(RepairStrategy::Incremental),
+        );
+        let mut scratch =
+            ExtractionSession::new(base.with_repair_strategy(RepairStrategy::Scratch));
+        for (name, graph) in workloads() {
+            let a = incremental.extract(&graph);
+            let b = scratch.extract(&graph);
+            assert_eq!(
+                a.edges(),
+                b.edges(),
+                "{algorithm}/{name}: session-level strategy mismatch"
+            );
+        }
+    }
+}
+
+#[test]
+fn repaired_output_is_strictly_maximal() {
+    // Property: after repair, no rejected edge remains addable. Verified
+    // with the independent maximality checker for every algorithm whose
+    // output the repair pass guarantees to keep chordal.
+    for algorithm in Algorithm::ALL {
+        let config = ExtractorConfig::default()
+            .with_engine(maximal_chordal::runtime::Engine::serial())
+            .with_algorithm(algorithm)
+            .with_repair(true);
+        let mut session = ExtractionSession::new(config);
+        for seed in 0..3u64 {
+            let graph = RmatParams::preset(RmatKind::G, 7, seed).generate();
+            let result = session.extract(&graph);
+            if algorithm.guarantees_chordal() {
+                assert!(
+                    is_chordal(&result.subgraph(&graph)),
+                    "{algorithm} seed {seed}: repaired output must stay chordal"
+                );
+            }
+            assert!(
+                check_maximality(&graph, result.edges(), None, 0).is_maximal(),
+                "{algorithm} seed {seed}: a rejected edge is still addable after repair"
+            );
+        }
+    }
+}
+
+#[test]
+fn repeated_session_repairs_stop_allocating() {
+    // The allocation/regression lock of the incremental strategy: a warm
+    // `alg1 + repair` session must not grow its workspace on subsequent
+    // extractions — per-candidate work never rebuilds the subgraph.
+    let graph = RmatParams::preset(RmatKind::B, 9, 3).generate();
+    let mut session = ExtractionSession::new(
+        ExtractorConfig::default()
+            .with_engine(maximal_chordal::runtime::Engine::serial())
+            .with_repair(true),
+    );
+    let first = session.extract(&graph);
+    let allocations = session.workspace().allocations();
+    for _ in 0..2 {
+        let again = session.extract(&graph);
+        assert_eq!(again.edges(), first.edges());
+    }
+    assert_eq!(
+        session.workspace().allocations(),
+        allocations,
+        "repeated repairs over the same graph must reuse every buffer"
+    );
+}
+
+#[test]
+fn repair_budget_counts_distinct_candidates_for_both_strategies() {
+    let graph = structured::grid(8, 8);
+    let mut session = ExtractionSession::new(
+        ExtractorConfig::default().with_engine(maximal_chordal::runtime::Engine::serial()),
+    );
+    let base = session.extract(&graph);
+    let mut workspace = Workspace::new();
+    for strategy in [RepairStrategy::Incremental, RepairStrategy::Scratch] {
+        for limit in [0usize, 1, 5, 1_000] {
+            let outcome =
+                repair_maximality_with(&graph, base.edges(), Some(limit), strategy, &mut workspace);
+            assert!(
+                outcome.examined <= limit,
+                "{strategy}: budget {limit} exceeded ({} examined)",
+                outcome.examined
+            );
+            assert!(outcome.added.len() <= outcome.examined);
+        }
+    }
+}
