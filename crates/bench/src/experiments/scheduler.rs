@@ -20,17 +20,61 @@ use chordal_core::{ExtractionSession, ExtractorConfig};
 use chordal_generators::rmat::{RmatKind, RmatParams};
 use chordal_graph::CsrGraph;
 
-/// The policies the ablation sweeps, as `(label, pivot)`; `None` means
-/// adaptive (resolved per engine at run time).
-fn policies() -> [(&'static str, Option<usize>); 4] {
+/// One batch-placement policy of the ablation sweep.
+struct Policy {
+    /// Row label.
+    label: &'static str,
+    /// Static pivot, or `None` for the adaptive cost model.
+    pivot: Option<usize>,
+    /// Measured-cost EWMA feedback on/off.
+    ewma: bool,
+    /// Intra-batch rebalancing on/off.
+    rebalance: bool,
+}
+
+/// The policies the ablation sweeps. `adaptive` is the full measured model
+/// (EWMA feedback + rebalancing); `adaptive-frozen` is the PR 3-era
+/// comparator — same cost model seeds, no feedback, no rebalancing — so
+/// the JSON shows what the measured loop buys on this machine. `static`
+/// vs `static+rb` isolates the rebalancing variable at a fixed pivot.
+fn policies() -> [Policy; 6] {
     [
-        ("fan-out", Some(usize::MAX)),
-        ("intra", Some(0)),
-        (
-            "static",
-            Some(chordal_core::config::DEFAULT_BATCH_THRESHOLD_EDGES),
-        ),
-        ("adaptive", None),
+        Policy {
+            label: "fan-out",
+            pivot: Some(usize::MAX),
+            ewma: false,
+            rebalance: false,
+        },
+        Policy {
+            label: "intra",
+            pivot: Some(0),
+            ewma: false,
+            rebalance: false,
+        },
+        Policy {
+            label: "static",
+            pivot: Some(chordal_core::config::DEFAULT_BATCH_THRESHOLD_EDGES),
+            ewma: false,
+            rebalance: false,
+        },
+        Policy {
+            label: "static+rb",
+            pivot: Some(chordal_core::config::DEFAULT_BATCH_THRESHOLD_EDGES),
+            ewma: false,
+            rebalance: true,
+        },
+        Policy {
+            label: "adaptive-frozen",
+            pivot: None,
+            ewma: false,
+            rebalance: false,
+        },
+        Policy {
+            label: "adaptive",
+            pivot: None,
+            ewma: true,
+            rebalance: true,
+        },
     ]
 }
 
@@ -61,19 +105,22 @@ pub fn run(options: &HarnessOptions) -> Vec<SchedulerPoint> {
     let threads = options.max_threads.clamp(2, 8);
     let mut points = Vec::new();
     for engine_kind in super::scaling::EngineKind::all() {
-        for (policy, pivot) in policies() {
-            let mut config = ExtractorConfig::default().with_engine(engine_kind.build(threads));
-            config = match pivot {
+        for policy in policies() {
+            let mut config = ExtractorConfig::default()
+                .with_engine(engine_kind.build(threads))
+                .with_batch_ewma(policy.ewma)
+                .with_batch_rebalance(policy.rebalance);
+            config = match policy.pivot {
                 Some(threshold) => config.with_batch_threshold_edges(threshold),
                 None => config.with_batch_adaptive(true),
             };
             let mut session = ExtractionSession::new(config);
-            let threshold = session.effective_batch_threshold();
             // Warm-up grows the workspaces and spawns the pool workers, so
             // the timed repeats measure the steady serving path.
             let warm = session.extract_batch(&refs);
             let chordal_edges: usize = warm.iter().map(|r| r.num_chordal_edges()).sum();
             let stats_before = chordal_runtime::pool_stats();
+            let feedback_before = session.scheduler_feedback();
             let mut best = f64::MAX;
             for _ in 0..options.repeats.max(1) {
                 let start = std::time::Instant::now();
@@ -82,18 +129,26 @@ pub fn run(options: &HarnessOptions) -> Vec<SchedulerPoint> {
                 assert_eq!(results.len(), refs.len());
             }
             let stats = chordal_runtime::pool_stats();
+            let feedback = session.scheduler_feedback();
             points.push(SchedulerPoint {
                 experiment: "scheduler".to_string(),
                 engine: engine_kind.label().to_string(),
                 threads,
-                policy: policy.to_string(),
-                threshold_edges: threshold,
+                policy: policy.label.to_string(),
+                // Read *after* the timed runs: for the EWMA policy this is
+                // the pivot the feedback converged to, not the seed —
+                // that difference is what the frozen comparator exists to
+                // show.
+                threshold_edges: session.effective_batch_threshold(),
                 batch_graphs: graphs.len(),
                 seconds: best,
                 chordal_edges,
                 steals: stats.steals - stats_before.steals,
                 regions: stats.regions - stats_before.regions,
-                region_overhead_ns: chordal_runtime::estimated_region_overhead_ns(),
+                region_overhead_ns: chordal_runtime::estimated_region_overhead_ns_for(threads),
+                ewma_ns_per_edge: feedback.ewma_ns_per_edge,
+                rebalanced: feedback.rebalanced - feedback_before.rebalanced,
+                tickets_dropped: stats.tickets_dropped - stats_before.tickets_dropped,
             });
         }
     }
@@ -105,7 +160,7 @@ pub fn run_and_print(options: &HarnessOptions) -> Vec<SchedulerPoint> {
     println!("Scheduler ablation: batch placement policies on a mixed batch");
     let points = run(options);
     println!(
-        "  {:<7} {:>8} {:>9} {:>14} {:>10} {:>9} {:>8} {:>14}",
+        "  {:<7} {:>8} {:>15} {:>14} {:>10} {:>9} {:>8} {:>14} {:>12} {:>10}",
         "engine",
         "threads",
         "policy",
@@ -113,7 +168,9 @@ pub fn run_and_print(options: &HarnessOptions) -> Vec<SchedulerPoint> {
         "seconds",
         "regions",
         "steals",
-        "overhead(ns)"
+        "overhead(ns)",
+        "ewma(ns/e)",
+        "rebalanced"
     );
     for p in &points {
         let pivot = if p.threshold_edges == usize::MAX {
@@ -122,7 +179,7 @@ pub fn run_and_print(options: &HarnessOptions) -> Vec<SchedulerPoint> {
             p.threshold_edges.to_string()
         };
         println!(
-            "  {:<7} {:>8} {:>9} {:>14} {:>10.4} {:>9} {:>8} {:>14}",
+            "  {:<7} {:>8} {:>15} {:>14} {:>10.4} {:>9} {:>8} {:>14} {:>12.2} {:>10}",
             p.engine,
             p.threads,
             p.policy,
@@ -130,7 +187,9 @@ pub fn run_and_print(options: &HarnessOptions) -> Vec<SchedulerPoint> {
             p.seconds,
             p.regions,
             p.steals,
-            p.region_overhead_ns
+            p.region_overhead_ns,
+            p.ewma_ns_per_edge,
+            p.rebalanced
         );
     }
     options.write_records(&points);
@@ -147,9 +206,16 @@ mod tests {
     fn quick_ablation_covers_every_policy_on_both_engines() {
         let options = HarnessOptions::tiny();
         let points = run(&options);
-        assert_eq!(points.len(), 8, "2 engines x 4 policies");
+        assert_eq!(points.len(), 12, "2 engines x 6 policies");
         for engine in ["pool", "rayon"] {
-            for policy in ["fan-out", "intra", "static", "adaptive"] {
+            for policy in [
+                "fan-out",
+                "intra",
+                "static",
+                "static+rb",
+                "adaptive-frozen",
+                "adaptive",
+            ] {
                 let p = points
                     .iter()
                     .find(|p| p.engine == engine && p.policy == policy)
@@ -157,14 +223,38 @@ mod tests {
                 assert!(p.seconds > 0.0);
                 assert!(p.chordal_edges > 0);
                 assert!(p.region_overhead_ns >= 1);
+                // Self-consistency of the new scheduler fields.
+                assert!(p.ewma_ns_per_edge > 0.0 && p.ewma_ns_per_edge.is_finite());
+                assert!(p.rebalanced <= (p.batch_graphs * options.repeats.max(1)) as u64);
                 // Every point's record round-trips through the JSON layer.
-                assert!(p.to_json().contains("\"experiment\":\"scheduler\""));
+                let json = p.to_json();
+                assert!(json.contains("\"experiment\":\"scheduler\""));
+                assert!(json.contains("\"ewma_ns_per_edge\":"));
+                assert!(json.contains("\"rebalanced\":"));
+                assert!(json.contains("\"tickets_dropped\":"));
             }
         }
-        let adaptive = points.iter().find(|p| p.policy == "adaptive").unwrap();
-        assert_eq!(
-            adaptive.threshold_edges,
-            adaptive_batch_threshold_edges(adaptive.threads)
-        );
+        // The frozen comparator records no feedback, never rebalances, and
+        // therefore reports exactly the seeded pivot even after the runs;
+        // the EWMA row reports whatever pivot its feedback converged to
+        // (clamped by the model, so still a sane value).
+        for p in points.iter().filter(|p| p.policy == "adaptive-frozen") {
+            assert_eq!(p.rebalanced, 0);
+            assert_eq!(
+                p.threshold_edges,
+                adaptive_batch_threshold_edges(p.threads),
+                "{}/{}",
+                p.engine,
+                p.policy
+            );
+        }
+        for p in points.iter().filter(|p| p.policy == "adaptive") {
+            assert!(
+                p.threshold_edges >= 1_024,
+                "{}/{}: converged pivot below the model clamp",
+                p.engine,
+                p.policy
+            );
+        }
     }
 }

@@ -69,9 +69,11 @@ pub struct SchedulerPoint {
     pub engine: String,
     /// Number of worker threads.
     pub threads: usize,
-    /// Batch policy (`"fan-out"`, `"static"`, `"adaptive"`, `"intra"`).
+    /// Batch policy (`"fan-out"`, `"intra"`, `"static"`, `"static+rb"`,
+    /// `"adaptive-frozen"`, `"adaptive"`).
     pub policy: String,
-    /// Effective edge pivot the policy resolved to.
+    /// Effective edge pivot after the timed runs — for the EWMA-feedback
+    /// policy this is the converged pivot, not the seed.
     pub threshold_edges: usize,
     /// Graphs in the batch.
     pub batch_graphs: usize,
@@ -83,8 +85,22 @@ pub struct SchedulerPoint {
     pub steals: u64,
     /// Pool regions attributable to the timed runs (delta).
     pub regions: u64,
-    /// Calibrated per-region dispatch overhead, nanoseconds.
+    /// Calibrated per-region dispatch overhead for this point's thread
+    /// count, nanoseconds
+    /// ([`chordal_runtime::estimated_region_overhead_ns_for`]).
     pub region_overhead_ns: u64,
+    /// The session's measured-cost EWMA of serial-equivalent extraction
+    /// nanoseconds per canonical edge after the timed runs
+    /// ([`chordal_core::SchedulerFeedback::ewma_ns_per_edge`]); equals the
+    /// seed constant when the policy records no feedback.
+    pub ewma_ns_per_edge: f64,
+    /// Fan-out graphs the intra-batch rebalancer promoted to intra-graph
+    /// runs during the timed runs (delta of
+    /// [`chordal_core::SchedulerFeedback::rebalanced`]).
+    pub rebalanced: u64,
+    /// Help-invitation tickets dropped by saturated pool queues during the
+    /// timed runs (delta of `pool_stats().tickets_dropped`).
+    pub tickets_dropped: u64,
 }
 
 impl_to_json!(SchedulerPoint {
@@ -99,6 +115,9 @@ impl_to_json!(SchedulerPoint {
     steals,
     regions,
     region_overhead_ns,
+    ewma_ns_per_edge,
+    rebalanced,
+    tickets_dropped,
 });
 
 /// One point of the `repair` ablation: one graph repaired with one
@@ -230,11 +249,17 @@ mod tests {
             steals: 3,
             regions: 21,
             region_overhead_ns: 5_000,
+            ewma_ns_per_edge: 31.5,
+            rebalanced: 2,
+            tickets_dropped: 0,
         };
         let json = p.to_json();
         assert!(json.contains("\"experiment\":\"scheduler\""));
         assert!(json.contains("\"policy\":\"adaptive\""));
         assert!(json.contains("\"threshold_edges\":2048"));
+        assert!(json.contains("\"ewma_ns_per_edge\":31.5"));
+        assert!(json.contains("\"rebalanced\":2"));
+        assert!(json.contains("\"tickets_dropped\":0"));
     }
 
     #[test]

@@ -9,6 +9,7 @@
 //!                  [--semantics async|sync] [--partitions N] [--stats] [--stitch] [--repair]
 //!                  [--repair-strategy incremental|scratch]
 //! chordal batch    --in a.txt,b.txt,c.txt [--batch-threshold N | --adaptive]
+//!                  [--ewma|--no-ewma] [--rebalance|--no-rebalance]
 //!                  [--threads 8] [--engine pool|rayon|serial] [--repeat N] [...extract flags]
 //! chordal analyze  --in graph.txt
 //! chordal verify   --graph graph.txt --subgraph chordal.txt
@@ -18,9 +19,13 @@
 //! [`ExtractionSession::extract_batch`], exercising the hybrid batch
 //! scheduler end to end: graphs below the pivot fan out across the
 //! engine's workers, larger ones get intra-graph parallelism, and
-//! `--adaptive` replaces the static pivot with the machine-calibrated
-//! cost-model estimate. The command reports the effective pivot, per-file
-//! results and the pool's scheduling counters for the run.
+//! `--adaptive` replaces the static pivot with the measured cost model
+//! (seeded from the pool calibration, then fed back from the session's own
+//! EWMA of per-graph timings; `--no-ewma` freezes the seed). The fan-out
+//! tail may be promoted to intra-graph runs when pool workers idle
+//! (`--no-rebalance` disables promotion). The command reports the
+//! effective pivot, per-file results, the scheduler feedback (EWMA ns/edge,
+//! promoted graphs) and the pool's scheduling counters for the run.
 //!
 //! All configuration parsing goes through the typed helpers of
 //! `chordal-core` ([`Algorithm::parse`], [`AdjacencyMode::parse`],
@@ -86,6 +91,7 @@ fn print_usage() {
          \x20          [--semantics async|sync] [--partitions N] [--stats] [--stitch]\n\
          \x20          [--repair] [--repair-strategy incremental|scratch]\n\
          \x20 batch    --in FILE[,FILE...] [--batch-threshold EDGES | --adaptive]\n\
+         \x20          [--ewma|--no-ewma] [--rebalance|--no-rebalance]\n\
          \x20          [--repeat N] [...extract flags]\n\
          \x20 analyze  --in FILE\n\
          \x20 verify   --graph FILE --subgraph FILE [--maximality N]\n\
@@ -105,7 +111,18 @@ fn parse_flags(args: &[String]) -> Result<Flags, ExtractError> {
             return Err(ExtractError::UnexpectedArgument(arg.clone()));
         };
         // Boolean flags.
-        if matches!(name, "stats" | "stitch" | "quick" | "repair" | "adaptive") {
+        if matches!(
+            name,
+            "stats"
+                | "stitch"
+                | "quick"
+                | "repair"
+                | "adaptive"
+                | "ewma"
+                | "no-ewma"
+                | "rebalance"
+                | "no-rebalance"
+        ) {
             flags.insert(name.to_string(), "true".to_string());
             continue;
         }
@@ -227,6 +244,11 @@ fn extraction_config(flags: &Flags) -> Result<ExtractorConfig, ExtractError> {
         )
         .with_batch_threshold_edges(batch_threshold)
         .with_batch_adaptive(flags.contains_key("adaptive"))
+        // Measured-cost feedback and rebalancing default on; `--no-ewma` /
+        // `--no-rebalance` freeze the scheduler at the PR 3 behaviour
+        // (`--ewma` / `--rebalance` spell the defaults explicitly).
+        .with_batch_ewma(!flags.contains_key("no-ewma"))
+        .with_batch_rebalance(!flags.contains_key("no-rebalance"))
         .with_engine_name(
             flags.get("engine").map(String::as_str).unwrap_or("rayon"),
             threads,
@@ -330,30 +352,49 @@ fn cmd_batch(flags: &Flags) -> Result<(), ExtractError> {
     let total = start.elapsed().as_secs_f64();
     let stats = chordal_runtime::pool_stats();
     for (path, (graph, result)) in paths.iter().zip(graphs.iter().zip(&results)) {
+        // Placement keys on the canonical edge count (duplicates and self
+        // loops in a noisy input carry no extraction work); the label shows
+        // where the *initial* pivot placed the file — the rebalancer may
+        // have promoted fan-out tail files, reported in the summary below.
+        let canonical_edges = graph.num_canonical_edges();
         println!(
             "  {:<32} {:>9} edges -> {:>9} chordal ({:.2}%) [{}]",
             path,
-            graph.num_edges(),
+            canonical_edges,
             result.num_chordal_edges(),
             100.0 * result.chordal_fraction(graph),
             if !hybrid {
                 "sequential"
-            } else if graph.num_edges() >= threshold {
+            } else if canonical_edges >= threshold {
                 "intra-graph"
             } else {
                 "fan-out"
             }
         );
     }
+    let feedback = session.scheduler_feedback();
     println!(
-        "batch done: {} chordal edges total, best {:.4}s (total {:.4}s); pool: +{} regions, +{} tickets, +{} steals",
+        "batch done: {} chordal edges total, best {:.4}s (total {:.4}s); pool: +{} regions, +{} tickets, +{} steals, +{} dropped",
         results.iter().map(|r| r.num_chordal_edges()).sum::<usize>(),
         best,
         total,
         stats.regions - stats_before.regions,
         stats.tickets - stats_before.tickets,
         stats.steals - stats_before.steals,
+        stats.tickets_dropped - stats_before.tickets_dropped,
     );
+    if hybrid {
+        println!(
+            "scheduler: ewma {:.1} ns/edge over {} sample(s), {} graph(s) promoted to intra-graph, next pivot {} edges",
+            feedback.ewma_ns_per_edge,
+            feedback.samples,
+            feedback.rebalanced,
+            match session.effective_batch_threshold() {
+                usize::MAX => "max".to_string(),
+                pivot => pivot.to_string(),
+            }
+        );
+    }
     Ok(())
 }
 

@@ -83,6 +83,12 @@ thread_local! {
     /// Index of this thread in the pool's worker array; `usize::MAX` for
     /// threads that are not pool workers.
     static WORKER_INDEX: Cell<usize> = const { Cell::new(usize::MAX) };
+
+    /// Parallel regions *this thread* has submitted. Unlike the shared
+    /// [`PoolStats::regions`] counter, a delta of this value cannot absorb
+    /// regions that other threads submitted concurrently — schedulers use
+    /// it to attribute region counts to one extraction without cross-talk.
+    static LOCAL_REGIONS: Cell<u64> = const { Cell::new(0) };
 }
 
 /// One parallel region: an iteration space drained cooperatively by the
@@ -212,6 +218,11 @@ pub struct PoolStats {
     pub tickets: u64,
     /// Tickets taken from a *foreign* worker's deque (work stealing events).
     pub steals: u64,
+    /// Help-invitation tickets that could not be published because every
+    /// queue was full. A dropped ticket degrades a region to fewer helpers
+    /// (the submitter still drains the cursor, so correctness is
+    /// unaffected) — this counter is the only trace saturation leaves.
+    pub tickets_dropped: u64,
 }
 
 /// The shared state of the persistent pool.
@@ -229,6 +240,8 @@ struct Shared {
     tickets: AtomicU64,
     /// Foreign-deque steals.
     steals: AtomicU64,
+    /// Tickets dropped because the deque and injector were both full.
+    tickets_dropped: AtomicU64,
 }
 
 impl Shared {
@@ -272,6 +285,7 @@ impl Shared {
                 true
             }
             Err(raw) => {
+                self.tickets_dropped.fetch_add(1, Ordering::Relaxed);
                 // SAFETY: `raw` was created above and never enqueued.
                 drop(unsafe { Self::from_raw(raw) });
                 false
@@ -374,6 +388,7 @@ impl Pool {
             regions: AtomicU64::new(0),
             tickets: AtomicU64::new(0),
             steals: AtomicU64::new(0),
+            tickets_dropped: AtomicU64::new(0),
         });
         for index in 0..workers {
             let shared = Arc::clone(&shared);
@@ -437,6 +452,7 @@ impl Pool {
             panic: Mutex::new(None),
         });
         self.shared.regions.fetch_add(1, Ordering::Relaxed);
+        LOCAL_REGIONS.with(|c| c.set(c.get() + 1));
         for _ in 0..participants - 1 {
             if !self.shared.push(Arc::clone(&region)) {
                 // Queues full: withdraw the invitation we failed to publish.
@@ -480,7 +496,21 @@ impl Pool {
             regions: self.shared.regions.load(Ordering::Relaxed),
             tickets: self.shared.tickets.load(Ordering::Relaxed),
             steals: self.shared.steals.load(Ordering::Relaxed),
+            tickets_dropped: self.shared.tickets_dropped.load(Ordering::Relaxed),
         }
+    }
+
+    /// Number of pool workers currently parked with no work (a racy,
+    /// constant-time hint: each worker publishes a `sleeping` flag before it
+    /// parks). Schedulers use this to detect spare capacity — e.g. the batch
+    /// rebalancer promotes fan-out tail work to intra-graph parallelism when
+    /// idle workers could help with it.
+    pub(crate) fn idle_workers(&self) -> usize {
+        self.shared
+            .workers
+            .iter()
+            .filter(|w| w.sleeping.load(Ordering::Relaxed))
+            .count()
     }
 }
 
@@ -500,25 +530,57 @@ pub(crate) fn stats_so_far() -> PoolStats {
 }
 
 /// Measured cost of dispatching and joining one (near-empty) parallel
-/// region on this machine, in nanoseconds. Calibrated once on first call by
-/// timing a burst of two-chunk regions on the shared pool and memoised for
-/// the process lifetime; the sample covers ticket publication, a worker
-/// wake-up, the cursor handshake and the park/unpark join.
-pub(crate) fn estimated_overhead_ns() -> u64 {
-    static SAMPLE: OnceLock<u64> = OnceLock::new();
-    *SAMPLE.get_or_init(|| {
-        let pool = Pool::global();
-        // Warm up: spawn the workers and fault in the code paths.
-        for _ in 0..8 {
-            pool.run_region(2, 1, 2, |_| {});
-        }
-        let rounds = 64u32;
-        let start = std::time::Instant::now();
-        for _ in 0..rounds {
-            pool.run_region(2, 1, 2, |_| {});
-        }
-        (start.elapsed().as_nanos() as u64 / u64::from(rounds)).max(1)
-    })
+/// region with `parallelism` participants on this machine, in nanoseconds.
+///
+/// Calibrated on first call *per participant count* by timing a burst of
+/// `parallelism`-chunk regions on the shared pool, and memoised per count
+/// for the process lifetime. Keying the sample by participant count is
+/// load-bearing: a region with more participants publishes more tickets and
+/// pays more wake-ups, so a session whose engine runs 8 threads must not
+/// reuse the sample a 2-thread session happened to take first (the
+/// stale-calibration bug). The sample covers ticket publication, the worker
+/// wake-ups, the cursor handshake and the park/unpark join.
+///
+/// `parallelism` is clamped to `[2, pool size + 1]` — the range of
+/// participant counts [`Pool::run_region`] can actually produce — so
+/// distinct requested thread counts that resolve to the same participant
+/// count share one sample.
+pub(crate) fn estimated_overhead_ns(parallelism: usize) -> u64 {
+    static SAMPLES: OnceLock<Mutex<std::collections::HashMap<usize, u64>>> = OnceLock::new();
+    let key = parallelism.clamp(2, configured_size() + 1);
+    let samples = SAMPLES.get_or_init(|| Mutex::new(std::collections::HashMap::new()));
+    if let Some(&sample) = samples.lock().unwrap().get(&key) {
+        return sample;
+    }
+    // Calibrate outside the lock: the burst below submits pool regions, and
+    // a region body must never be able to re-enter this path while the map
+    // is held.
+    let pool = Pool::global();
+    // Warm up: spawn the workers and fault in the code paths.
+    for _ in 0..8 {
+        pool.run_region(key, 1, key, |_| {});
+    }
+    let rounds = 64u32;
+    let start = std::time::Instant::now();
+    for _ in 0..rounds {
+        pool.run_region(key, 1, key, |_| {});
+    }
+    let sample = (start.elapsed().as_nanos() as u64 / u64::from(rounds)).max(1);
+    // First writer wins, so the memoised value is stable even when two
+    // threads calibrate the same key concurrently.
+    *samples.lock().unwrap().entry(key).or_insert(sample)
+}
+
+/// Idle-worker count of the shared pool (zero before the first region
+/// spawns it — an unspawned pool has no parked workers to recruit *now*,
+/// and the first region's tickets will wake them anyway).
+pub(crate) fn idle_so_far() -> usize {
+    POOL.get().map(Pool::idle_workers).unwrap_or(0)
+}
+
+/// Monotonic count of parallel regions submitted by the calling thread.
+pub(crate) fn local_regions_submitted() -> u64 {
+    LOCAL_REGIONS.with(Cell::get)
 }
 
 /// Pool size: `CHORDAL_POOL_THREADS` when set to a positive integer,
@@ -562,10 +624,125 @@ mod tests {
     }
 
     #[test]
-    fn overhead_estimate_is_positive_and_memoised() {
-        let first = estimated_overhead_ns();
-        assert!(first >= 1);
-        assert_eq!(first, estimated_overhead_ns(), "sample must be memoised");
+    fn local_region_counter_ignores_other_threads() {
+        let pool = Pool::global();
+        let before = local_regions_submitted();
+        for _ in 0..5 {
+            pool.run_region(64, 8, 2, |_| {});
+        }
+        assert_eq!(
+            local_regions_submitted(),
+            before + 5,
+            "own submissions must count exactly"
+        );
+        let mine = local_regions_submitted();
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                for _ in 0..7 {
+                    pool.run_region(64, 8, 2, |_| {});
+                }
+                assert!(local_regions_submitted() >= 7);
+            });
+        });
+        assert_eq!(
+            local_regions_submitted(),
+            mine,
+            "another thread's submissions must not leak into this thread's counter"
+        );
+    }
+
+    #[test]
+    fn overhead_estimate_is_positive_and_memoised_per_parallelism() {
+        // Regression test for the stale-calibration bug: the sample is
+        // keyed by participant count, so a 2-participant calibration and a
+        // wider one are taken (and memoised) independently — a session
+        // running a different thread count can no longer inherit whichever
+        // sample happened to be taken first.
+        let narrow = estimated_overhead_ns(2);
+        assert!(narrow >= 1);
+        assert_eq!(
+            narrow,
+            estimated_overhead_ns(2),
+            "sample must be memoised per key"
+        );
+        let wide_key = configured_size() + 1;
+        let wide = estimated_overhead_ns(wide_key);
+        assert!(wide >= 1);
+        assert_eq!(
+            wide,
+            estimated_overhead_ns(wide_key),
+            "each key memoises its own sample"
+        );
+        // Out-of-range requests clamp onto the calibrated range instead of
+        // growing the table without bound.
+        assert_eq!(estimated_overhead_ns(0), narrow);
+        assert_eq!(estimated_overhead_ns(usize::MAX), wide);
+    }
+
+    #[test]
+    fn full_queues_count_dropped_tickets_and_stay_correct() {
+        // A private one-worker pool whose worker is parked inside a gated
+        // region: every stale ticket the main thread leaves behind then
+        // accumulates in the injector until it saturates, which must (a)
+        // never affect results and (b) leave a trace in `tickets_dropped`.
+        let pool = Pool::new(1);
+        let gate = Arc::new(AtomicBool::new(false));
+        let entered = Arc::new(AtomicUsize::new(0));
+        let blocker = {
+            let shared = Arc::clone(&pool.shared);
+            let gate = Arc::clone(&gate);
+            let entered = Arc::clone(&entered);
+            std::thread::spawn(move || {
+                let pool = Pool { shared };
+                // Two chunks, two participants: the submitter blocks on one
+                // chunk, the worker claims the invitation and blocks on the
+                // other.
+                pool.run_region(2, 1, 2, |_| {
+                    entered.fetch_add(1, Ordering::SeqCst);
+                    while !gate.load(Ordering::SeqCst) {
+                        std::thread::park_timeout(Duration::from_micros(50));
+                    }
+                });
+            })
+        };
+        while entered.load(Ordering::SeqCst) < 2 {
+            std::hint::spin_loop();
+        }
+        // Both the worker and the blocker thread are now pinned inside the
+        // gated region; nothing can drain the injector.
+        let before = pool.stats();
+        let total = AtomicUsize::new(0);
+        let floods = INJECTOR_CAPACITY + 200;
+        for _ in 0..floods {
+            // Each submission publishes one invitation; the submitter
+            // drains both chunks itself and cancels the invitation, which
+            // stays in the injector as a stale ticket.
+            pool.run_region(2, 1, 2, |r| {
+                total.fetch_add(r.len(), Ordering::Relaxed);
+            });
+        }
+        let after = pool.stats();
+        assert_eq!(
+            total.into_inner(),
+            floods * 2,
+            "every flooded region must complete exactly despite saturation"
+        );
+        assert!(
+            after.tickets_dropped > before.tickets_dropped,
+            "saturating the injector must be visible in tickets_dropped \
+             ({} -> {})",
+            before.tickets_dropped,
+            after.tickets_dropped
+        );
+        gate.store(true, Ordering::SeqCst);
+        blocker.join().unwrap();
+        // The pool still runs work (the worker drains the stale backlog as
+        // no-ops).
+        let sum = AtomicUsize::new(0);
+        pool.run_region(64, 4, 2, |r| {
+            sum.fetch_add(r.len(), Ordering::Relaxed);
+        });
+        assert_eq!(sum.into_inner(), 64);
     }
 
     #[test]

@@ -145,13 +145,35 @@ pub struct ExtractorConfig {
     /// Adaptive batch scheduling: instead of the static
     /// [`batch_threshold_edges`](Self::batch_threshold_edges) pivot,
     /// [`crate::ExtractionSession::extract_batch`] derives the pivot from a
-    /// per-graph cost model — estimated extraction work per edge against
-    /// the pool's calibrated per-region dispatch overhead
-    /// ([`chordal_runtime::estimated_region_overhead_ns`]) — so each graph
-    /// is placed where the scheduling overhead actually amortises on this
-    /// machine. Placement never changes extraction output for
+    /// per-graph cost model — extraction work per edge against the pool's
+    /// calibrated per-region dispatch overhead, keyed by the engine's
+    /// thread count
+    /// ([`chordal_runtime::estimated_region_overhead_ns_for`]) — so each
+    /// graph is placed where the scheduling overhead actually amortises on
+    /// this machine. Placement never changes extraction output for
     /// deterministic configurations.
     pub batch_adaptive: bool,
+    /// Measured-cost feedback for the adaptive pivot: the session keeps an
+    /// EWMA of observed extraction cost (`ns` per canonical edge, parallel
+    /// regions issued per intra-graph extraction) from its own batch
+    /// traffic and feeds it back into
+    /// [`crate::ExtractionSession::effective_batch_threshold`], so the
+    /// pivot converges to the *workload* instead of the compile-time
+    /// constants. Seeded from the calibration model, so a session's first
+    /// batch pivots exactly like a feedback-free one. Only consulted when
+    /// [`batch_adaptive`](Self::batch_adaptive) is set. Default `true`;
+    /// CLI `--no-ewma` disables it.
+    pub batch_ewma: bool,
+    /// Intra-batch rebalancing: during the fan-out phase of
+    /// [`crate::ExtractionSession::extract_batch`], the submitting thread
+    /// may promote the unclaimed *tail* of the fan-out set to intra-graph
+    /// runs when the pool reports enough idle workers that the tail could
+    /// not occupy them anyway
+    /// ([`chordal_runtime::pool_idle_workers`]). Promotion only moves
+    /// *where* a graph runs — outputs stay identical to per-graph
+    /// placement for deterministic configurations. Default `true`; CLI
+    /// `--no-rebalance` disables it.
+    pub batch_rebalance: bool,
 }
 
 impl Default for ExtractorConfig {
@@ -168,6 +190,8 @@ impl Default for ExtractorConfig {
             repair_strategy: RepairStrategy::default(),
             batch_threshold_edges: DEFAULT_BATCH_THRESHOLD_EDGES,
             batch_adaptive: false,
+            batch_ewma: true,
+            batch_rebalance: true,
         }
     }
 }
@@ -190,6 +214,8 @@ impl ExtractorConfig {
             repair_strategy: RepairStrategy::default(),
             batch_threshold_edges: DEFAULT_BATCH_THRESHOLD_EDGES,
             batch_adaptive: false,
+            batch_ewma: true,
+            batch_rebalance: true,
         }
     }
 
@@ -267,6 +293,21 @@ impl ExtractorConfig {
         self
     }
 
+    /// Builder-style: enables or disables the measured-cost EWMA feedback
+    /// of the adaptive pivot (see
+    /// [`batch_ewma`](ExtractorConfig::batch_ewma)).
+    pub fn with_batch_ewma(mut self, ewma: bool) -> Self {
+        self.batch_ewma = ewma;
+        self
+    }
+
+    /// Builder-style: enables or disables intra-batch rebalancing (see
+    /// [`batch_rebalance`](ExtractorConfig::batch_rebalance)).
+    pub fn with_batch_rebalance(mut self, rebalance: bool) -> Self {
+        self.batch_rebalance = rebalance;
+        self
+    }
+
     /// The partition count the partitioned baseline will actually use
     /// (explicit value, or one partition per engine worker).
     pub fn effective_partitions(&self) -> usize {
@@ -306,6 +347,8 @@ mod tests {
         assert_eq!(c.repair_strategy, RepairStrategy::Incremental);
         assert_eq!(c.batch_threshold_edges, DEFAULT_BATCH_THRESHOLD_EDGES);
         assert!(!c.batch_adaptive);
+        assert!(c.batch_ewma, "measured-cost feedback defaults on");
+        assert!(c.batch_rebalance, "intra-batch rebalancing defaults on");
         assert!(c.engine.threads() >= 1);
         assert_eq!(c.effective_partitions(), c.engine.threads());
     }
@@ -322,12 +365,16 @@ mod tests {
             .with_repair(true)
             .with_repair_strategy(RepairStrategy::Scratch)
             .with_batch_threshold_edges(1_000)
-            .with_batch_adaptive(true);
+            .with_batch_adaptive(true)
+            .with_batch_ewma(false)
+            .with_batch_rebalance(false);
         assert!(c.record_stats);
         assert!(c.repair);
         assert_eq!(c.repair_strategy, RepairStrategy::Scratch);
         assert_eq!(c.batch_threshold_edges, 1_000);
         assert!(c.batch_adaptive);
+        assert!(!c.batch_ewma);
+        assert!(!c.batch_rebalance);
         assert_eq!(c.semantics, Semantics::Asynchronous);
         assert_eq!(c.adjacency, AdjacencyMode::Sorted);
         assert_eq!(c.engine.threads(), 2);

@@ -93,7 +93,13 @@
 //! [`ExtractorConfig::batch_threshold_edges`] (default
 //! [`config::DEFAULT_BATCH_THRESHOLD_EDGES`]): graphs below the threshold
 //! fan out across workers with per-graph serial extraction, graphs at or
-//! above it run with intra-graph parallelism. All parallel regions execute
+//! above it run with intra-graph parallelism. Placement keys on each
+//! graph's canonical edge count; with
+//! [`ExtractorConfig::batch_adaptive`] the pivot comes from a *measured*
+//! cost model — per-thread pool calibration seeded, then fed back from the
+//! session's own EWMA of observed extraction cost — and idle pool workers
+//! let the scheduler promote the fan-out tail to intra-graph runs (see
+//! [`session`]'s module docs). All parallel regions execute
 //! on the process-wide persistent worker pool (`CHORDAL_POOL_THREADS`
 //! controls its size), so batch traffic never spawns threads per region.
 //! Adding [`ExtractorConfig::repair`] (CLI `--repair`) appends the
@@ -129,7 +135,10 @@ pub use extractor::{Algorithm, ChordalExtractor};
 pub use parallel::MaximalChordalExtractor;
 pub use repair::RepairStrategy;
 pub use result::ChordalResult;
-pub use session::{adaptive_batch_threshold_edges, ExtractionSession};
+pub use session::{
+    adaptive_batch_threshold_edges, adaptive_batch_threshold_from_model, ExtractionSession,
+    SchedulerFeedback,
+};
 pub use stats::IterationStats;
 pub use workspace::Workspace;
 

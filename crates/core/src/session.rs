@@ -40,20 +40,66 @@
 //! intra-graph scheduling. All parallel regions execute on the process-wide
 //! persistent worker pool, so neither policy spawns threads per batch.
 //!
-//! # Adaptive scheduling
+//! # Adaptive scheduling: the measured cost model
 //!
 //! With [`ExtractorConfig::batch_adaptive`](crate::config::ExtractorConfig::batch_adaptive)
-//! set, the pivot is not a configured constant but is derived per machine
-//! from a cost model ([`adaptive_batch_threshold_edges`]): intra-graph
-//! parallelism saves roughly `edges · ns_per_edge · (1 - 1/threads)`
-//! nanoseconds of wall time on a graph, and costs about
-//! `regions_per_extraction · region_overhead_ns`, where the per-region
-//! dispatch overhead is the pool's calibrated sample
-//! ([`chordal_runtime::estimated_region_overhead_ns`]). Each graph is
-//! placed on whichever side wins for *it*. Because the fan-out and
+//! set, the pivot is not a configured constant but is derived from a cost
+//! model: intra-graph parallelism saves roughly
+//! `edges · ns_per_edge · (1 - 1/threads)` nanoseconds of wall time on a
+//! graph, and costs about `regions_per_extraction · region_overhead_ns`.
+//! Each graph is placed on whichever side wins for *it*, keyed by its
+//! **canonical** edge count ([`CsrGraph::num_canonical_edges`] — duplicate
+//! edges and self loops on raw CSR input carry no extraction work, so they
+//! must not push a graph across the pivot).
+//!
+//! The three model inputs are **measured**, not guessed:
+//!
+//! * `region_overhead_ns` is the pool's calibrated dispatch sample, keyed
+//!   by the engine's thread count
+//!   ([`chordal_runtime::estimated_region_overhead_ns_for`]) — a region
+//!   with more participants publishes more tickets and pays more wake-ups,
+//!   so a session must not reuse a sample calibrated for a different
+//!   width.
+//! * `ns_per_edge` and `regions_per_extraction` start at the seed
+//!   constants ([`adaptive_batch_threshold_edges`] — so a fresh session's
+//!   first batch pivots exactly like a feedback-free one) and then track
+//!   the session's own traffic through an **EWMA**
+//!   ([`SchedulerFeedback`], [`ExtractionSession::scheduler_feedback`]):
+//!   fan-out runs contribute serial per-edge timings (stamped into
+//!   [`ChordalResult::extract_ns`]), intra-graph runs contribute the
+//!   regions they issued (delta of
+//!   [`chordal_runtime::pool_regions_submitted_locally`] — thread-local,
+//!   so concurrent sessions cannot cross-talk) and a serial-equivalent
+//!   per-edge estimate (`elapsed · threads / edges` — an upper bound that
+//!   assumes perfect scaling, deliberately erring toward the cheap
+//!   failure mode; fan-out samples pull the average back down).
+//!   [`ExtractionSession::effective_batch_threshold`]
+//!   therefore *converges to the workload* instead of trusting
+//!   compile-time constants. Disable with
+//!   [`ExtractorConfig::batch_ewma`](crate::config::ExtractorConfig::batch_ewma).
+//!
+//! Seeding and fallback rules: a serial engine (`threads <= 1`) always
+//! pivots at `usize::MAX` — it has nothing to win from intra-graph regions
+//! — regardless of feedback; a session with no recorded samples uses the
+//! seeded calibration model; graphs below a small floor contribute no
+//! samples (their timings are noise).
+//!
+//! # Intra-batch rebalancing
+//!
+//! `extract_batch` does not commit placement up front. The fan-out set is
+//! drained from a shared cursor by the submitting thread and the pool
+//! workers together, and when the pool reports idle workers
+//! ([`chordal_runtime::pool_idle_workers`]) while the remaining unclaimed
+//! tail is too short to occupy them (`remaining ≤ min(idle, threads-1)`),
+//! the submitting thread *promotes* that tail: the promoted graphs run
+//! intra-graph after the fan-out region, where every idle worker can help,
+//! instead of serially on one worker each while the rest of the pool sits
+//! parked. Promotion only moves *where* a graph runs — the fan-out and
 //! intra-graph paths are slot-identical for deterministic configurations,
-//! the adaptive policy can never change extraction output — only where
-//! each graph runs.
+//! so rebalancing can never change extraction output (locked down by
+//! `tests/pool_scheduling.rs` across the pool-size matrix). Disable with
+//! [`ExtractorConfig::batch_rebalance`](crate::config::ExtractorConfig::batch_rebalance);
+//! promoted-graph totals are visible in [`SchedulerFeedback::rebalanced`].
 
 use crate::config::ExtractorConfig;
 use crate::extractor::{Algorithm, ChordalExtractor};
@@ -61,17 +107,21 @@ use crate::result::ChordalResult;
 use crate::workspace::Workspace;
 use chordal_graph::CsrGraph;
 use chordal_runtime::Engine;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::OnceLock;
+use std::time::Instant;
 
-/// Approximate serial extraction work per (undirected) edge, in
-/// nanoseconds. A mid-range figure for Algorithm 1 on cache-resident
-/// R-MAT-like inputs; the adaptive policy only needs the right order of
-/// magnitude, since the clamp below absorbs the rest.
+/// Seed for the measured `ns_per_edge` feedback: approximate serial
+/// extraction work per (undirected) edge for Algorithm 1 on cache-resident
+/// R-MAT-like inputs. Only the order of magnitude matters — the EWMA
+/// replaces it as soon as the session has seen real traffic, and the pivot
+/// clamp absorbs the rest.
 const ADAPTIVE_NS_PER_EDGE: u64 = 25;
 
-/// Parallel regions one intra-graph extraction typically issues: an init
-/// sweep, a few iterations of queue processing plus next-queue collection,
-/// and the final edge materialisation.
+/// Seed for the measured `regions_per_extraction` feedback: parallel
+/// regions one intra-graph extraction typically issues (an init sweep, a
+/// few iterations of queue processing plus next-queue collection, and the
+/// final edge materialisation).
 const ADAPTIVE_REGIONS_PER_EXTRACTION: u64 = 12;
 
 /// Lower clamp of the adaptive pivot: below this, even a free region could
@@ -82,29 +132,107 @@ const ADAPTIVE_MIN_THRESHOLD_EDGES: usize = 1_024;
 /// from intra-graph parallelism on any machine we target.
 const ADAPTIVE_MAX_THRESHOLD_EDGES: usize = 1 << 20;
 
-/// Computes the adaptive batch pivot for an engine with `threads` workers:
-/// the edge count above which a graph's estimated parallel win
-/// (`edges · ns_per_edge · (1 - 1/threads)`) exceeds the scheduling cost
-/// of the regions an intra-graph extraction issues, using the pool's
-/// calibrated per-region overhead sample. Deterministic per process (the
-/// overhead sample is memoised), monotonically decreasing in `threads`
-/// for parallel engines, and clamped to a sane range so a noisy
-/// calibration cannot produce a degenerate policy.
+/// EWMA smoothing factor of the measured-cost feedback: each new sample
+/// contributes a quarter, so a handful of batches converges the pivot
+/// without letting one noisy timing yank it around.
+const EWMA_ALPHA: f64 = 0.25;
+
+/// Graphs below this canonical edge count contribute no feedback samples:
+/// their extractions finish in microseconds and the per-edge quotient is
+/// dominated by timer and scheduling noise.
+const FEEDBACK_MIN_EDGES: usize = 256;
+
+/// Clamp for one `ns_per_edge` feedback sample, so a degenerate timing
+/// (preempted thread, page faults) cannot poison the EWMA.
+const FEEDBACK_NS_PER_EDGE_RANGE: (f64, f64) = (0.05, 100_000.0);
+
+/// Computes the *seeded* adaptive batch pivot for an engine with `threads`
+/// workers: [`adaptive_batch_threshold_from_model`] evaluated at the seed
+/// constants. This is what a session without recorded feedback (its first
+/// batch) uses; with feedback, the session's EWMA replaces the constants.
 ///
 /// A serial engine (`threads <= 1`) has no intra-graph parallelism to win
 /// anything with — every region it would issue is pure scheduling overhead
 /// — so the pivot is `usize::MAX`: every graph takes the fan-out
 /// (sequential) path, no graph is ever placed intra-graph.
 pub fn adaptive_batch_threshold_edges(threads: usize) -> usize {
+    adaptive_batch_threshold_from_model(
+        threads,
+        ADAPTIVE_NS_PER_EDGE as f64,
+        ADAPTIVE_REGIONS_PER_EXTRACTION as f64,
+    )
+}
+
+/// Computes the adaptive batch pivot for an engine with `threads` workers
+/// from explicit cost-model inputs: the canonical edge count above which a
+/// graph's estimated parallel win (`edges · ns_per_edge · (1 - 1/threads)`)
+/// exceeds the scheduling cost of the regions an intra-graph extraction
+/// issues (`regions_per_extraction` · the pool's calibrated per-region
+/// overhead for `threads`-participant regions). Clamped to a sane range so
+/// a noisy calibration or feedback sample cannot produce a degenerate
+/// policy; `usize::MAX` for serial engines (see
+/// [`adaptive_batch_threshold_edges`]).
+///
+/// This is the function the session's measured-cost feedback loop
+/// evaluates at its EWMA state; callers can use it to inspect what pivot a
+/// hypothetical workload shape would produce.
+pub fn adaptive_batch_threshold_from_model(
+    threads: usize,
+    ns_per_edge: f64,
+    regions_per_extraction: f64,
+) -> usize {
     if threads <= 1 {
         return usize::MAX;
     }
-    let overhead_ns = chordal_runtime::estimated_region_overhead_ns().max(1);
-    let t = threads as u64;
-    let win_per_edge_ns = (ADAPTIVE_NS_PER_EDGE * (t - 1) / t).max(1);
-    let region_cost_ns = overhead_ns.saturating_mul(ADAPTIVE_REGIONS_PER_EXTRACTION);
-    ((region_cost_ns / win_per_edge_ns) as usize)
-        .clamp(ADAPTIVE_MIN_THRESHOLD_EDGES, ADAPTIVE_MAX_THRESHOLD_EDGES)
+    let overhead_ns = chordal_runtime::estimated_region_overhead_ns_for(threads).max(1) as f64;
+    let t = threads as f64;
+    let win_per_edge_ns = (ns_per_edge * (1.0 - 1.0 / t)).max(1e-3);
+    let region_cost_ns = overhead_ns * regions_per_extraction.max(1.0);
+    let pivot = region_cost_ns / win_per_edge_ns;
+    if !pivot.is_finite() {
+        return ADAPTIVE_MAX_THRESHOLD_EDGES;
+    }
+    (pivot as usize).clamp(ADAPTIVE_MIN_THRESHOLD_EDGES, ADAPTIVE_MAX_THRESHOLD_EDGES)
+}
+
+/// Observable state of a session's measured-cost scheduling feedback.
+///
+/// `ewma_*` fields start at the seed constants and move toward the
+/// session's own measurements batch by batch (`samples` counts recorded
+/// measurements; while it is zero the seeded model is in effect and
+/// [`ExtractionSession::effective_batch_threshold`] equals
+/// [`adaptive_batch_threshold_edges`]). `rebalanced` counts fan-out graphs
+/// the intra-batch rebalancer has promoted to intra-graph runs over the
+/// session's lifetime.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SchedulerFeedback {
+    /// EWMA of measured serial-equivalent extraction cost per canonical
+    /// edge, in nanoseconds.
+    pub ewma_ns_per_edge: f64,
+    /// EWMA of parallel regions issued per intra-graph extraction.
+    pub ewma_regions_per_extraction: f64,
+    /// Feedback samples recorded so far (0 = seeded model in effect).
+    pub samples: u64,
+    /// The most recent `ns_per_edge` sample (0 before the first sample);
+    /// tests use it to bound how far the EWMA may sit from reality.
+    pub last_ns_per_edge: f64,
+    /// Fan-out graphs promoted to intra-graph runs by the rebalancer,
+    /// cumulative over the session.
+    pub rebalanced: u64,
+}
+
+impl SchedulerFeedback {
+    /// The seeded state: EWMA fields at the calibration constants, no
+    /// samples recorded.
+    fn seeded() -> Self {
+        Self {
+            ewma_ns_per_edge: ADAPTIVE_NS_PER_EDGE as f64,
+            ewma_regions_per_extraction: ADAPTIVE_REGIONS_PER_EXTRACTION as f64,
+            samples: 0,
+            last_ns_per_edge: 0.0,
+            rebalanced: 0,
+        }
+    }
 }
 
 /// A configured extractor paired with a reusable [`Workspace`].
@@ -112,6 +240,7 @@ pub struct ExtractionSession {
     config: ExtractorConfig,
     extractor: Box<dyn ChordalExtractor>,
     workspace: Workspace,
+    feedback: SchedulerFeedback,
 }
 
 impl ExtractionSession {
@@ -123,6 +252,7 @@ impl ExtractionSession {
             config,
             extractor,
             workspace: Workspace::new(),
+            feedback: SchedulerFeedback::seeded(),
         }
     }
 
@@ -153,9 +283,45 @@ impl ExtractionSession {
         &self.workspace
     }
 
-    /// Extracts from one graph, reusing the session workspace.
+    /// Extracts from one graph, reusing the session workspace. The result
+    /// carries the measured wall-clock of the run
+    /// ([`ChordalResult::extract_ns`]).
     pub fn extract(&mut self, graph: &CsrGraph) -> ChordalResult {
-        self.extractor.extract_into(graph, &mut self.workspace)
+        let start = Instant::now();
+        let mut result = self.extractor.extract_into(graph, &mut self.workspace);
+        result.set_extract_ns(start.elapsed().as_nanos() as u64);
+        result
+    }
+
+    /// The session's measured-cost scheduling feedback: EWMA state, sample
+    /// count and the rebalancer's promotion total.
+    pub fn scheduler_feedback(&self) -> SchedulerFeedback {
+        self.feedback
+    }
+
+    /// Folds one `ns_per_edge` sample (serial-equivalent nanoseconds per
+    /// canonical edge) and, for intra-graph runs, a regions-per-extraction
+    /// sample into the EWMA state. Tiny graphs are rejected — their
+    /// quotients are timer noise. No-op when
+    /// [`batch_ewma`](crate::config::ExtractorConfig::batch_ewma) is off,
+    /// so a feedback-disabled session's state stays frozen at the seed.
+    fn record_sample(&mut self, edges: usize, serial_equivalent_ns: f64, regions: Option<u64>) {
+        if !self.config.batch_ewma || edges < FEEDBACK_MIN_EDGES || serial_equivalent_ns <= 0.0 {
+            return;
+        }
+        let (lo, hi) = FEEDBACK_NS_PER_EDGE_RANGE;
+        let ns_per_edge = (serial_equivalent_ns / edges as f64).clamp(lo, hi);
+        self.feedback.ewma_ns_per_edge =
+            EWMA_ALPHA * ns_per_edge + (1.0 - EWMA_ALPHA) * self.feedback.ewma_ns_per_edge;
+        self.feedback.last_ns_per_edge = ns_per_edge;
+        if let Some(regions) = regions {
+            // An intra-graph run that split into no regions still counts as
+            // one scheduling decision.
+            let regions = regions.clamp(1, 10_000) as f64;
+            self.feedback.ewma_regions_per_extraction = EWMA_ALPHA * regions
+                + (1.0 - EWMA_ALPHA) * self.feedback.ewma_regions_per_extraction;
+        }
+        self.feedback.samples += 1;
     }
 
     /// The batch pivot [`ExtractionSession::extract_batch`] will use:
@@ -163,11 +329,25 @@ impl ExtractionSession {
     /// [`batch_threshold_edges`](crate::config::ExtractorConfig::batch_threshold_edges),
     /// or — when
     /// [`batch_adaptive`](crate::config::ExtractorConfig::batch_adaptive)
-    /// is set — the machine-calibrated estimate of
-    /// [`adaptive_batch_threshold_edges`].
+    /// is set — the measured cost model evaluated at the session's EWMA
+    /// state ([`adaptive_batch_threshold_from_model`]). Before the first
+    /// feedback sample (and whenever
+    /// [`batch_ewma`](crate::config::ExtractorConfig::batch_ewma) is off)
+    /// that is exactly the seeded estimate of
+    /// [`adaptive_batch_threshold_edges`]; serial engines always pivot at
+    /// `usize::MAX`.
     pub fn effective_batch_threshold(&self) -> usize {
         if self.config.batch_adaptive {
-            adaptive_batch_threshold_edges(self.config.engine.threads())
+            let threads = self.config.engine.threads();
+            if self.config.batch_ewma && self.feedback.samples > 0 {
+                adaptive_batch_threshold_from_model(
+                    threads,
+                    self.feedback.ewma_ns_per_edge,
+                    self.feedback.ewma_regions_per_extraction,
+                )
+            } else {
+                adaptive_batch_threshold_edges(threads)
+            }
         } else {
             self.config.batch_threshold_edges
         }
@@ -191,12 +371,16 @@ impl ExtractionSession {
     ///
     /// With
     /// [`ExtractorConfig::batch_adaptive`](crate::config::ExtractorConfig::batch_adaptive)
-    /// the pivot is [`adaptive_batch_threshold_edges`] instead of the
-    /// static configuration value (see the module docs).
+    /// the pivot is the measured cost model at the session's EWMA state
+    /// instead of the static configuration value, and with
+    /// [`ExtractorConfig::batch_rebalance`](crate::config::ExtractorConfig::batch_rebalance)
+    /// the fan-out tail may be promoted to intra-graph runs when pool
+    /// workers idle (see the module docs). Placement keys on each graph's
+    /// *canonical* edge count ([`CsrGraph::num_canonical_edges`]).
     ///
     /// Results are slot-identical to single-graph runs for every
     /// deterministic configuration, whichever side of the threshold a graph
-    /// lands on.
+    /// lands on and whether or not it was promoted.
     pub fn extract_batch(&mut self, graphs: &[&CsrGraph]) -> Vec<ChordalResult> {
         if graphs.is_empty() {
             return Vec::new();
@@ -204,13 +388,34 @@ impl ExtractionSession {
         if self.config.engine.threads() <= 1 || graphs.len() == 1 {
             return graphs.iter().map(|g| self.extract(g)).collect();
         }
+        let threads = self.config.engine.threads();
         let threshold = self.effective_batch_threshold();
+        // Placement keys on the *canonical* edge count: duplicate edges and
+        // self loops on raw CSR input carry no extraction work, so they
+        // must not push a graph across the pivot.
+        let edge_counts: Vec<usize> = graphs.iter().map(|g| g.num_canonical_edges()).collect();
         let small: Vec<usize> = (0..graphs.len())
-            .filter(|&i| graphs[i].num_edges() < threshold)
+            .filter(|&i| edge_counts[i] < threshold)
             .collect();
         let slots: Vec<OnceLock<ChordalResult>> =
             (0..graphs.len()).map(|_| OnceLock::new()).collect();
+        // One ownership flag per fan-out item: set by whoever extracts it
+        // (fan-out claimant or, for promoted tail items, the intra-graph
+        // sweep below), so a promotion racing a concurrent claim can never
+        // run a graph twice or drop it.
+        let taken: Vec<AtomicBool> = small.iter().map(|_| AtomicBool::new(false)).collect();
         if !small.is_empty() {
+            // The fan-out set is drained from this shared cursor; `mark` is
+            // the promotion fence — claims at or beyond it belong to the
+            // intra-graph sweep.
+            let cursor = AtomicUsize::new(0);
+            let mark = AtomicUsize::new(small.len());
+            let rebalance = self.config.batch_rebalance;
+            let submitter = std::thread::current().id();
+            // Idle capacity an intra-graph region could actually recruit: a
+            // region takes at most `threads - 1` helpers however many pool
+            // workers are parked.
+            let helper_cap = threads.saturating_sub(1);
             // Grain 1: each small graph is one schedulable unit of the
             // fan-out.
             let engine = self.config.engine.with_grain(1);
@@ -230,12 +435,51 @@ impl ExtractionSession {
                 static BATCH_WORKSPACE: std::cell::RefCell<Workspace> =
                     std::cell::RefCell::new(Workspace::new());
             }
-            engine.parallel_for_chunks(small.len(), |range| {
+            engine.parallel_for_chunks(small.len(), |_assignment| {
                 BATCH_WORKSPACE.with(|workspace| {
                     let mut workspace = workspace.borrow_mut();
-                    for si in range {
+                    loop {
+                        // Rebalancing check, submitter only: when the
+                        // unclaimed tail is too short to occupy the parked
+                        // workers an intra-graph region could recruit,
+                        // promote it wholesale instead of running it one
+                        // worker at a time. Requires claim progress
+                        // (`next > 0`): at region start every worker still
+                        // looks parked because the region's own tickets
+                        // have not woken them yet — promoting then would
+                        // disable the fan-out outright, the opposite of
+                        // what the idle hint means. After that first
+                        // claim the hint is trustworthy: the push path
+                        // clears a worker's sleeping flag at *publish*
+                        // time (not at wake-up), so workers this region
+                        // invited are never counted idle, only genuinely
+                        // uninvited capacity is.
+                        if rebalance && std::thread::current().id() == submitter {
+                            let next = cursor.load(Ordering::SeqCst);
+                            let fence = mark.load(Ordering::SeqCst);
+                            if next > 0 && next < fence {
+                                let remaining = fence - next;
+                                let idle = chordal_runtime::pool_idle_workers().min(helper_cap);
+                                if remaining <= idle {
+                                    mark.fetch_min(next, Ordering::SeqCst);
+                                    break;
+                                }
+                            }
+                        }
+                        let si = cursor.fetch_add(1, Ordering::SeqCst);
+                        if si >= mark.load(Ordering::SeqCst) {
+                            break;
+                        }
+                        // The cursor hands out unique indices, so the swap
+                        // only guards against a promotion that raced this
+                        // claim past the fence.
+                        if taken[si].swap(true, Ordering::SeqCst) {
+                            continue;
+                        }
                         let i = small[si];
-                        let result = extractor.extract_into(graphs[i], &mut workspace);
+                        let start = Instant::now();
+                        let mut result = extractor.extract_into(graphs[i], &mut workspace);
+                        result.set_extract_ns(start.elapsed().as_nanos() as u64);
                         slots[i]
                             .set(result)
                             .expect("each batch slot is written exactly once");
@@ -243,12 +487,63 @@ impl ExtractionSession {
                 });
             });
         }
+        // Intra-graph sweep, in input order: the graphs at or above the
+        // pivot plus any fan-out tail the rebalancer promoted.
+        let mut small_pos = vec![usize::MAX; graphs.len()];
+        for (si, &i) in small.iter().enumerate() {
+            small_pos[i] = si;
+        }
+        let mut ran_intra = vec![false; graphs.len()];
         for (i, graph) in graphs.iter().enumerate() {
-            if graph.num_edges() >= threshold {
+            let promoted =
+                small_pos[i] != usize::MAX && !taken[small_pos[i]].swap(true, Ordering::SeqCst);
+            if small_pos[i] == usize::MAX || promoted {
+                if promoted {
+                    self.feedback.rebalanced += 1;
+                }
+                // Thread-local delta: a global pool_stats() delta would
+                // absorb regions concurrent sessions submitted in the same
+                // window and misattribute them to this graph.
+                let regions_before = chordal_runtime::pool_regions_submitted_locally();
                 let result = self.extract(graph);
+                let regions = chordal_runtime::pool_regions_submitted_locally() - regions_before;
+                // Serial-equivalent cost estimate of a parallel run:
+                // elapsed · achievable parallelism assumes perfect scaling
+                // — a deliberate upper bound. Overestimating serial cost
+                // can only lower the pivot (more intra placement, bounded
+                // by the clamp floor and a few regions of overhead per
+                // small graph); underestimating it would fan large graphs
+                // out serially, the expensive direction. Fan-out samples,
+                // when the batch has them, pull the average toward
+                // measured serial cost; a workload whose every graph runs
+                // intra has no such corrective stream and its pivot can
+                // ratchet toward the clamp floor — an accepted bias,
+                // because the floor bounds the damage while the opposite
+                // error grows with graph size. Achievable parallelism is
+                // the engine's thread count capped by the pool's real
+                // capacity (workers + the submitting thread): an
+                // oversubscribed engine on a small pool gets no
+                // parallelism the cap doesn't deliver, and scaling by the
+                // nominal count would pin the pivot at the clamp floor.
+                let achievable = threads.min(chordal_runtime::pool_size() + 1);
+                self.record_sample(
+                    edge_counts[i],
+                    result.extract_ns() as f64 * achievable as f64,
+                    Some(regions),
+                );
+                ran_intra[i] = true;
                 slots[i]
                     .set(result)
                     .expect("each batch slot is written exactly once");
+            }
+        }
+        // Fold the fan-out timings (serial per-edge samples) into the
+        // feedback, in input order.
+        for &i in &small {
+            if !ran_intra[i] {
+                if let Some(result) = slots[i].get() {
+                    self.record_sample(edge_counts[i], result.extract_ns() as f64, None);
+                }
             }
         }
         slots
@@ -267,6 +562,7 @@ impl std::fmt::Debug for ExtractionSession {
             .field("algorithm", &self.config.algorithm)
             .field("engine", &self.config.engine)
             .field("workspace_allocations", &self.workspace.allocations())
+            .field("feedback", &self.feedback)
             .finish()
     }
 }
@@ -379,9 +675,12 @@ mod tests {
             .map(|seed| RmatParams::preset(RmatKind::Er, 7, seed).generate())
             .collect();
         let refs: Vec<&CsrGraph> = graphs.iter().collect();
+        // Rebalancing off: "pure" policies must not take the promotion
+        // path, or they would not be the pure placements they claim.
         let base = ExtractorConfig::default()
             .with_engine(chordal_runtime::Engine::chunked(3))
-            .with_semantics(Semantics::Synchronous);
+            .with_semantics(Semantics::Synchronous)
+            .with_batch_rebalance(false);
         // Pure fan-out and pure intra-graph scheduling agree slot for slot
         // (synchronous semantics are schedule-independent).
         let fanned = ExtractionSession::new(base.clone().with_batch_threshold_edges(usize::MAX))
@@ -421,12 +720,117 @@ mod tests {
                 (ADAPTIVE_MIN_THRESHOLD_EDGES..=ADAPTIVE_MAX_THRESHOLD_EDGES).contains(&t),
                 "threads {threads}: pivot {t} out of clamp range"
             );
-            // The overhead sample is memoised, so the pivot is stable
-            // within a process.
+            // The overhead sample is memoised per thread count, so each
+            // pivot is stable within a process. (It is *not* monotone in
+            // `threads` any more: wider regions pay measured wake-up costs
+            // of their own — that is the stale-calibration fix.)
             assert_eq!(t, adaptive_batch_threshold_edges(threads));
         }
-        // More workers means more win per edge, so the pivot can only drop.
-        assert!(adaptive_batch_threshold_edges(8) <= adaptive_batch_threshold_edges(2));
+    }
+
+    #[test]
+    fn model_pivot_tracks_its_inputs() {
+        // More expensive edges push the pivot down (intra-graph pays off
+        // sooner); more regions per extraction push it up.
+        let cheap = adaptive_batch_threshold_from_model(4, 5.0, 12.0);
+        let costly = adaptive_batch_threshold_from_model(4, 500.0, 12.0);
+        assert!(costly <= cheap, "{costly} vs {cheap}");
+        let lean = adaptive_batch_threshold_from_model(4, 25.0, 2.0);
+        let heavy = adaptive_batch_threshold_from_model(4, 25.0, 200.0);
+        assert!(lean <= heavy, "{lean} vs {heavy}");
+        // Serial engines never place intra-graph, whatever the feedback.
+        assert_eq!(adaptive_batch_threshold_from_model(1, 1.0, 1.0), usize::MAX);
+        // The seeded convenience form is the model at the seed constants.
+        assert_eq!(
+            adaptive_batch_threshold_edges(3),
+            adaptive_batch_threshold_from_model(
+                3,
+                ADAPTIVE_NS_PER_EDGE as f64,
+                ADAPTIVE_REGIONS_PER_EXTRACTION as f64
+            )
+        );
+    }
+
+    #[test]
+    fn feedback_starts_seeded_and_records_batch_samples() {
+        let graphs: Vec<CsrGraph> = (0..4)
+            .map(|seed| RmatParams::preset(RmatKind::Er, 9, seed).generate())
+            .collect();
+        let refs: Vec<&CsrGraph> = graphs.iter().collect();
+        let mut session = ExtractionSession::new(
+            ExtractorConfig::default()
+                .with_engine(chordal_runtime::Engine::rayon(3))
+                .with_batch_adaptive(true),
+        );
+        let seeded = session.scheduler_feedback();
+        assert_eq!(seeded.samples, 0);
+        assert_eq!(seeded.ewma_ns_per_edge, ADAPTIVE_NS_PER_EDGE as f64);
+        assert_eq!(
+            seeded.ewma_regions_per_extraction,
+            ADAPTIVE_REGIONS_PER_EXTRACTION as f64
+        );
+        assert_eq!(
+            session.effective_batch_threshold(),
+            adaptive_batch_threshold_edges(3),
+            "a fresh session pivots exactly like the seeded model"
+        );
+        session.extract_batch(&refs);
+        let fed = session.scheduler_feedback();
+        assert!(
+            fed.samples > 0,
+            "scale-9 graphs are above the feedback floor and must record"
+        );
+        assert!(fed.ewma_ns_per_edge > 0.0 && fed.ewma_ns_per_edge.is_finite());
+        assert!(fed.last_ns_per_edge > 0.0);
+        // The reported pivot is the model evaluated at the EWMA state.
+        assert_eq!(
+            session.effective_batch_threshold(),
+            adaptive_batch_threshold_from_model(
+                3,
+                fed.ewma_ns_per_edge,
+                fed.ewma_regions_per_extraction
+            )
+        );
+    }
+
+    #[test]
+    fn ewma_off_pins_the_pivot_to_the_seeded_model() {
+        let graphs: Vec<CsrGraph> = (0..3)
+            .map(|seed| RmatParams::preset(RmatKind::Er, 9, seed).generate())
+            .collect();
+        let refs: Vec<&CsrGraph> = graphs.iter().collect();
+        let mut session = ExtractionSession::new(
+            ExtractorConfig::default()
+                .with_engine(chordal_runtime::Engine::rayon(3))
+                .with_batch_adaptive(true)
+                .with_batch_ewma(false),
+        );
+        let pivot = session.effective_batch_threshold();
+        session.extract_batch(&refs);
+        session.extract_batch(&refs);
+        assert_eq!(
+            session.effective_batch_threshold(),
+            pivot,
+            "with feedback disabled the pivot must not move"
+        );
+    }
+
+    #[test]
+    fn rebalance_off_never_promotes() {
+        let graphs: Vec<CsrGraph> = (0..6)
+            .map(|seed| RmatParams::preset(RmatKind::G, 6, seed).generate())
+            .collect();
+        let refs: Vec<&CsrGraph> = graphs.iter().collect();
+        let mut session = ExtractionSession::new(
+            ExtractorConfig::default()
+                .with_engine(chordal_runtime::Engine::rayon(3))
+                .with_batch_threshold_edges(usize::MAX)
+                .with_batch_rebalance(false),
+        );
+        for _ in 0..3 {
+            session.extract_batch(&refs);
+        }
+        assert_eq!(session.scheduler_feedback().rebalanced, 0);
     }
 
     #[test]
@@ -484,9 +888,13 @@ mod tests {
         let adaptive =
             ExtractionSession::new(base.clone().with_batch_adaptive(true)).extract_batch(&refs);
         for pivot in [0, 2_000, usize::MAX] {
-            let static_batch =
-                ExtractionSession::new(base.clone().with_batch_threshold_edges(pivot))
-                    .extract_batch(&refs);
+            // Promotion-free static references.
+            let static_batch = ExtractionSession::new(
+                base.clone()
+                    .with_batch_threshold_edges(pivot)
+                    .with_batch_rebalance(false),
+            )
+            .extract_batch(&refs);
             for (i, (a, b)) in adaptive.iter().zip(&static_batch).enumerate() {
                 assert_eq!(a.edges(), b.edges(), "pivot {pivot} slot {i}");
             }

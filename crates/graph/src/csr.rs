@@ -2,6 +2,7 @@
 
 use crate::{EdgeList, GraphError, VertexId};
 use rayon::prelude::*;
+use std::sync::OnceLock;
 
 /// An immutable undirected graph in compressed-sparse-row form.
 ///
@@ -10,14 +11,31 @@ use rayon::prelude::*;
 /// adjacency list is sorted ascending; the "Opt" variant of the paper's
 /// algorithm requires sorted adjacency while the "Unopt" variant operates on
 /// generator-ordered lists.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct CsrGraph {
     num_vertices: usize,
     /// `offsets[v]..offsets[v + 1]` indexes `neighbors` for vertex `v`.
     offsets: Vec<usize>,
     neighbors: Vec<VertexId>,
     sorted: bool,
+    /// Lazily computed cache of [`CsrGraph::num_canonical_edges`]. No
+    /// method changes the stored edge multiset after construction
+    /// (`sort_adjacency` and scrambling only permute adjacency lists), so
+    /// a computed value never goes stale.
+    canonical_edges: OnceLock<usize>,
 }
+
+impl PartialEq for CsrGraph {
+    fn eq(&self, other: &Self) -> bool {
+        // The canonical-edge cache is derived data, deliberately ignored.
+        self.num_vertices == other.num_vertices
+            && self.offsets == other.offsets
+            && self.neighbors == other.neighbors
+            && self.sorted == other.sorted
+    }
+}
+
+impl Eq for CsrGraph {}
 
 impl CsrGraph {
     /// Builds a graph from a (possibly non-canonical) edge list. Duplicates
@@ -58,6 +76,7 @@ impl CsrGraph {
             offsets,
             neighbors,
             sorted: false,
+            canonical_edges: OnceLock::new(),
         };
         graph.sort_adjacency();
         graph
@@ -69,7 +88,9 @@ impl CsrGraph {
     /// non-decreasing and end at `neighbors.len()`; every neighbour must be a
     /// valid vertex id. The adjacency is *not* required to be sorted or
     /// symmetric; [`CsrGraph::validate_symmetry`] can check symmetry
-    /// separately.
+    /// separately. Note that the extraction algorithms and
+    /// [`CsrGraph::num_canonical_edges`] assume symmetric adjacency —
+    /// asymmetric input is only suitable for structural inspection.
     pub fn from_parts(
         num_vertices: usize,
         offsets: Vec<usize>,
@@ -114,6 +135,7 @@ impl CsrGraph {
             offsets,
             neighbors,
             sorted,
+            canonical_edges: OnceLock::new(),
         })
     }
 
@@ -124,6 +146,7 @@ impl CsrGraph {
             offsets: vec![0; num_vertices + 1],
             neighbors: Vec::new(),
             sorted: true,
+            canonical_edges: OnceLock::new(),
         }
     }
 
@@ -133,10 +156,67 @@ impl CsrGraph {
         self.num_vertices
     }
 
-    /// Number of undirected edges (half the stored adjacency entries).
+    /// Number of undirected edges as *half the stored adjacency entries*.
+    ///
+    /// For graphs built through the canonicalising constructors
+    /// ([`CsrGraph::from_edge_list`], [`CsrGraph::from_canonical_edges`]
+    /// with genuinely canonical input) this equals the distinct edge count.
+    /// For raw CSR input ([`CsrGraph::from_parts`]) the adjacency may still
+    /// contain duplicate entries and self loops, which this method counts —
+    /// mirroring [`crate::EdgeList::num_edges`] on a non-canonicalised
+    /// list. Callers making *cost* decisions (e.g. batch placement) should
+    /// use [`CsrGraph::num_canonical_edges`] instead.
     #[inline]
     pub fn num_edges(&self) -> usize {
         self.neighbors.len() / 2
+    }
+
+    /// Number of *distinct* undirected, non-loop edges — the canonical edge
+    /// count, independent of duplicate adjacency entries or self loops that
+    /// raw [`CsrGraph::from_parts`] input may carry.
+    ///
+    /// This is the contract quantity for workload-size decisions: the batch
+    /// scheduler places graphs (fan-out vs intra-graph parallelism) on this
+    /// count, so a noisy, non-canonicalised input cannot be misplaced by
+    /// its duplicate edges. Computed lazily — `O(V + E)` on the first call
+    /// (unsorted adjacency pays an additional per-vertex sort of a scratch
+    /// buffer), `O(1)` afterwards (the graph is immutable, so the cached
+    /// value never goes stale).
+    ///
+    /// **Contract:** edges are counted from the *lower* endpoint's
+    /// adjacency list, which is exact for symmetric adjacency — what every
+    /// constructor produces and the extraction algorithms require.
+    /// [`CsrGraph::from_parts`] technically admits asymmetric adjacency; an
+    /// edge stored only in its higher endpoint's list is not counted.
+    /// Validate such inputs with [`CsrGraph::validate_symmetry`] before
+    /// relying on this count.
+    pub fn num_canonical_edges(&self) -> usize {
+        *self.canonical_edges.get_or_init(|| {
+            if self.sorted {
+                let mut count = 0usize;
+                for u in 0..self.num_vertices as VertexId {
+                    let mut prev = None;
+                    for &v in self.neighbors(u) {
+                        if v > u && Some(v) != prev {
+                            count += 1;
+                        }
+                        prev = Some(v);
+                    }
+                }
+                count
+            } else {
+                let mut scratch: Vec<VertexId> = Vec::new();
+                let mut count = 0usize;
+                for u in 0..self.num_vertices as VertexId {
+                    scratch.clear();
+                    scratch.extend(self.neighbors(u).iter().copied().filter(|&v| v > u));
+                    scratch.sort_unstable();
+                    scratch.dedup();
+                    count += scratch.len();
+                }
+                count
+            }
+        })
     }
 
     /// Number of directed adjacency entries (twice the edge count).
@@ -389,6 +469,27 @@ mod tests {
         assert!(CsrGraph::from_parts(2, vec![0, 1, 1], vec![1, 0]).is_err());
         // does not start at zero
         assert!(CsrGraph::from_parts(2, vec![1, 1, 2], vec![1, 0]).is_err());
+    }
+
+    #[test]
+    fn canonical_edge_count_ignores_duplicates_and_self_loops() {
+        // Canonical construction: the two counts agree.
+        let g = path4();
+        assert_eq!(g.num_canonical_edges(), g.num_edges());
+        // Raw CSR input with duplicate entries and a self loop: vertex 0
+        // lists a self loop and neighbour 1 twice; vertex 1 mirrors the
+        // duplication. num_edges() (stored entries / 2) counts the noise,
+        // the canonical count does not.
+        let noisy = CsrGraph::from_parts(3, vec![0, 3, 6, 7], vec![0, 1, 1, 0, 0, 2, 1]).unwrap();
+        assert!(noisy.is_sorted());
+        assert_eq!(noisy.num_edges(), 3);
+        assert_eq!(noisy.num_canonical_edges(), 2, "{{0-1}}, {{1-2}} only");
+        // The unsorted path agrees with the sorted one.
+        let unsorted =
+            CsrGraph::from_parts(3, vec![0, 3, 6, 7], vec![1, 0, 1, 2, 0, 0, 1]).unwrap();
+        assert!(!unsorted.is_sorted());
+        assert_eq!(unsorted.num_edges(), 3);
+        assert_eq!(unsorted.num_canonical_edges(), 2);
     }
 
     #[test]

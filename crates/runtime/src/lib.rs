@@ -286,12 +286,46 @@ pub fn pool_stats() -> PoolStats {
     rayon::pool_stats()
 }
 
-/// Calibrated per-region dispatch overhead of the shared pool in
-/// nanoseconds (ticket publication, worker wake-up, cursor handshake,
-/// join). Memoised after the first call. The adaptive batch scheduler uses
-/// this sample to pick between graph fan-out and intra-graph parallelism.
+/// Calibrated dispatch overhead of one two-participant region of the shared
+/// pool in nanoseconds (ticket publication, worker wake-up, cursor
+/// handshake, join). Memoised after the first call. Shorthand for
+/// [`estimated_region_overhead_ns_for`]`(2)`.
 pub fn estimated_region_overhead_ns() -> u64 {
     rayon::estimated_region_overhead_ns()
+}
+
+/// Calibrated per-region dispatch overhead for a region with `threads`
+/// participants, in nanoseconds, memoised per participant count. The
+/// adaptive batch scheduler keys its cost model on the session's engine
+/// thread count through this function, so an 8-thread session never reuses
+/// the sample a 2-thread session happened to calibrate first.
+pub fn estimated_region_overhead_ns_for(threads: usize) -> u64 {
+    rayon::estimated_region_overhead_ns_for(threads)
+}
+
+/// Number of shared-pool workers currently parked with nothing to do — a
+/// constant-time, racy capacity hint (zero before the first parallel region
+/// spawns the pool). The batch rebalancer promotes fan-out tail work to
+/// intra-graph parallelism when the tail could not occupy these workers
+/// anyway.
+pub fn pool_idle_workers() -> usize {
+    rayon::pool_idle_workers()
+}
+
+/// Monotonic count of parallel regions submitted by the calling thread —
+/// the cross-talk-free way to attribute region counts to one extraction
+/// (a delta of [`pool_stats`]`().regions` would absorb regions other
+/// threads submitted concurrently).
+pub fn pool_regions_submitted_locally() -> u64 {
+    rayon::pool_regions_submitted_locally()
+}
+
+/// Number of worker threads the shared persistent pool has (or will have
+/// once the first region spawns it). An engine may be configured with more
+/// threads than this; a region's real parallelism is capped at the pool's
+/// workers plus the submitting thread.
+pub fn pool_size() -> usize {
+    rayon::pool_size()
 }
 
 #[cfg(test)]
@@ -386,7 +420,13 @@ mod tests {
         Engine::chunked(4).parallel_for(50_000, |_| {});
         let after = pool_stats();
         assert!(after.regions >= before.regions, "regions must not shrink");
+        assert!(
+            after.tickets_dropped >= before.tickets_dropped,
+            "tickets_dropped must not shrink"
+        );
         assert!(estimated_region_overhead_ns() >= 1);
+        assert!(estimated_region_overhead_ns_for(4) >= 1);
+        assert!(pool_idle_workers() <= rayon::pool_size());
     }
 
     #[test]

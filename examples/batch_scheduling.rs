@@ -9,12 +9,16 @@
 //! threshold policy can be compared across commits.
 //!
 //! Besides the static pivots (pure fan-out, a fixed hybrid threshold, pure
-//! intra-graph), the sweep includes the **adaptive** policy
-//! (`ExtractorConfig::with_batch_adaptive`): the pivot is derived at run
-//! time from the pool's calibrated per-region dispatch overhead, so the
-//! printout shows what the cost model chose on this machine next to the
-//! hand-picked thresholds it competes with. For the raw dispatch-overhead
-//! numbers the policy consumes, see `examples/pool_overhead.rs`.
+//! intra-graph), the sweep includes two **adaptive** rows: `adapt-frozen`
+//! is the seeded cost model alone (per-thread pool calibration, no
+//! feedback, no rebalancing — the PR 3 policy), and `adaptive` is the full
+//! measured loop (per-session EWMA feedback of observed ns/edge and
+//! regions per extraction, plus intra-batch rebalancing of the fan-out
+//! tail onto idle workers). The printout shows what each chose on this
+//! machine next to the hand-picked thresholds they compete with, and the
+//! session's feedback state after the timed repeats. For the raw
+//! dispatch-overhead numbers the model consumes, see
+//! `examples/pool_overhead.rs`.
 
 use maximal_chordal::prelude::*;
 use std::time::Instant;
@@ -36,6 +40,7 @@ fn mixed_batch() -> Vec<CsrGraph> {
 }
 
 fn time_batch(label: &str, config: ExtractorConfig, refs: &[&CsrGraph]) {
+    let adaptive = config.batch_adaptive;
     let mut session = ExtractionSession::new(config);
     // Warm-up: grows workspaces and (on pooled builds) spawns the workers.
     let warm = session.extract_batch(refs);
@@ -51,8 +56,17 @@ fn time_batch(label: &str, config: ExtractorConfig, refs: &[&CsrGraph]) {
         best = best.min(elapsed);
         total += elapsed;
     }
+    let feedback = session.scheduler_feedback();
+    let scheduler = if adaptive {
+        format!(
+            "  [ewma {:.1} ns/edge, {} promoted]",
+            feedback.ewma_ns_per_edge, feedback.rebalanced
+        )
+    } else {
+        String::new()
+    };
     println!(
-        "{label:<28} best {best:>8.4}s  mean {:>8.4}s  ({edges} chordal edges)",
+        "{label:<28} best {best:>8.4}s  mean {:>8.4}s  ({edges} chordal edges){scheduler}",
         total / repeats as f64
     );
 }
@@ -90,15 +104,24 @@ fn main() {
     );
 
     for threads in [2, 4] {
-        for (policy, threshold) in [
-            ("fan-out", Some(usize::MAX)),
-            ("hybrid(10k)", Some(10_000)),
-            ("intra", Some(0)),
-            ("adaptive", None),
+        for (policy, threshold, measured) in [
+            ("fan-out", Some(usize::MAX), false),
+            ("hybrid(10k)", Some(10_000), false),
+            ("intra", Some(0), false),
+            // The PR 3 comparator: seeded cost model, no feedback, no
+            // rebalancing...
+            ("adapt-frozen", None, false),
+            // ...versus the full measured loop.
+            ("adaptive", None, true),
         ] {
-            let configure = |config: ExtractorConfig| match threshold {
-                Some(threshold) => config.with_batch_threshold_edges(threshold),
-                None => config.with_batch_adaptive(true),
+            let configure = |config: ExtractorConfig| {
+                let config = config
+                    .with_batch_ewma(measured)
+                    .with_batch_rebalance(measured);
+                match threshold {
+                    Some(threshold) => config.with_batch_threshold_edges(threshold),
+                    None => config.with_batch_adaptive(true),
+                }
             };
             time_batch(
                 &format!("rayon x{threads} {policy}"),
@@ -113,9 +136,9 @@ fn main() {
         }
     }
     println!(
-        "adaptive pivot resolved to {} edges on this machine (region overhead sample {} ns)",
+        "seeded adaptive pivot resolved to {} edges on this machine (4-thread region overhead sample {} ns)",
         maximal_chordal::core::adaptive_batch_threshold_edges(4),
-        maximal_chordal::runtime::estimated_region_overhead_ns()
+        maximal_chordal::runtime::estimated_region_overhead_ns_for(4)
     );
     time_batch(
         "serial",

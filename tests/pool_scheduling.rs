@@ -176,9 +176,12 @@ fn batch_threshold_extremes_agree_on_random_batches() {
         let mut rng = StdRng::seed_from_u64(0xBA7C02 ^ seed);
         let graphs: Vec<CsrGraph> = (0..5).map(|_| random_graph(&mut rng, 30, 120)).collect();
         let refs: Vec<&CsrGraph> = graphs.iter().collect();
+        // Rebalancing off: these are the pure-placement reference oracles,
+        // so they must never take the promotion path themselves.
         let base = ExtractorConfig::default()
             .with_engine(Engine::rayon(3))
-            .with_semantics(Semantics::Synchronous);
+            .with_semantics(Semantics::Synchronous)
+            .with_batch_rebalance(false);
         let fanned = ExtractionSession::new(base.clone().with_batch_threshold_edges(usize::MAX))
             .extract_batch(&refs);
         let intra =
@@ -224,14 +227,195 @@ fn adaptive_batches_agree_with_static_policies_for_every_algorithm() {
         );
         let adaptive = adaptive_session.extract_batch(&refs);
         for pivot in [0, 2_000, usize::MAX] {
-            let static_batch =
-                ExtractionSession::new(base.clone().with_batch_threshold_edges(pivot))
-                    .extract_batch(&refs);
+            // Promotion-free static references.
+            let static_batch = ExtractionSession::new(
+                base.clone()
+                    .with_batch_threshold_edges(pivot)
+                    .with_batch_rebalance(false),
+            )
+            .extract_batch(&refs);
             for (i, (a, b)) in adaptive.iter().zip(&static_batch).enumerate() {
                 assert_eq!(
                     a.edges(),
                     b.edges(),
                     "{algorithm}: adaptive diverged from pivot {pivot} at slot {i}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn ewma_and_rebalancing_batches_stay_byte_identical_across_repeats() {
+    // The measured-cost loop moves the pivot between batches and the
+    // rebalancer may promote fan-out tail graphs whenever pool workers
+    // idle — none of which may ever change extraction output. Run the same
+    // mixed batch repeatedly (so the EWMA genuinely feeds back) under both
+    // engines and compare every batch, slot for slot, against the pure
+    // fan-out placement. CI runs this under CHORDAL_POOL_THREADS={1,2,8}.
+    let graphs: Vec<CsrGraph> = (0..3)
+        .flat_map(|seed| {
+            [
+                RmatParams::preset(RmatKind::Er, 9, seed).generate(),
+                RmatParams::preset(RmatKind::G, 6, seed).generate(),
+            ]
+        })
+        .collect();
+    let refs: Vec<&CsrGraph> = graphs.iter().collect();
+    for engine in [Engine::rayon(3), Engine::chunked_with_grain(4, 8)] {
+        let base = ExtractorConfig::default()
+            .with_engine(engine)
+            .with_semantics(Semantics::Synchronous);
+        // The reference oracle runs with rebalancing off so it cannot take
+        // the promotion path itself.
+        let expected = ExtractionSession::new(
+            base.clone()
+                .with_batch_threshold_edges(usize::MAX)
+                .with_batch_rebalance(false),
+        )
+        .extract_batch(&refs);
+        let mut measured = ExtractionSession::new(
+            base.clone()
+                .with_batch_adaptive(true)
+                .with_batch_ewma(true)
+                .with_batch_rebalance(true),
+        );
+        for round in 0..4 {
+            let batch = measured.extract_batch(&refs);
+            for (i, (a, b)) in batch.iter().zip(&expected).enumerate() {
+                assert_eq!(
+                    a.edges(),
+                    b.edges(),
+                    "round {round} slot {i}: measured scheduling changed output"
+                );
+            }
+        }
+        let feedback = measured.scheduler_feedback();
+        assert!(
+            feedback.samples > 0,
+            "repeated mixed batches must feed the EWMA"
+        );
+    }
+}
+
+#[test]
+fn ewma_pivot_converges_toward_measured_cost() {
+    // Seeded synthetic workload: identical scale-10 graphs batch after
+    // batch. Whatever this machine's true ns/edge is, the EWMA is a convex
+    // combination of the seed and the recorded samples, so after k batches
+    // it must lie between the extremes of everything observed — and when
+    // the measurements consistently sit on one side of the seed, the pivot
+    // must have moved off the seeded value toward them.
+    let graphs: Vec<CsrGraph> = (0..3)
+        .map(|seed| RmatParams::preset(RmatKind::Er, 10, 0xC0FFEE ^ seed).generate())
+        .collect();
+    let refs: Vec<&CsrGraph> = graphs.iter().collect();
+    let threads = 3;
+    let config = ExtractorConfig::default()
+        .with_engine(Engine::rayon(threads))
+        .with_semantics(Semantics::Synchronous)
+        .with_batch_adaptive(true);
+    let mut session = ExtractionSession::new(config);
+    let seed_ns = session.scheduler_feedback().ewma_ns_per_edge;
+    let seeded_pivot = session.effective_batch_threshold();
+    assert_eq!(
+        seeded_pivot,
+        maximal_chordal::core::adaptive_batch_threshold_edges(threads),
+        "before any sample the seeded model must be in effect"
+    );
+    let mut samples = Vec::new();
+    for _ in 0..6 {
+        session.extract_batch(&refs);
+        let feedback = session.scheduler_feedback();
+        if feedback.last_ns_per_edge > 0.0 {
+            samples.push(feedback.last_ns_per_edge);
+        }
+    }
+    let feedback = session.scheduler_feedback();
+    assert!(feedback.samples >= 6, "scale-10 graphs must record samples");
+    // The EWMA is a convex combination of the seed and *every* recorded
+    // sample; the test only observes the last sample of each batch, so the
+    // bound carries a generous noise margin: the state must sit within 4x
+    // of the span the observed measurements and the seed cover.
+    let lo = samples.iter().copied().fold(seed_ns, f64::min);
+    let hi = samples.iter().copied().fold(seed_ns, f64::max);
+    assert!(
+        (lo / 4.0..=hi * 4.0).contains(&feedback.ewma_ns_per_edge),
+        "EWMA {} far outside [{lo}, {hi}], the span of seed and observed samples",
+        feedback.ewma_ns_per_edge
+    );
+    // Convergence direction: when the observed measurements are mutually
+    // consistent (within 2x of each other — identical graphs, so the
+    // unobserved samples of the same batches behave alike) and sit clearly
+    // to one side of the seed, the EWMA must have moved off the seed
+    // toward them. After 6 batches the seed's residual weight is
+    // (1 - alpha)^samples, far below 1%.
+    let consistent = hi <= lo * 2.0;
+    if consistent && lo > seed_ns * 2.0 {
+        assert!(
+            feedback.ewma_ns_per_edge > seed_ns,
+            "measured cost above seed must pull the EWMA up"
+        );
+    } else if consistent && hi < seed_ns / 2.0 {
+        assert!(
+            feedback.ewma_ns_per_edge < seed_ns,
+            "measured cost below seed must pull the EWMA down"
+        );
+    }
+    // The reported pivot is always the model at the current EWMA state.
+    assert_eq!(
+        session.effective_batch_threshold(),
+        maximal_chordal::core::adaptive_batch_threshold_from_model(
+            threads,
+            feedback.ewma_ns_per_edge,
+            feedback.ewma_regions_per_extraction
+        )
+    );
+}
+
+#[test]
+fn rebalanced_batches_agree_with_static_policies_for_every_algorithm() {
+    // Same lock-down as the adaptive test, with rebalancing and feedback
+    // explicitly on and several consecutive batches so promoted placements
+    // actually occur on machines where workers idle.
+    let graphs: Vec<CsrGraph> = (0..2)
+        .flat_map(|seed| {
+            [
+                RmatParams::preset(RmatKind::Er, 9, seed).generate(),
+                RmatParams::preset(RmatKind::G, 6, seed).generate(),
+            ]
+        })
+        .collect();
+    let refs: Vec<&CsrGraph> = graphs.iter().collect();
+    for algorithm in Algorithm::ALL {
+        let base = ExtractorConfig::default()
+            .with_algorithm(algorithm)
+            .with_engine(Engine::rayon(3))
+            .with_semantics(Semantics::Synchronous)
+            .with_partitions(
+                3,
+                maximal_chordal::core::partitioned::PartitionStrategy::Blocks,
+            );
+        // Promotion-free reference oracle.
+        let expected = ExtractionSession::new(
+            base.clone()
+                .with_batch_threshold_edges(usize::MAX)
+                .with_batch_rebalance(false),
+        )
+        .extract_batch(&refs);
+        let mut measured = ExtractionSession::new(
+            base.clone()
+                .with_batch_adaptive(true)
+                .with_batch_ewma(true)
+                .with_batch_rebalance(true),
+        );
+        for round in 0..3 {
+            let batch = measured.extract_batch(&refs);
+            for (i, (a, b)) in batch.iter().zip(&expected).enumerate() {
+                assert_eq!(
+                    a.edges(),
+                    b.edges(),
+                    "{algorithm} round {round} slot {i}: rebalancing changed output"
                 );
             }
         }
