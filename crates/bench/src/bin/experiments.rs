@@ -17,6 +17,7 @@
 //!   maximality-gap    Near-maximality probe (reproduction finding)
 //!   scheduler         Batch-scheduling policy ablation (pool counters)
 //!   repair            Maximality-repair strategy ablation (incremental vs scratch)
+//!   storage           Cold-start ablation: text re-parse vs binary mmap reload
 //!   all               Run everything above in order
 //!
 //! Options:
@@ -30,7 +31,7 @@
 
 use chordal_bench::experiments::{
     chordal_fraction, figure2, figure3, figure7, maximality_gap, repair, scaling, scheduler,
-    table1, table2, HarnessOptions,
+    storage, table1, table2, HarnessOptions,
 };
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -83,6 +84,9 @@ fn main() -> ExitCode {
         "repair" => {
             repair::run_and_print(&options);
         }
+        "storage" => {
+            storage::run_and_print(&options);
+        }
         "all" => {
             table1::run_and_print(&options);
             println!();
@@ -107,6 +111,8 @@ fn main() -> ExitCode {
             scheduler::run_and_print(&options);
             println!();
             repair::run_and_print(&options);
+            println!();
+            storage::run_and_print(&options);
         }
         "help" | "--help" | "-h" => {
             print_usage();
@@ -122,7 +128,7 @@ fn main() -> ExitCode {
 
 fn print_usage() {
     println!(
-        "usage: experiments <table1|figure2|figure3|figure4|figure5|figure6|figure7|table2|chordal-fraction|maximality-gap|scheduler|repair|all> \
+        "usage: experiments <table1|figure2|figure3|figure4|figure5|figure6|figure7|table2|chordal-fraction|maximality-gap|scheduler|repair|storage|all> \
          [--scale N] [--genes N] [--threads N] [--repeats N] [--out PATH] [--quick]"
     );
 }

@@ -4,7 +4,9 @@
 //! (Table I, Figures 2–7, Table II), to one quantitative claim made in the
 //! text (chordal edge fractions, near-maximality of the output), or to one
 //! implementation ablation beyond the paper (the `scheduler` batch-policy
-//! sweep and the `repair` strategy ablation). The `experiments` binary
+//! sweep, the `repair` strategy ablation, and the `storage` cold-start
+//! comparison of text re-parse vs binary mmap reload). The `experiments`
+//! binary
 //! dispatches to these based on its subcommand; the modules are also
 //! exercised directly by the integration tests at reduced sizes.
 
@@ -17,6 +19,7 @@ pub mod options;
 pub mod repair;
 pub mod scaling;
 pub mod scheduler;
+pub mod storage;
 pub mod table1;
 pub mod table2;
 

@@ -36,12 +36,23 @@ struct RepairWorkload {
     graph: CsrGraph,
     /// Whether the quadratic scratch baseline is tractable on this graph.
     scratch_too: bool,
+    /// Nanoseconds spent generating this host graph (recorded per point as
+    /// the cold-start cost next to the extract/repair timings).
+    load_ns: u64,
+}
+
+fn timed_generate(params: RmatParams) -> (CsrGraph, u64) {
+    let start = std::time::Instant::now();
+    let graph = params.generate();
+    (graph, start.elapsed().as_nanos() as u64)
 }
 
 fn workloads(options: &HarnessOptions) -> Vec<RepairWorkload> {
     let small_scale = if options.quick { 7 } else { 10 };
-    let small = RmatParams::preset(RmatKind::G, small_scale, SUITE_SEED).generate();
-    let large = RmatParams::preset(RmatKind::Er, LARGE_SCALE, SUITE_SEED).generate();
+    let (small, small_ns) =
+        timed_generate(RmatParams::preset(RmatKind::G, small_scale, SUITE_SEED));
+    let (large, large_ns) =
+        timed_generate(RmatParams::preset(RmatKind::Er, LARGE_SCALE, SUITE_SEED));
     assert!(
         large.num_edges() >= LARGE_GRAPH_MIN_EDGES,
         "benchmark-scale repair point must cover >= {LARGE_GRAPH_MIN_EDGES} edges, got {}",
@@ -52,11 +63,13 @@ fn workloads(options: &HarnessOptions) -> Vec<RepairWorkload> {
             name: format!("RMAT-G({small_scale})"),
             graph: small,
             scratch_too: true,
+            load_ns: small_ns,
         },
         RepairWorkload {
             name: format!("RMAT-ER({LARGE_SCALE})"),
             graph: large,
             scratch_too: false,
+            load_ns: large_ns,
         },
     ]
 }
@@ -128,6 +141,7 @@ pub fn run(options: &HarnessOptions) -> Vec<RepairPoint> {
                 repair_seconds,
                 workspace_bytes: workspace.allocated_bytes(),
                 allocations_delta: workspace.allocations() - allocations,
+                load_ns: workload.load_ns,
             });
         }
     }
@@ -202,7 +216,13 @@ mod tests {
         assert!(large.repaired_edges >= large.base_edges);
         for p in &points {
             assert!(p.repair_seconds > 0.0);
+            assert!(
+                p.load_ns > 0,
+                "{}: workload build time must be recorded",
+                p.graph
+            );
             assert!(p.to_json().contains("\"experiment\":\"repair\""));
+            assert!(p.to_json().contains("\"load_ns\":"));
             if p.strategy == "incremental" {
                 // The regression lock: warmed-up incremental repairs must
                 // not grow the workspace (no per-candidate rebuilds).

@@ -100,7 +100,9 @@ fn mixed_batch(options: &HarnessOptions) -> Vec<CsrGraph> {
 
 /// Runs the ablation and returns one point per engine × policy.
 pub fn run(options: &HarnessOptions) -> Vec<SchedulerPoint> {
+    let load_start = std::time::Instant::now();
     let graphs = mixed_batch(options);
+    let load_ns = load_start.elapsed().as_nanos() as u64;
     let refs: Vec<&CsrGraph> = graphs.iter().collect();
     let threads = options.max_threads.clamp(2, 8);
     let mut points = Vec::new();
@@ -149,6 +151,7 @@ pub fn run(options: &HarnessOptions) -> Vec<SchedulerPoint> {
                 ewma_ns_per_edge: feedback.ewma_ns_per_edge,
                 rebalanced: feedback.rebalanced - feedback_before.rebalanced,
                 tickets_dropped: stats.tickets_dropped - stats_before.tickets_dropped,
+                load_ns,
             });
         }
     }
@@ -232,6 +235,10 @@ mod tests {
                 assert!(json.contains("\"ewma_ns_per_edge\":"));
                 assert!(json.contains("\"rebalanced\":"));
                 assert!(json.contains("\"tickets_dropped\":"));
+                assert!(
+                    p.load_ns > 0 && json.contains("\"load_ns\":"),
+                    "workload build time must be recorded"
+                );
             }
         }
         // The frozen comparator records no feedback, never rebalances, and

@@ -101,6 +101,9 @@ pub struct SchedulerPoint {
     /// Help-invitation tickets dropped by saturated pool queues during the
     /// timed runs (delta of `pool_stats().tickets_dropped`).
     pub tickets_dropped: u64,
+    /// Nanoseconds spent building/loading the batch workload, separated
+    /// from the extraction `seconds` so cold-start cost stays visible.
+    pub load_ns: u64,
 }
 
 impl_to_json!(SchedulerPoint {
@@ -118,6 +121,7 @@ impl_to_json!(SchedulerPoint {
     ewma_ns_per_edge,
     rebalanced,
     tickets_dropped,
+    load_ns,
 });
 
 /// One point of the `repair` ablation: one graph repaired with one
@@ -150,6 +154,10 @@ pub struct RepairPoint {
     /// repairs — the regression lock that repeated repairs are
     /// allocation-free (expected 0).
     pub allocations_delta: usize,
+    /// Nanoseconds spent building/loading this point's host graph,
+    /// separated from the extract/repair timings so cold-start cost stays
+    /// visible.
+    pub load_ns: u64,
 }
 
 impl_to_json!(RepairPoint {
@@ -165,6 +173,46 @@ impl_to_json!(RepairPoint {
     repair_seconds,
     workspace_bytes,
     allocations_delta,
+    load_ns,
+});
+
+/// One cold-start point of the `storage` experiment: the same graph loaded
+/// from one on-disk representation and extracted once warm.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StoragePoint {
+    /// Experiment id (`"storage"`).
+    pub experiment: String,
+    /// Graph name (e.g. `"RMAT-B(14)"`).
+    pub graph: String,
+    /// On-disk representation (`"text"`, `"binary"`).
+    pub representation: String,
+    /// Size of the on-disk file in bytes.
+    pub file_bytes: u64,
+    /// Nanoseconds to produce the file (text write, or streaming text →
+    /// binary conversion).
+    pub prepare_ns: u64,
+    /// Best-of nanoseconds to load the graph from disk: full text parse
+    /// for `"text"`, mmap open + `O(V)` validation for `"binary"`. The
+    /// ratio between the two representations is the cold-start speedup the
+    /// binary format exists for.
+    pub load_ns: u64,
+    /// Best wall-clock seconds of one serial extraction from the loaded
+    /// representation (identical across representations by construction).
+    pub seconds: f64,
+    /// Chordal edges extracted (byte-identical across representations;
+    /// asserted by the experiment).
+    pub chordal_edges: usize,
+}
+
+impl_to_json!(StoragePoint {
+    experiment,
+    graph,
+    representation,
+    file_bytes,
+    prepare_ns,
+    load_ns,
+    seconds,
+    chordal_edges,
 });
 
 /// A free-form experiment record: an id plus a JSON-encodable payload. Used
@@ -252,6 +300,7 @@ mod tests {
             ewma_ns_per_edge: 31.5,
             rebalanced: 2,
             tickets_dropped: 0,
+            load_ns: 1_500_000,
         };
         let json = p.to_json();
         assert!(json.contains("\"experiment\":\"scheduler\""));
@@ -260,6 +309,7 @@ mod tests {
         assert!(json.contains("\"ewma_ns_per_edge\":31.5"));
         assert!(json.contains("\"rebalanced\":2"));
         assert!(json.contains("\"tickets_dropped\":0"));
+        assert!(json.contains("\"load_ns\":1500000"));
     }
 
     #[test]
@@ -277,12 +327,34 @@ mod tests {
             repair_seconds: 0.008,
             workspace_bytes: 1_048_576,
             allocations_delta: 0,
+            load_ns: 2_000_000,
         };
         let json = p.to_json();
         assert!(json.contains("\"experiment\":\"repair\""));
         assert!(json.contains("\"strategy\":\"incremental\""));
         assert!(json.contains("\"graph_edges\":131000"));
         assert!(json.contains("\"allocations_delta\":0"));
+        assert!(json.contains("\"load_ns\":2000000"));
+    }
+
+    #[test]
+    fn storage_point_serialises_to_json() {
+        let p = StoragePoint {
+            experiment: "storage".into(),
+            graph: "RMAT-B(14)".into(),
+            representation: "binary".into(),
+            file_bytes: 4_194_304,
+            prepare_ns: 90_000_000,
+            load_ns: 350_000,
+            seconds: 0.02,
+            chordal_edges: 40_000,
+        };
+        let json = p.to_json();
+        assert!(json.contains("\"experiment\":\"storage\""));
+        assert!(json.contains("\"representation\":\"binary\""));
+        assert!(json.contains("\"file_bytes\":4194304"));
+        assert!(json.contains("\"prepare_ns\":90000000"));
+        assert!(json.contains("\"load_ns\":350000"));
     }
 
     #[test]

@@ -4,16 +4,24 @@
 //! ```text
 //! chordal generate --kind rmat-b --scale 14 --out graph.txt
 //! chordal generate --kind bio-unt --genes 2000 --out genes.txt
+//! chordal convert  --in graph.txt --out graph.bin [--window-bytes N] [--verify]
 //! chordal extract  --in graph.txt --out chordal.txt [--algorithm alg1|reference|dearing|partitioned]
 //!                  [--threads 8] [--engine pool|rayon|serial] [--variant opt|unopt]
 //!                  [--semantics async|sync] [--partitions N] [--stats] [--stitch] [--repair]
-//!                  [--repair-strategy incremental|scratch]
-//! chordal batch    --in a.txt,b.txt,c.txt [--batch-threshold N | --adaptive]
+//!                  [--repair-strategy incremental|scratch] [--format text|bin|auto]
+//! chordal batch    --in a.txt,b.bin,c.txt [--batch-threshold N | --adaptive]
 //!                  [--ewma|--no-ewma] [--rebalance|--no-rebalance]
 //!                  [--threads 8] [--engine pool|rayon|serial] [--repeat N] [...extract flags]
 //! chordal analyze  --in graph.txt
 //! chordal verify   --graph graph.txt --subgraph chordal.txt
 //! ```
+//!
+//! Every graph-loading path accepts either a plain-text edge list or the
+//! binary CSR format of [`chordal_graph::storage`]; the format is sniffed
+//! from the magic bytes by default and can be forced with `--format`.
+//! Binary inputs are memory-mapped ([`chordal_graph::MmapCsrGraph`]) and
+//! extracted in place — `convert` produces them from text in bounded
+//! memory via the streaming converter.
 //!
 //! `batch` drives many input files through
 //! [`ExtractionSession::extract_batch`], exercising the hybrid batch
@@ -45,9 +53,12 @@ use chordal_core::{
 };
 use chordal_generators::bio::GeneNetworkKind;
 use chordal_generators::rmat::{RmatKind, RmatParams};
-use chordal_graph::io::{read_edge_list_file, write_edge_list_file};
+use chordal_graph::io::write_edge_list_file;
+use chordal_graph::storage::{
+    convert_edge_list_to_binary_with, ConvertOptions, FileFormat, LoadedGraph, MmapCsrGraph,
+};
 use chordal_graph::subgraph::{edge_subgraph, edges_subset_of_graph};
-use chordal_graph::CsrGraph;
+use chordal_graph::{CsrGraph, GraphRef};
 use std::collections::HashMap;
 use std::process::ExitCode;
 
@@ -60,6 +71,7 @@ fn main() -> ExitCode {
     let command = args[0].clone();
     let outcome = parse_flags(&args[1..]).and_then(|options| match command.as_str() {
         "generate" => cmd_generate(&options),
+        "convert" => cmd_convert(&options),
         "extract" => cmd_extract(&options),
         "batch" => cmd_batch(&options),
         "analyze" => cmd_analyze(&options),
@@ -86,6 +98,7 @@ fn print_usage() {
          commands:\n\
          \x20 generate --kind <rmat-er|rmat-g|rmat-b|bio-crt|bio-unt|bio-ctl|bio-non> \n\
          \x20          [--scale N] [--genes N] [--seed N] --out FILE\n\
+         \x20 convert  --in FILE --out FILE [--window-bytes N] [--verify]\n\
          \x20 extract  --in FILE [--out FILE] [--algorithm alg1|reference|dearing|partitioned]\n\
          \x20          [--threads N] [--engine serial|pool|rayon] [--variant opt|unopt]\n\
          \x20          [--semantics async|sync] [--partitions N] [--stats] [--stitch]\n\
@@ -96,6 +109,10 @@ fn print_usage() {
          \x20 analyze  --in FILE\n\
          \x20 verify   --graph FILE --subgraph FILE [--maximality N]\n\
          \x20 help\n\
+         \n\
+         graph inputs may be text edge lists or binary CSR files (`convert`\n\
+         produces the latter); the format is auto-detected, or forced with\n\
+         --format text|bin|auto on any graph-loading command.\n\
          \n\
          exit codes: 0 success, 2 usage error, 3 I/O error, 4 verification failure"
     );
@@ -122,6 +139,7 @@ fn parse_flags(args: &[String]) -> Result<Flags, ExtractError> {
                 | "no-ewma"
                 | "rebalance"
                 | "no-rebalance"
+                | "verify"
         ) {
             flags.insert(name.to_string(), "true".to_string());
             continue;
@@ -203,8 +221,56 @@ fn cmd_generate(flags: &Flags) -> Result<(), ExtractError> {
     Ok(())
 }
 
-fn load_graph(path: &str) -> Result<CsrGraph, ExtractError> {
-    read_edge_list_file(path).map_err(|e| ExtractError::io(format!("reading {path}"), e))
+/// Resolves the `--format` flag (absent or `auto` means sniff the file).
+fn requested_format(flags: &Flags) -> Result<Option<FileFormat>, ExtractError> {
+    match flags.get("format") {
+        None => Ok(None),
+        Some(name) => {
+            FileFormat::parse(name).map_err(|_| ExtractError::invalid_option("format", name))
+        }
+    }
+}
+
+/// Loads a graph in whichever on-disk format it uses: text edge lists
+/// parse into heap CSR, binary CSR files are memory-mapped.
+fn load_input(path: &str, format: Option<FileFormat>) -> Result<LoadedGraph, ExtractError> {
+    chordal_graph::storage::load_graph(path, format)
+        .map_err(|e| ExtractError::io(format!("reading {path}"), e))
+}
+
+fn cmd_convert(flags: &Flags) -> Result<(), ExtractError> {
+    let input = require(flags, "in")?;
+    let output = require(flags, "out")?;
+    let mut options = ConvertOptions::default();
+    options.window_bytes = parse_number(flags, "window-bytes", options.window_bytes)?;
+    if options.window_bytes == 0 {
+        return Err(ExtractError::invalid_option("window-bytes", "0"));
+    }
+    let start = std::time::Instant::now();
+    let stats = convert_edge_list_to_binary_with(input, output, options)
+        .map_err(|e| ExtractError::io(format!("converting {input}"), e))?;
+    let elapsed = start.elapsed();
+    println!(
+        "converted {input} -> {output}: {} vertices, {} edges ({} directed entries), {} spill bucket(s), {:.4}s",
+        stats.num_vertices,
+        stats.num_canonical_edges,
+        stats.num_directed_edges,
+        stats.buckets,
+        elapsed.as_secs_f64()
+    );
+    if flags.contains_key("verify") {
+        let mapped = MmapCsrGraph::open(output)
+            .map_err(|e| ExtractError::io(format!("reopening {output}"), e))?;
+        mapped.verify_checksum().map_err(|e| {
+            ExtractError::Verification(format!("checksum of {output} does not match: {e}"))
+        })?;
+        println!(
+            "verified {output}: header valid, checksum matches ({} vertices, {} edges)",
+            mapped.num_vertices(),
+            mapped.num_edges()
+        );
+    }
+    Ok(())
 }
 
 /// Builds the extraction configuration from the shared flag set — the one
@@ -257,18 +323,19 @@ fn extraction_config(flags: &Flags) -> Result<ExtractorConfig, ExtractError> {
 
 fn cmd_extract(flags: &Flags) -> Result<(), ExtractError> {
     let input = require(flags, "in")?;
-    let graph = load_graph(input)?;
+    let loaded = load_input(input, requested_format(flags)?)?;
+    let view = loaded.as_graph_ref();
     let config = extraction_config(flags)?;
     let mut session = ExtractionSession::new(config);
     let start = std::time::Instant::now();
-    let result = session.extract(&graph);
+    let result = session.extract(view);
     let elapsed = start.elapsed();
     println!(
         "{}: extracted {} chordal edges out of {} ({:.2}%) in {} iterations, {:.4}s",
         session.extractor_name(),
         result.num_chordal_edges(),
-        graph.num_edges(),
-        100.0 * result.chordal_fraction(&graph),
+        view.num_edges(),
+        100.0 * result.chordal_fraction(view),
         result.iterations,
         elapsed.as_secs_f64()
     );
@@ -277,7 +344,13 @@ fn cmd_extract(flags: &Flags) -> Result<(), ExtractError> {
     }
     let mut edges = result.edges().to_vec();
     if flags.contains_key("stitch") {
-        let stitched = stitch_components(&graph, &edges);
+        // Stitching walks the host adjacency repeatedly; run it on a heap
+        // graph (a no-op borrow for text inputs, one materialisation for
+        // mmapped ones).
+        let stitched = match &loaded {
+            LoadedGraph::Heap(g) => stitch_components(g, &edges),
+            LoadedGraph::Mapped(_) => stitch_components(&loaded.to_csr_graph(), &edges),
+        };
         println!(
             "stitching: {} -> {} components, {} edges added",
             stitched.components_before,
@@ -287,7 +360,7 @@ fn cmd_extract(flags: &Flags) -> Result<(), ExtractError> {
         edges.extend(stitched.added_edges);
     }
     if let Some(out) = flags.get("out") {
-        let sub = edge_subgraph(&graph, &edges);
+        let sub = edge_subgraph(view, &edges);
         write_edge_list_file(&sub, out)
             .map_err(|e| ExtractError::io(format!("writing {out}"), e))?;
         println!("chordal subgraph written to {out}");
@@ -301,9 +374,10 @@ fn cmd_batch(flags: &Flags) -> Result<(), ExtractError> {
     if paths.is_empty() {
         return Err(ExtractError::invalid_option("in", inputs));
     }
-    let graphs: Vec<CsrGraph> = paths
+    let format = requested_format(flags)?;
+    let graphs: Vec<LoadedGraph> = paths
         .iter()
-        .map(|path| load_graph(path))
+        .map(|path| load_input(path, format))
         .collect::<Result<_, _>>()?;
     let repeats: usize = parse_number(flags, "repeat", 1)?;
     if repeats == 0 {
@@ -311,7 +385,9 @@ fn cmd_batch(flags: &Flags) -> Result<(), ExtractError> {
     }
     let config = extraction_config(flags)?;
     let mut session = ExtractionSession::new(config);
-    let refs: Vec<&CsrGraph> = graphs.iter().collect();
+    // Mixed text/binary batches flow through the scheduler as uniform
+    // storage-agnostic views; mmapped inputs are extracted in place.
+    let views: Vec<GraphRef<'_>> = graphs.iter().map(|g| g.as_graph_ref()).collect();
     let threshold = session.effective_batch_threshold();
     // extract_batch short-circuits to plain sequential extraction for a
     // serial engine or a single input; the pivot is never consulted there,
@@ -346,23 +422,23 @@ fn cmd_batch(flags: &Flags) -> Result<(), ExtractError> {
     let start = std::time::Instant::now();
     for _ in 0..repeats {
         let round_start = std::time::Instant::now();
-        results = session.extract_batch(&refs);
+        results = session.extract_batch(&views);
         best = best.min(round_start.elapsed().as_secs_f64());
     }
     let total = start.elapsed().as_secs_f64();
     let stats = chordal_runtime::pool_stats();
-    for (path, (graph, result)) in paths.iter().zip(graphs.iter().zip(&results)) {
+    for (path, (&view, result)) in paths.iter().zip(views.iter().zip(&results)) {
         // Placement keys on the canonical edge count (duplicates and self
         // loops in a noisy input carry no extraction work); the label shows
         // where the *initial* pivot placed the file — the rebalancer may
         // have promoted fan-out tail files, reported in the summary below.
-        let canonical_edges = graph.num_canonical_edges();
+        let canonical_edges = view.num_canonical_edges();
         println!(
             "  {:<32} {:>9} edges -> {:>9} chordal ({:.2}%) [{}]",
             path,
             canonical_edges,
             result.num_chordal_edges(),
-            100.0 * result.chordal_fraction(graph),
+            100.0 * result.chordal_fraction(view),
             if !hybrid {
                 "sequential"
             } else if canonical_edges >= threshold {
@@ -400,7 +476,9 @@ fn cmd_batch(flags: &Flags) -> Result<(), ExtractError> {
 
 fn cmd_analyze(flags: &Flags) -> Result<(), ExtractError> {
     let input = require(flags, "in")?;
-    let graph = load_graph(input)?;
+    // The analysis helpers (clustering, assortativity, chordality) all
+    // walk heap adjacency slices, so mmapped inputs materialise once.
+    let graph = load_input(input, requested_format(flags)?)?.to_csr_graph();
     let row = TableRow::compute(input, &graph);
     println!("{}", TableRow::header());
     println!("{}", row.format());
@@ -419,8 +497,12 @@ fn cmd_analyze(flags: &Flags) -> Result<(), ExtractError> {
 }
 
 fn cmd_verify(flags: &Flags) -> Result<(), ExtractError> {
-    let graph = load_graph(require(flags, "graph")?)?;
-    let sub = load_graph(require(flags, "subgraph")?)?;
+    let format = requested_format(flags)?;
+    // Chordality and maximality checking run on heap graphs; verification
+    // is a one-shot full read anyway, so materialising mmapped inputs
+    // costs nothing extra.
+    let graph = load_input(require(flags, "graph")?, format)?.to_csr_graph();
+    let sub = load_input(require(flags, "subgraph")?, format)?.to_csr_graph();
     if sub.num_vertices() > graph.num_vertices() {
         return Err(ExtractError::Verification(
             "subgraph has more vertices than the host graph".to_string(),

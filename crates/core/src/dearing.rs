@@ -16,7 +16,7 @@
 use crate::extractor::ChordalExtractor;
 use crate::result::ChordalResult;
 use crate::workspace::Workspace;
-use chordal_graph::{CsrGraph, Edge, VertexId};
+use chordal_graph::{Edge, GraphRef, VertexId};
 
 /// The Dearing–Shier–Warner extractor, as a registry citizen.
 ///
@@ -44,7 +44,7 @@ impl ChordalExtractor for DearingExtractor {
         "dearing"
     }
 
-    fn extract_into(&self, graph: &CsrGraph, workspace: &mut Workspace) -> ChordalResult {
+    fn extract_into(&self, graph: GraphRef<'_>, workspace: &mut Workspace) -> ChordalResult {
         let n = graph.num_vertices();
         if n == 0 {
             return ChordalResult::new(0, Vec::new(), 0, None);
@@ -140,12 +140,12 @@ impl ChordalExtractor for DearingExtractor {
 
 /// Runs the Dearing–Shier–Warner extraction, starting from vertex 0 of each
 /// connected component, with a throwaway workspace.
-pub fn extract_dearing(graph: &CsrGraph) -> ChordalResult {
+pub fn extract_dearing<'a>(graph: impl Into<GraphRef<'a>>) -> ChordalResult {
     DearingExtractor::new().extract(graph)
 }
 
 /// Dearing–Shier–Warner extraction with an explicit preferred start vertex.
-pub fn extract_dearing_from(graph: &CsrGraph, start: VertexId) -> ChordalResult {
+pub fn extract_dearing_from<'a>(graph: impl Into<GraphRef<'a>>, start: VertexId) -> ChordalResult {
     DearingExtractor::with_start(start).extract(graph)
 }
 
@@ -168,6 +168,7 @@ mod tests {
     use chordal_generators::{
         chordal_gen, erdos_renyi, rmat::RmatKind, rmat::RmatParams, structured,
     };
+    use chordal_graph::CsrGraph;
 
     #[test]
     fn empty_and_isolated_graphs() {
@@ -248,15 +249,15 @@ mod tests {
         let big_fresh = extractor.extract(&big);
         let small_fresh = extractor.extract(&small);
         assert_eq!(
-            extractor.extract_into(&big, &mut ws).edges(),
+            extractor.extract_into((&big).into(), &mut ws).edges(),
             big_fresh.edges()
         );
         assert_eq!(
-            extractor.extract_into(&small, &mut ws).edges(),
+            extractor.extract_into((&small).into(), &mut ws).edges(),
             small_fresh.edges()
         );
         assert_eq!(
-            extractor.extract_into(&big, &mut ws).edges(),
+            extractor.extract_into((&big).into(), &mut ws).edges(),
             big_fresh.edges()
         );
     }

@@ -17,7 +17,7 @@ use crate::partitioned::PartitionedExtractor;
 use crate::reference::ReferenceExtractor;
 use crate::result::ChordalResult;
 use crate::workspace::Workspace;
-use chordal_graph::CsrGraph;
+use chordal_graph::GraphRef;
 
 /// A maximal-chordal-subgraph extraction algorithm.
 ///
@@ -25,6 +25,11 @@ use chordal_graph::CsrGraph;
 /// lives in the [`Workspace`] passed to [`ChordalExtractor::extract_into`],
 /// so one extractor can serve many graphs (and, with one workspace per
 /// worker, many threads).
+///
+/// Extraction operates on a [`GraphRef`], the storage-agnostic view over
+/// heap [`CsrGraph`](chordal_graph::CsrGraph)s and mmap-backed
+/// [`MmapCsrGraph`](chordal_graph::MmapCsrGraph)s — every algorithm runs
+/// unchanged on either representation.
 pub trait ChordalExtractor: Send + Sync {
     /// Stable short name of the algorithm (`"alg1"`, `"reference"`,
     /// `"dearing"`, `"partitioned"`), used in logs and benchmark output.
@@ -32,13 +37,33 @@ pub trait ChordalExtractor: Send + Sync {
 
     /// Extracts a chordal edge set from `graph`, using (and growing)
     /// `workspace` for every scratch buffer the run needs.
-    fn extract_into(&self, graph: &CsrGraph, workspace: &mut Workspace) -> ChordalResult;
+    fn extract_into(&self, graph: GraphRef<'_>, workspace: &mut Workspace) -> ChordalResult;
 
     /// Convenience wrapper allocating a throwaway [`Workspace`]. Prefer
-    /// [`crate::ExtractionSession`] when extracting repeatedly.
-    fn extract(&self, graph: &CsrGraph) -> ChordalResult {
+    /// [`crate::ExtractionSession`] when extracting repeatedly. (The
+    /// `Sized` bound only keeps the trait object-safe; boxed
+    /// `dyn ChordalExtractor` values keep the same spelling through the
+    /// blanket `Box` impl below.)
+    fn extract<'a>(&self, graph: impl Into<GraphRef<'a>>) -> ChordalResult
+    where
+        Self: Sized,
+    {
         let mut workspace = Workspace::new();
-        self.extract_into(graph, &mut workspace)
+        self.extract_into(graph.into(), &mut workspace)
+    }
+}
+
+/// Delegating impl so `Box<dyn ChordalExtractor>` (what [`Algorithm::build`]
+/// returns) is itself an extractor — in particular, the generic
+/// [`ChordalExtractor::extract`] convenience applies to boxed registry
+/// extractors without unsizing gymnastics at call sites.
+impl<T: ChordalExtractor + ?Sized> ChordalExtractor for Box<T> {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+
+    fn extract_into(&self, graph: GraphRef<'_>, workspace: &mut Workspace) -> ChordalResult {
+        (**self).extract_into(graph, workspace)
     }
 }
 

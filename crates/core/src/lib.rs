@@ -157,22 +157,23 @@ pub mod prelude {
     pub use chordal_runtime::Engine;
 }
 
-use chordal_graph::CsrGraph;
+use chordal_graph::GraphRef;
 
 /// Extracts a maximal chordal subgraph with the default configuration
 /// (sorted adjacency, rayon engine over all available cores, asynchronous
-/// paper-faithful iteration semantics).
+/// paper-faithful iteration semantics). Accepts anything viewable as a
+/// [`GraphRef`] — `&CsrGraph` or `&MmapCsrGraph` alike.
 ///
 /// This is a thin convenience wrapper over [`ExtractionSession`]; use a
 /// session directly when extracting repeatedly, so the scratch buffers are
 /// reused.
-pub fn extract_maximal_chordal(graph: &CsrGraph) -> ChordalResult {
+pub fn extract_maximal_chordal<'a>(graph: impl Into<GraphRef<'a>>) -> ChordalResult {
     ExtractionSession::new(ExtractorConfig::default()).extract(graph)
 }
 
 /// Extracts a maximal chordal subgraph serially (no worker threads); useful
 /// for small graphs and for single-thread baselines.
-pub fn extract_maximal_chordal_serial(graph: &CsrGraph) -> ChordalResult {
+pub fn extract_maximal_chordal_serial<'a>(graph: impl Into<GraphRef<'a>>) -> ChordalResult {
     let config = ExtractorConfig::default().with_engine(chordal_runtime::Engine::serial());
     ExtractionSession::new(config).extract(graph)
 }

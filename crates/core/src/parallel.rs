@@ -38,7 +38,7 @@ use crate::parent::{first_parent_scan, first_parent_sorted, next_parent_scan, ne
 use crate::result::ChordalResult;
 use crate::stats::IterationStats;
 use crate::workspace::Workspace;
-use chordal_graph::{CsrGraph, VertexId, NO_VERTEX};
+use chordal_graph::{GraphRef, VertexId, NO_VERTEX};
 use chordal_runtime::AtomicFlags;
 use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
 
@@ -63,12 +63,12 @@ impl MaximalChordalExtractor {
     /// Extracts a maximal chordal subgraph of `graph` with a throwaway
     /// workspace. Prefer [`crate::ExtractionSession`] (or
     /// [`ChordalExtractor::extract_into`]) when extracting repeatedly.
-    pub fn extract(&self, graph: &CsrGraph) -> ChordalResult {
+    pub fn extract<'a>(&self, graph: impl Into<GraphRef<'a>>) -> ChordalResult {
         let mut workspace = Workspace::new();
-        self.extract_into(graph, &mut workspace)
+        self.extract_into(graph.into(), &mut workspace)
     }
 
-    fn run(&self, graph: &CsrGraph, workspace: &mut Workspace) -> ChordalResult {
+    fn run(&self, graph: GraphRef<'_>, workspace: &mut Workspace) -> ChordalResult {
         let n = graph.num_vertices();
         if n == 0 {
             return ChordalResult::new(
@@ -79,7 +79,7 @@ impl MaximalChordalExtractor {
             );
         }
         let engine = &self.config.engine;
-        workspace.prepare_atomic(n, graph.num_directed_edges(), graph.offsets());
+        workspace.prepare_atomic_from(graph);
         // Reusable frozen snapshots for the synchronous semantics; taken out
         // of the workspace so the shared state can borrow it immutably.
         let mut frozen_lp = std::mem::take(&mut workspace.ids_a);
@@ -187,11 +187,11 @@ impl ChordalExtractor for MaximalChordalExtractor {
     /// sorted ascending; if they are not, a sorted copy is made (the cost of
     /// that copy is *not* what the paper's Opt timings include, so
     /// benchmarks pre-sort their inputs).
-    fn extract_into(&self, graph: &CsrGraph, workspace: &mut Workspace) -> ChordalResult {
+    fn extract_into(&self, graph: GraphRef<'_>, workspace: &mut Workspace) -> ChordalResult {
         if self.config.adjacency == AdjacencyMode::Sorted && !graph.is_sorted() {
-            let mut sorted = graph.clone();
+            let mut sorted = graph.to_csr_graph();
             sorted.sort_adjacency();
-            return self.run(&sorted, workspace);
+            return self.run(GraphRef::from(&sorted), workspace);
         }
         self.run(graph, workspace)
     }
@@ -202,7 +202,7 @@ impl ChordalExtractor for MaximalChordalExtractor {
 /// advances `w`'s lowest parent. Returns the number of edges accepted.
 #[allow(clippy::too_many_arguments)]
 fn process_lowest_parent(
-    graph: &CsrGraph,
+    graph: GraphRef<'_>,
     state: &SharedState<'_>,
     adjacency: AdjacencyMode,
     semantics: Semantics,
@@ -336,6 +336,7 @@ mod tests {
     use crate::verify;
     use chordal_generators::{rmat::RmatKind, rmat::RmatParams, structured};
     use chordal_graph::builder::graph_from_edges;
+    use chordal_graph::CsrGraph;
     use chordal_runtime::Engine;
 
     fn all_engines() -> Vec<Engine> {
@@ -563,11 +564,11 @@ mod tests {
         // second pass must neither allocate nor change any result.
         let warm: Vec<ChordalResult> = graphs
             .iter()
-            .map(|g| extractor.extract_into(g, &mut workspace))
+            .map(|g| extractor.extract_into(g.into(), &mut workspace))
             .collect();
         let allocations = workspace.allocations();
         for (g, first) in graphs.iter().zip(&warm) {
-            let reused = extractor.extract_into(g, &mut workspace);
+            let reused = extractor.extract_into(g.into(), &mut workspace);
             let fresh = extractor.extract(g);
             assert_eq!(reused.edges(), fresh.edges());
             assert_eq!(reused.edges(), first.edges());

@@ -12,13 +12,13 @@
 //!   smallest id that is larger than the current parent and smaller than the
 //!   vertex itself.
 
-use chordal_graph::{CsrGraph, VertexId, NO_VERTEX};
+use chordal_graph::{GraphRef, VertexId, NO_VERTEX};
 
 /// Finds the lowest parent of `v` in a graph with *sorted* adjacency, along
 /// with the cursor position of that parent. Returns `(NO_VERTEX, 0)` when
 /// `v` has no parent.
 #[inline]
-pub fn first_parent_sorted(graph: &CsrGraph, v: VertexId) -> (VertexId, u32) {
+pub fn first_parent_sorted(graph: GraphRef<'_>, v: VertexId) -> (VertexId, u32) {
     let adj = graph.neighbors(v);
     match adj.first() {
         Some(&w) if w < v => (w, 0),
@@ -30,7 +30,7 @@ pub fn first_parent_sorted(graph: &CsrGraph, v: VertexId) -> (VertexId, u32) {
 /// graph with sorted adjacency. Returns `(NO_VERTEX, cursor)` when no parent
 /// remains.
 #[inline]
-pub fn next_parent_sorted(graph: &CsrGraph, v: VertexId, cursor: u32) -> (VertexId, u32) {
+pub fn next_parent_sorted(graph: GraphRef<'_>, v: VertexId, cursor: u32) -> (VertexId, u32) {
     let adj = graph.neighbors(v);
     let next = cursor as usize + 1;
     match adj.get(next) {
@@ -42,7 +42,7 @@ pub fn next_parent_sorted(graph: &CsrGraph, v: VertexId, cursor: u32) -> (Vertex
 /// Finds the lowest parent of `v` by scanning an arbitrarily ordered
 /// adjacency list (the Unopt variant).
 #[inline]
-pub fn first_parent_scan(graph: &CsrGraph, v: VertexId) -> VertexId {
+pub fn first_parent_scan(graph: GraphRef<'_>, v: VertexId) -> VertexId {
     let mut best = NO_VERTEX;
     for &w in graph.neighbors(v) {
         if w < v && (best == NO_VERTEX || w < best) {
@@ -55,7 +55,7 @@ pub fn first_parent_scan(graph: &CsrGraph, v: VertexId) -> VertexId {
 /// Finds the next parent of `v` after `current` by scanning the adjacency
 /// list: the smallest neighbour strictly between `current` and `v`.
 #[inline]
-pub fn next_parent_scan(graph: &CsrGraph, v: VertexId, current: VertexId) -> VertexId {
+pub fn next_parent_scan(graph: GraphRef<'_>, v: VertexId, current: VertexId) -> VertexId {
     let mut best = NO_VERTEX;
     for &w in graph.neighbors(v) {
         if w > current && w < v && (best == NO_VERTEX || w < best) {
@@ -98,6 +98,7 @@ pub fn sorted_subset(a: &[VertexId], b: &[VertexId]) -> bool {
 mod tests {
     use super::*;
     use chordal_graph::builder::graph_from_edges;
+    use chordal_graph::CsrGraph;
 
     fn sample_graph() -> CsrGraph {
         // vertex 4 adjacent to 0, 2, 3, 5; vertex 2 adjacent to 4 only; etc.
@@ -106,46 +107,50 @@ mod tests {
 
     #[test]
     fn sorted_parent_walk() {
-        let g = sample_graph();
+        let graph = sample_graph();
+        let g = GraphRef::from(&graph);
         // vertex 4: sorted neighbours [0, 2, 3, 5]; parents 0, 2, 3.
-        let (p0, c0) = first_parent_sorted(&g, 4);
+        let (p0, c0) = first_parent_sorted(g, 4);
         assert_eq!(p0, 0);
-        let (p1, c1) = next_parent_sorted(&g, 4, c0);
+        let (p1, c1) = next_parent_sorted(g, 4, c0);
         assert_eq!(p1, 2);
-        let (p2, c2) = next_parent_sorted(&g, 4, c1);
+        let (p2, c2) = next_parent_sorted(g, 4, c1);
         assert_eq!(p2, 3);
-        let (p3, _) = next_parent_sorted(&g, 4, c2);
+        let (p3, _) = next_parent_sorted(g, 4, c2);
         assert_eq!(p3, NO_VERTEX);
     }
 
     #[test]
     fn sorted_no_parent_cases() {
-        let g = sample_graph();
+        let graph = sample_graph();
+        let g = GraphRef::from(&graph);
         // vertex 0 has neighbours 1 and 4, both larger.
-        assert_eq!(first_parent_sorted(&g, 0).0, NO_VERTEX);
+        assert_eq!(first_parent_sorted(g, 0).0, NO_VERTEX);
         // vertex 1's only neighbour is 0, which is smaller.
-        assert_eq!(first_parent_sorted(&g, 1).0, 0);
+        assert_eq!(first_parent_sorted(g, 1).0, 0);
     }
 
     #[test]
     fn scan_parent_walk_matches_sorted_walk() {
-        let g = sample_graph();
-        let scrambled = g.with_scrambled_adjacency(17);
+        let graph = sample_graph();
+        let g = GraphRef::from(&graph);
+        let scrambled_graph = graph.with_scrambled_adjacency(17);
+        let scrambled = GraphRef::from(&scrambled_graph);
         for v in 0..6u32 {
             // Walk parents with both strategies and compare sequences.
             let mut sorted_seq = Vec::new();
-            let (mut p, mut c) = first_parent_sorted(&g, v);
+            let (mut p, mut c) = first_parent_sorted(g, v);
             while p != NO_VERTEX {
                 sorted_seq.push(p);
-                let (np, nc) = next_parent_sorted(&g, v, c);
+                let (np, nc) = next_parent_sorted(g, v, c);
                 p = np;
                 c = nc;
             }
             let mut scan_seq = Vec::new();
-            let mut p = first_parent_scan(&scrambled, v);
+            let mut p = first_parent_scan(scrambled, v);
             while p != NO_VERTEX {
                 scan_seq.push(p);
-                p = next_parent_scan(&scrambled, v, p);
+                p = next_parent_scan(scrambled, v, p);
             }
             assert_eq!(sorted_seq, scan_seq, "vertex {v}");
         }

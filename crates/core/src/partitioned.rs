@@ -20,7 +20,7 @@ use crate::result::ChordalResult;
 use crate::verify::is_chordal;
 use crate::workspace::Workspace;
 use chordal_graph::subgraph::{edge_subgraph, induced_subgraph};
-use chordal_graph::{CsrGraph, Edge, VertexId};
+use chordal_graph::{Edge, GraphRef, VertexId};
 use rayon::prelude::*;
 use std::collections::HashSet;
 
@@ -85,7 +85,7 @@ impl PartitionedExtractor {
     }
 
     /// Runs the full pipeline, returning the partition-level report.
-    pub fn extract_report(&self, graph: &CsrGraph) -> PartitionedResult {
+    pub fn extract_report<'a>(&self, graph: impl Into<GraphRef<'a>>) -> PartitionedResult {
         extract_partitioned(graph, self.partitions, self.strategy)
     }
 }
@@ -95,7 +95,7 @@ impl ChordalExtractor for PartitionedExtractor {
         "partitioned"
     }
 
-    fn extract_into(&self, graph: &CsrGraph, workspace: &mut Workspace) -> ChordalResult {
+    fn extract_into(&self, graph: GraphRef<'_>, workspace: &mut Workspace) -> ChordalResult {
         // Each partition's Dearing run borrows its own child workspace from
         // the session workspace's sub-pool, so repeated extractions with
         // the same partition count reuse every per-part scratch buffer
@@ -112,18 +112,19 @@ impl ChordalExtractor for PartitionedExtractor {
 }
 
 /// Clamps a requested partition count to `[1, num_vertices]`.
-fn clamp_partitions(graph: &CsrGraph, partitions: usize) -> usize {
+fn clamp_partitions(graph: GraphRef<'_>, partitions: usize) -> usize {
     partitions.max(1).min(graph.num_vertices().max(1))
 }
 
 /// Runs the partitioned baseline with `partitions` parts and throwaway
 /// per-partition workspaces. Callers on a repeated path should go through
 /// [`PartitionedExtractor`] and a session workspace instead.
-pub fn extract_partitioned(
-    graph: &CsrGraph,
+pub fn extract_partitioned<'a>(
+    graph: impl Into<GraphRef<'a>>,
     partitions: usize,
     strategy: PartitionStrategy,
 ) -> PartitionedResult {
+    let graph = graph.into();
     let partitions = clamp_partitions(graph, partitions);
     let mut subs: Vec<Workspace> = (0..partitions).map(|_| Workspace::new()).collect();
     extract_partitioned_with(graph, partitions, strategy, &mut subs)
@@ -132,7 +133,7 @@ pub fn extract_partitioned(
 /// The partitioned pipeline over caller-supplied per-partition workspaces
 /// (`subs.len() >= partitions`, already clamped).
 fn extract_partitioned_with(
-    graph: &CsrGraph,
+    graph: GraphRef<'_>,
     partitions: usize,
     strategy: PartitionStrategy,
     subs: &mut [Workspace],
@@ -179,7 +180,7 @@ fn extract_partitioned_with(
             return;
         }
         let sub = induced_subgraph(graph, task.members);
-        let local = DearingExtractor::new().extract_into(&sub.graph, task.workspace);
+        let local = DearingExtractor::new().extract_into((&sub.graph).into(), task.workspace);
         task.edges = local
             .edges()
             .iter()
@@ -251,6 +252,7 @@ mod tests {
     use super::*;
     use crate::dearing::extract_dearing;
     use chordal_generators::{rmat::RmatKind, rmat::RmatParams, structured};
+    use chordal_graph::CsrGraph;
 
     #[test]
     fn single_partition_reduces_to_dearing() {
@@ -314,11 +316,11 @@ mod tests {
         let g = RmatParams::preset(RmatKind::G, 8, 3).generate();
         let extractor = PartitionedExtractor::new(4, PartitionStrategy::Blocks);
         let mut workspace = Workspace::new();
-        let first = extractor.extract_into(&g, &mut workspace);
+        let first = extractor.extract_into((&g).into(), &mut workspace);
         let allocations = workspace.allocations();
         let bytes = workspace.allocated_bytes();
         assert!(bytes > 0, "per-part workspaces must be retained");
-        let second = extractor.extract_into(&g, &mut workspace);
+        let second = extractor.extract_into((&g).into(), &mut workspace);
         assert_eq!(
             first.edges(),
             second.edges(),

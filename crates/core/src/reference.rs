@@ -13,7 +13,7 @@ use crate::parent::{first_parent_scan, next_parent_scan, sorted_subset};
 use crate::result::ChordalResult;
 use crate::stats::IterationStats;
 use crate::workspace::Workspace;
-use chordal_graph::{CsrGraph, VertexId, NO_VERTEX};
+use chordal_graph::{GraphRef, VertexId, NO_VERTEX};
 
 /// The sequential determinism oracle, as a registry citizen.
 ///
@@ -38,7 +38,7 @@ impl ChordalExtractor for ReferenceExtractor {
         "reference"
     }
 
-    fn extract_into(&self, graph: &CsrGraph, workspace: &mut Workspace) -> ChordalResult {
+    fn extract_into(&self, graph: GraphRef<'_>, workspace: &mut Workspace) -> ChordalResult {
         let n = graph.num_vertices();
         let mut stats = self.record_stats.then(IterationStats::new);
         workspace.prepare_plain(n);
@@ -138,12 +138,15 @@ impl ChordalExtractor for ReferenceExtractor {
 }
 
 /// Runs the sequential reference extraction with a throwaway workspace.
-pub fn extract_reference(graph: &CsrGraph) -> ChordalResult {
+pub fn extract_reference<'a>(graph: impl Into<GraphRef<'a>>) -> ChordalResult {
     extract_reference_with_stats(graph, false)
 }
 
 /// Reference extraction with optional per-iteration statistics.
-pub fn extract_reference_with_stats(graph: &CsrGraph, record_stats: bool) -> ChordalResult {
+pub fn extract_reference_with_stats<'a>(
+    graph: impl Into<GraphRef<'a>>,
+    record_stats: bool,
+) -> ChordalResult {
     ReferenceExtractor::new(record_stats).extract(graph)
 }
 
@@ -153,6 +156,7 @@ mod tests {
     use crate::verify;
     use chordal_generators::structured;
     use chordal_graph::builder::graph_from_edges;
+    use chordal_graph::CsrGraph;
 
     #[test]
     fn empty_graph_yields_empty_result() {
@@ -247,16 +251,16 @@ mod tests {
         let large_fresh = extractor.extract(&large);
         let small_fresh = extractor.extract(&small);
         assert_eq!(
-            extractor.extract_into(&large, &mut ws).edges(),
+            extractor.extract_into((&large).into(), &mut ws).edges(),
             large_fresh.edges()
         );
         assert_eq!(
-            extractor.extract_into(&small, &mut ws).edges(),
+            extractor.extract_into((&small).into(), &mut ws).edges(),
             small_fresh.edges()
         );
         let allocations = ws.allocations();
         assert_eq!(
-            extractor.extract_into(&large, &mut ws).edges(),
+            extractor.extract_into((&large).into(), &mut ws).edges(),
             large_fresh.edges()
         );
         assert_eq!(ws.allocations(), allocations);

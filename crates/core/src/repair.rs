@@ -47,7 +47,7 @@ use crate::result::ChordalResult;
 use crate::verify::is_chordal;
 use crate::workspace::Workspace;
 use chordal_graph::subgraph::edge_subgraph;
-use chordal_graph::{CsrGraph, Edge, VertexId};
+use chordal_graph::{Edge, GraphRef, VertexId};
 
 /// How the repair pass decides whether a candidate edge is addable.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -110,8 +110,8 @@ pub struct RepairOutcome {
 ///
 /// Prefer [`repair_maximality_with`] (and the incremental strategy) for
 /// repeated or large-scale repairs.
-pub fn repair_maximality(
-    graph: &CsrGraph,
+pub fn repair_maximality<'a>(
+    graph: impl Into<GraphRef<'a>>,
     chordal_edges: &[Edge],
     limit: Option<usize>,
 ) -> RepairOutcome {
@@ -133,14 +133,21 @@ pub fn repair_maximality(
 /// identical edge for edge. A non-chordal input (possible for the
 /// partitioned baseline) makes the incremental separator test inapplicable;
 /// it is detected up front and the scratch strategy is used instead.
-pub fn repair_maximality_with(
-    graph: &CsrGraph,
+pub fn repair_maximality_with<'a>(
+    graph: impl Into<GraphRef<'a>>,
     chordal_edges: &[Edge],
     limit: Option<usize>,
     strategy: RepairStrategy,
     workspace: &mut Workspace,
 ) -> RepairOutcome {
-    repair_with(graph, chordal_edges, limit, strategy, workspace, false)
+    repair_with(
+        graph.into(),
+        chordal_edges,
+        limit,
+        strategy,
+        workspace,
+        false,
+    )
 }
 
 /// [`repair_maximality_with`] without the up-front chordality certification
@@ -155,21 +162,28 @@ pub fn repair_maximality_with(
 /// incremental strategy's accept/reject answers — and hence the output —
 /// are unspecified; use [`repair_maximality_with`] when the input is not
 /// certified.
-pub fn repair_maximality_assume_chordal(
-    graph: &CsrGraph,
+pub fn repair_maximality_assume_chordal<'a>(
+    graph: impl Into<GraphRef<'a>>,
     chordal_edges: &[Edge],
     limit: Option<usize>,
     strategy: RepairStrategy,
     workspace: &mut Workspace,
 ) -> RepairOutcome {
-    repair_with(graph, chordal_edges, limit, strategy, workspace, true)
+    repair_with(
+        graph.into(),
+        chordal_edges,
+        limit,
+        strategy,
+        workspace,
+        true,
+    )
 }
 
 /// Shared implementation. `assume_chordal` skips the up-front chordality
 /// certification of the incremental strategy; only callers that *know* the
 /// input is chordal (extractors whose algorithm guarantees it) may set it.
 pub(crate) fn repair_with(
-    graph: &CsrGraph,
+    graph: GraphRef<'_>,
     chordal_edges: &[Edge],
     limit: Option<usize>,
     strategy: RepairStrategy,
@@ -217,9 +231,9 @@ pub(crate) fn repair_with(
 
 /// Directed CSR slot of the canonical orientation of `(u, v)` in `graph`,
 /// or `None` when the edge is not present.
-fn edge_position(graph: &CsrGraph, u: VertexId, v: VertexId) -> Option<usize> {
+fn edge_position(graph: GraphRef<'_>, u: VertexId, v: VertexId) -> Option<usize> {
     let neighbors = graph.neighbors(u);
-    let base = graph.offsets()[u as usize];
+    let base = graph.adjacency_start(u as usize);
     if graph.is_sorted() {
         neighbors.binary_search(&v).ok().map(|i| base + i)
     } else {
@@ -236,7 +250,7 @@ fn edge_position(graph: &CsrGraph, u: VertexId, v: VertexId) -> Option<usize> {
 /// loop is required; each pass adds at least one edge or terminates, so it
 /// is bounded by `|E \ EC|` passes.
 fn greedy_repair(
-    graph: &CsrGraph,
+    graph: GraphRef<'_>,
     mut edges: Vec<Edge>,
     limit: Option<usize>,
     marks: &mut RepairMarks,
@@ -249,12 +263,12 @@ fn greedy_repair(
             marks.retained[pos] = true;
         }
     }
-    let offsets = graph.offsets();
     let mut added = Vec::new();
     let mut examined = 0usize;
     loop {
         let mut changed = false;
-        for (u, &base) in offsets[..graph.num_vertices()].iter().enumerate() {
+        for u in 0..graph.num_vertices() {
+            let base = graph.adjacency_start(u);
             let u = u as VertexId;
             for (i, &v) in graph.neighbors(u).iter().enumerate() {
                 if v <= u {
@@ -298,7 +312,7 @@ fn greedy_repair(
 
 /// Convenience wrapper operating on a [`ChordalResult`] with the default
 /// strategy and a throwaway [`Workspace`]; see [`repair_result_with`].
-pub fn repair_result(graph: &CsrGraph, result: &ChordalResult) -> ChordalResult {
+pub fn repair_result<'a>(graph: impl Into<GraphRef<'a>>, result: &ChordalResult) -> ChordalResult {
     repair_result_with(
         graph,
         result,
@@ -313,17 +327,17 @@ pub fn repair_result(graph: &CsrGraph, result: &ChordalResult) -> ChordalResult 
 /// record (`examined` candidates as the work proxy, `added.len()` edges) is
 /// appended, so the repaired result keeps the stats invariants of the
 /// unrepaired one.
-pub fn repair_result_with(
-    graph: &CsrGraph,
+pub fn repair_result_with<'a>(
+    graph: impl Into<GraphRef<'a>>,
     result: &ChordalResult,
     strategy: RepairStrategy,
     workspace: &mut Workspace,
 ) -> ChordalResult {
-    repair_result_impl(graph, result, strategy, workspace, false)
+    repair_result_impl(graph.into(), result, strategy, workspace, false)
 }
 
 pub(crate) fn repair_result_impl(
-    graph: &CsrGraph,
+    graph: GraphRef<'_>,
     result: &ChordalResult,
     strategy: RepairStrategy,
     workspace: &mut Workspace,
@@ -389,7 +403,7 @@ impl crate::ChordalExtractor for RepairExtractor {
         self.name
     }
 
-    fn extract_into(&self, graph: &CsrGraph, workspace: &mut crate::Workspace) -> ChordalResult {
+    fn extract_into(&self, graph: GraphRef<'_>, workspace: &mut crate::Workspace) -> ChordalResult {
         let result = self.inner.extract_into(graph, workspace);
         repair_result_impl(
             graph,

@@ -1,7 +1,7 @@
 //! The output of a maximal chordal subgraph extraction.
 
 use crate::stats::IterationStats;
-use chordal_graph::{subgraph::edge_subgraph, CsrGraph, Edge};
+use chordal_graph::{subgraph::edge_subgraph, CsrGraph, Edge, GraphRef};
 
 /// The chordal edge set `EC` returned by an extraction, together with
 /// iteration metadata.
@@ -103,7 +103,8 @@ impl ChordalResult {
 
     /// Fraction of the host graph's edges retained in the chordal subgraph
     /// (the "percentage of chordal edges" the paper reports in Section V).
-    pub fn chordal_fraction(&self, graph: &CsrGraph) -> f64 {
+    pub fn chordal_fraction<'a>(&self, graph: impl Into<GraphRef<'a>>) -> f64 {
+        let graph = graph.into();
         if graph.num_edges() == 0 {
             return 0.0;
         }
@@ -111,7 +112,8 @@ impl ChordalResult {
     }
 
     /// Materialises the chordal subgraph over the host graph's vertex set.
-    pub fn subgraph(&self, graph: &CsrGraph) -> CsrGraph {
+    pub fn subgraph<'a>(&self, graph: impl Into<GraphRef<'a>>) -> CsrGraph {
+        let graph = graph.into();
         assert_eq!(
             graph.num_vertices(),
             self.num_vertices,

@@ -48,7 +48,7 @@
 //! `edges · ns_per_edge · (1 - 1/threads)` nanoseconds of wall time on a
 //! graph, and costs about `regions_per_extraction · region_overhead_ns`.
 //! Each graph is placed on whichever side wins for *it*, keyed by its
-//! **canonical** edge count ([`CsrGraph::num_canonical_edges`] — duplicate
+//! **canonical** edge count ([`GraphRef::num_canonical_edges`] — duplicate
 //! edges and self loops on raw CSR input carry no extraction work, so they
 //! must not push a graph across the pivot).
 //!
@@ -105,7 +105,7 @@ use crate::config::ExtractorConfig;
 use crate::extractor::{Algorithm, ChordalExtractor};
 use crate::result::ChordalResult;
 use crate::workspace::Workspace;
-use chordal_graph::CsrGraph;
+use chordal_graph::GraphRef;
 use chordal_runtime::Engine;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::OnceLock;
@@ -283,12 +283,15 @@ impl ExtractionSession {
         &self.workspace
     }
 
-    /// Extracts from one graph, reusing the session workspace. The result
-    /// carries the measured wall-clock of the run
+    /// Extracts from one graph — heap-resident or mmap-backed, anything
+    /// viewable as a [`GraphRef`] — reusing the session workspace. The
+    /// result carries the measured wall-clock of the run
     /// ([`ChordalResult::extract_ns`]).
-    pub fn extract(&mut self, graph: &CsrGraph) -> ChordalResult {
+    pub fn extract<'a>(&mut self, graph: impl Into<GraphRef<'a>>) -> ChordalResult {
         let start = Instant::now();
-        let mut result = self.extractor.extract_into(graph, &mut self.workspace);
+        let mut result = self
+            .extractor
+            .extract_into(graph.into(), &mut self.workspace);
         result.set_extract_ns(start.elapsed().as_nanos() as u64);
         result
     }
@@ -376,29 +379,36 @@ impl ExtractionSession {
     /// [`ExtractorConfig::batch_rebalance`](crate::config::ExtractorConfig::batch_rebalance)
     /// the fan-out tail may be promoted to intra-graph runs when pool
     /// workers idle (see the module docs). Placement keys on each graph's
-    /// *canonical* edge count ([`CsrGraph::num_canonical_edges`]).
+    /// *canonical* edge count ([`GraphRef::num_canonical_edges`]).
     ///
     /// Results are slot-identical to single-graph runs for every
     /// deterministic configuration, whichever side of the threshold a graph
-    /// lands on and whether or not it was promoted.
-    pub fn extract_batch(&mut self, graphs: &[&CsrGraph]) -> Vec<ChordalResult> {
-        if graphs.is_empty() {
+    /// lands on and whether or not it was promoted. The batch may mix
+    /// storage representations — anything convertible to [`GraphRef`]
+    /// (`&CsrGraph`, `&MmapCsrGraph`, or `GraphRef` itself) schedules the
+    /// same way.
+    pub fn extract_batch<'a, G>(&mut self, graphs: &[G]) -> Vec<ChordalResult>
+    where
+        G: Into<GraphRef<'a>> + Copy,
+    {
+        let views: Vec<GraphRef<'a>> = graphs.iter().map(|&g| g.into()).collect();
+        if views.is_empty() {
             return Vec::new();
         }
-        if self.config.engine.threads() <= 1 || graphs.len() == 1 {
-            return graphs.iter().map(|g| self.extract(g)).collect();
+        if self.config.engine.threads() <= 1 || views.len() == 1 {
+            return views.iter().map(|&g| self.extract(g)).collect();
         }
         let threads = self.config.engine.threads();
         let threshold = self.effective_batch_threshold();
         // Placement keys on the *canonical* edge count: duplicate edges and
         // self loops on raw CSR input carry no extraction work, so they
         // must not push a graph across the pivot.
-        let edge_counts: Vec<usize> = graphs.iter().map(|g| g.num_canonical_edges()).collect();
-        let small: Vec<usize> = (0..graphs.len())
+        let edge_counts: Vec<usize> = views.iter().map(|g| g.num_canonical_edges()).collect();
+        let small: Vec<usize> = (0..views.len())
             .filter(|&i| edge_counts[i] < threshold)
             .collect();
         let slots: Vec<OnceLock<ChordalResult>> =
-            (0..graphs.len()).map(|_| OnceLock::new()).collect();
+            (0..views.len()).map(|_| OnceLock::new()).collect();
         // One ownership flag per fan-out item: set by whoever extracts it
         // (fan-out claimant or, for promoted tail items, the intra-graph
         // sweep below), so a promotion racing a concurrent claim can never
@@ -478,7 +488,7 @@ impl ExtractionSession {
                         }
                         let i = small[si];
                         let start = Instant::now();
-                        let mut result = extractor.extract_into(graphs[i], &mut workspace);
+                        let mut result = extractor.extract_into(views[i], &mut workspace);
                         result.set_extract_ns(start.elapsed().as_nanos() as u64);
                         slots[i]
                             .set(result)
@@ -489,12 +499,12 @@ impl ExtractionSession {
         }
         // Intra-graph sweep, in input order: the graphs at or above the
         // pivot plus any fan-out tail the rebalancer promoted.
-        let mut small_pos = vec![usize::MAX; graphs.len()];
+        let mut small_pos = vec![usize::MAX; views.len()];
         for (si, &i) in small.iter().enumerate() {
             small_pos[i] = si;
         }
-        let mut ran_intra = vec![false; graphs.len()];
-        for (i, graph) in graphs.iter().enumerate() {
+        let mut ran_intra = vec![false; views.len()];
+        for (i, &graph) in views.iter().enumerate() {
             let promoted =
                 small_pos[i] != usize::MAX && !taken[small_pos[i]].swap(true, Ordering::SeqCst);
             if small_pos[i] == usize::MAX || promoted {
@@ -572,6 +582,7 @@ mod tests {
     use super::*;
     use crate::config::{AdjacencyMode, Semantics};
     use chordal_generators::{rmat::RmatKind, rmat::RmatParams, structured};
+    use chordal_graph::CsrGraph;
 
     #[test]
     fn session_reuse_keeps_results_identical_and_allocations_flat() {
@@ -639,7 +650,7 @@ mod tests {
     #[test]
     fn empty_batch_is_empty() {
         let mut session = ExtractionSession::with_algorithm(Algorithm::Dearing);
-        assert!(session.extract_batch(&[]).is_empty());
+        assert!(session.extract_batch::<&CsrGraph>(&[]).is_empty());
     }
 
     #[test]

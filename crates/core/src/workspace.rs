@@ -16,7 +16,7 @@
 //! start doctests) assert.
 
 use crate::repair::incremental::RepairScratch;
-use chordal_graph::{VertexId, NO_VERTEX};
+use chordal_graph::{GraphRef, VertexId, NO_VERTEX};
 use chordal_runtime::AtomicFlags;
 use std::sync::atomic::{AtomicU32, Ordering};
 
@@ -161,6 +161,35 @@ impl Workspace {
     /// [`NO_VERTEX`], cursors and chordal-set lengths at zero; the arena is
     /// left untouched (its live prefix is defined by `clen`).
     pub(crate) fn prepare_atomic(&mut self, n: usize, directed_edges: usize, offsets: &[usize]) {
+        self.prepare_atomic_arrays(n, directed_edges);
+        self.offsets.clear();
+        if self.offsets.capacity() < offsets.len() {
+            self.allocations += 1;
+        }
+        self.offsets.extend_from_slice(offsets);
+        self.prepare_flags(n);
+    }
+
+    /// [`Workspace::prepare_atomic`] driven directly by a [`GraphRef`]. A
+    /// heap CSR hands over its offsets slice wholesale; an mmap-backed
+    /// graph fills the copy through [`GraphRef::adjacency_start`], so it
+    /// never materialises a `Vec<usize>` of its own.
+    pub(crate) fn prepare_atomic_from(&mut self, graph: GraphRef<'_>) {
+        if let GraphRef::Heap(g) = graph {
+            return self.prepare_atomic(g.num_vertices(), g.num_directed_edges(), g.offsets());
+        }
+        let n = graph.num_vertices();
+        self.prepare_atomic_arrays(n, graph.num_directed_edges());
+        self.offsets.clear();
+        if self.offsets.capacity() < n + 1 {
+            self.allocations += 1;
+        }
+        self.offsets
+            .extend((0..=n).map(|i| graph.adjacency_start(i)));
+        self.prepare_flags(n);
+    }
+
+    fn prepare_atomic_arrays(&mut self, n: usize, directed_edges: usize) {
         if self.lp.len() < n {
             self.allocations += 1;
             self.lp.resize_with(n, || AtomicU32::new(NO_VERTEX));
@@ -176,11 +205,9 @@ impl Workspace {
             self.allocations += 1;
             self.cdata.resize_with(directed_edges, || AtomicU32::new(0));
         }
-        self.offsets.clear();
-        if self.offsets.capacity() < offsets.len() {
-            self.allocations += 1;
-        }
-        self.offsets.extend_from_slice(offsets);
+    }
+
+    fn prepare_flags(&mut self, n: usize) {
         match &self.flags {
             Some(flags) if flags.len() >= n => flags.clear_all(),
             _ => {

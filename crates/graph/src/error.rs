@@ -23,7 +23,13 @@ pub enum GraphError {
         line: usize,
         /// Description of what went wrong.
         message: String,
+        /// The offending line, verbatim (trimmed), so the user can find it
+        /// without reopening the file.
+        content: String,
     },
+    /// A malformed or unsupported binary graph file (bad magic, unknown
+    /// version, truncation, checksum mismatch, …).
+    Format(String),
 }
 
 impl fmt::Display for GraphError {
@@ -38,9 +44,17 @@ impl fmt::Display for GraphError {
             ),
             GraphError::Inconsistent(msg) => write!(f, "inconsistent graph input: {msg}"),
             GraphError::Io(err) => write!(f, "graph I/O error: {err}"),
-            GraphError::Parse { line, message } => {
-                write!(f, "parse error on line {line}: {message}")
+            GraphError::Parse {
+                line,
+                message,
+                content,
+            } => {
+                write!(
+                    f,
+                    "parse error on line {line}: {message} (line was {content:?})"
+                )
             }
+            GraphError::Format(msg) => write!(f, "binary graph format error: {msg}"),
         }
     }
 }
@@ -76,11 +90,16 @@ mod tests {
         let e = GraphError::Parse {
             line: 3,
             message: "bad token".into(),
+            content: "x y z".into(),
         };
         assert!(e.to_string().contains("line 3"));
+        assert!(e.to_string().contains("x y z"), "{e}");
 
         let e = GraphError::Inconsistent("offsets".into());
         assert!(e.to_string().contains("offsets"));
+
+        let e = GraphError::Format("bad magic".into());
+        assert!(e.to_string().contains("bad magic"));
     }
 
     #[test]

@@ -28,14 +28,18 @@ pub fn write_edge_list_file<P: AsRef<Path>>(graph: &CsrGraph, path: P) -> Result
     write_edge_list(graph, file)
 }
 
-/// Reads a graph from a text edge list. If no `# vertices` header is present
-/// the vertex count is inferred as `max id + 1`.
-pub fn read_edge_list<R: Read>(reader: R) -> Result<CsrGraph, GraphError> {
-    let buf = BufReader::new(reader);
+/// Streams a text edge list line by line, invoking `on_edge` for every
+/// parsed edge, and returns the vertex count declared by a `# vertices`
+/// header (if any). This is the single parser behind both
+/// [`read_edge_list`] and the bounded-memory converter in
+/// [`crate::storage::stream`]; parse errors report the 1-based line number
+/// *and* the offending line content.
+pub(crate) fn scan_edge_list_lines<R: BufRead, F: FnMut(VertexId, VertexId)>(
+    reader: R,
+    mut on_edge: F,
+) -> Result<Option<usize>, GraphError> {
     let mut declared_vertices: Option<usize> = None;
-    let mut edges: Vec<(VertexId, VertexId)> = Vec::new();
-    let mut max_id: u64 = 0;
-    for (idx, line) in buf.lines().enumerate() {
+    for (idx, line) in reader.lines().enumerate() {
         let line = line?;
         let line_no = idx + 1;
         let trimmed = line.trim();
@@ -50,6 +54,7 @@ pub fn read_edge_list<R: Read>(reader: R) -> Result<CsrGraph, GraphError> {
                         Some(v.parse::<usize>().map_err(|e| GraphError::Parse {
                             line: line_no,
                             message: format!("bad vertex count: {e}"),
+                            content: trimmed.to_string(),
                         })?);
                 }
             }
@@ -64,32 +69,49 @@ pub fn read_edge_list<R: Read>(reader: R) -> Result<CsrGraph, GraphError> {
             .ok_or_else(|| GraphError::Parse {
                 line: line_no,
                 message: "missing first endpoint".into(),
+                content: trimmed.to_string(),
             })?
             .parse()
             .map_err(|e| GraphError::Parse {
                 line: line_no,
                 message: format!("bad vertex id: {e}"),
+                content: trimmed.to_string(),
             })?;
         let v: u64 = parts
             .next()
             .ok_or_else(|| GraphError::Parse {
                 line: line_no,
                 message: "missing second endpoint".into(),
+                content: trimmed.to_string(),
             })?
             .parse()
             .map_err(|e| GraphError::Parse {
                 line: line_no,
                 message: format!("bad vertex id: {e}"),
+                content: trimmed.to_string(),
             })?;
         if u >= u32::MAX as u64 || v >= u32::MAX as u64 {
             return Err(GraphError::Parse {
                 line: line_no,
                 message: "vertex id exceeds u32 range".into(),
+                content: trimmed.to_string(),
             });
         }
-        max_id = max_id.max(u).max(v);
-        edges.push((u as VertexId, v as VertexId));
+        on_edge(u as VertexId, v as VertexId);
     }
+    Ok(declared_vertices)
+}
+
+/// Reads a graph from a text edge list. If no `# vertices` header is present
+/// the vertex count is inferred as `max id + 1`.
+pub fn read_edge_list<R: Read>(reader: R) -> Result<CsrGraph, GraphError> {
+    let buf = BufReader::new(reader);
+    let mut edges: Vec<(VertexId, VertexId)> = Vec::new();
+    let mut max_id: u64 = 0;
+    let declared_vertices = scan_edge_list_lines(buf, |u, v| {
+        max_id = max_id.max(u as u64).max(v as u64);
+        edges.push((u, v));
+    })?;
     let num_vertices = match declared_vertices {
         Some(n) => n,
         None => {
@@ -145,9 +167,18 @@ mod tests {
         let text = "0 1\nnot-a-number 2\n";
         let err = read_edge_list(text.as_bytes()).unwrap_err();
         match err {
-            GraphError::Parse { line, .. } => assert_eq!(line, 2),
-            other => panic!("unexpected error {other:?}"),
+            GraphError::Parse {
+                line, ref content, ..
+            } => {
+                assert_eq!(line, 2);
+                assert_eq!(content, "not-a-number 2");
+            }
+            ref other => panic!("unexpected error {other:?}"),
         }
+        // The rendered message carries both pieces.
+        let text = err.to_string();
+        assert!(text.contains("line 2"), "{text}");
+        assert!(text.contains("not-a-number"), "{text}");
     }
 
     #[test]

@@ -13,6 +13,10 @@
 //!   guarantee that the extracted chordal edge set is connected.
 //! * Structural statistics ([`stats`]) reproducing the columns of Table I of
 //!   the paper.
+//! * Out-of-core storage ([`storage`]) — a versioned binary CSR file format,
+//!   mmap-backed [`MmapCsrGraph`] loading, and bounded-memory text-to-binary
+//!   conversion. [`GraphRef`] is the storage-agnostic view that lets
+//!   consumers run on either representation.
 //!
 //! The crate is deliberately free of any chordality-specific logic; that
 //! lives in `chordal-core`.
@@ -24,9 +28,11 @@ pub mod builder;
 pub mod csr;
 pub mod edgelist;
 pub mod error;
+pub mod graphref;
 pub mod io;
 pub mod permute;
 pub mod stats;
+pub mod storage;
 pub mod subgraph;
 pub mod traversal;
 
@@ -34,7 +40,9 @@ pub use builder::GraphBuilder;
 pub use csr::CsrGraph;
 pub use edgelist::EdgeList;
 pub use error::GraphError;
+pub use graphref::GraphRef;
 pub use stats::GraphStats;
+pub use storage::MmapCsrGraph;
 
 /// Identifier of a vertex. Graphs in this workspace are limited to
 /// `u32::MAX - 1` vertices, which keeps the hot arrays half the size of a

@@ -1,0 +1,541 @@
+//! The `CHRDLCSR` on-disk binary CSR format.
+//!
+//! # Format specification (version 1)
+//!
+//! A binary graph file is three consecutive sections, all little-endian:
+//!
+//! ```text
+//! offset  size  field
+//! ------  ----  ----------------------------------------------------------
+//!      0     8  magic: the ASCII bytes "CHRDLCSR"
+//!      8     4  version: u32, currently 1
+//!     12     4  flags: u32 bitset
+//!                 bit 0 — every adjacency list is sorted ascending
+//!                 bit 1 — the offsets section uses u64 entries (else u32)
+//!                 all other bits must be zero
+//!     16     8  num_vertices: u64
+//!     24     8  num_directed_edges: u64 (adjacency entries; 2x edge count)
+//!     32     8  num_canonical_edges: u64 (distinct undirected edges)
+//!     40     8  checksum: u64, FNV-1a 64 over the offsets and adjacency
+//!               sections exactly as stored on disk
+//!     48     —  offsets section: num_vertices + 1 entries, u32 or u64 LE
+//!      …     —  adjacency section: num_directed_edges entries, u32 LE
+//! ```
+//!
+//! **Index-width rule.** Vertex ids are `u32` workspace-wide (graphs are
+//! capped at `u32::MAX - 1` vertices), so adjacency entries are always
+//! `u32`. Only the *offsets* section varies: entries are `u64` iff the
+//! directed edge count exceeds `u32::MAX` (a `u32` offset could not address
+//! past the end of the adjacency array), `u32` otherwise. The choice is a
+//! pure function of the edge count ([`offsets_width`]), so writers are
+//! deterministic and readers never guess.
+//!
+//! **Alignment.** The header is 48 bytes. `48 ≡ 0 (mod 8)`, the offsets
+//! section is `4·(nv+1)` or `8·(nv+1)` bytes, and both leave the adjacency
+//! section 4-aligned relative to the start of the file — so a page-aligned
+//! mmap can reinterpret either section as a typed slice without copying.
+//!
+//! **Versioning policy.** The version field is bumped on any
+//! layout-incompatible change; readers reject versions they do not know
+//! (no silent best-effort parsing). Unknown flag bits are likewise
+//! rejected, reserving them for forward-compatible extensions that old
+//! readers must not ignore (e.g. a different adjacency encoding).
+//!
+//! **Integrity.** Loading performs cheap structural validation (magic,
+//! version, flags, section sizes derived from the header vs the actual file
+//! length, offsets monotone and consistent with the edge count). The full
+//! FNV-1a checksum over both sections is *not* verified on load — that
+//! would fault in every page and defeat lazy mapping — but is available via
+//! [`MmapCsrGraph::verify_checksum`](super::MmapCsrGraph::verify_checksum).
+
+use crate::{CsrGraph, GraphError, GraphRef};
+use std::io::Write;
+use std::path::Path;
+
+/// Magic bytes identifying a binary CSR graph file.
+pub const MAGIC: [u8; 8] = *b"CHRDLCSR";
+
+/// Current (and only) format version.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Size of the fixed header in bytes.
+pub const HEADER_LEN: usize = 48;
+
+/// Flag bit: every adjacency list is sorted ascending.
+pub const FLAG_SORTED: u32 = 1 << 0;
+
+/// Flag bit: the offsets section stores u64 entries instead of u32.
+pub const FLAG_WIDE_OFFSETS: u32 = 1 << 1;
+
+const KNOWN_FLAGS: u32 = FLAG_SORTED | FLAG_WIDE_OFFSETS;
+
+/// Entry width of the offsets section.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OffsetsWidth {
+    /// 4-byte offset entries; sufficient while every offset fits a `u32`.
+    U32,
+    /// 8-byte offset entries; required once offsets exceed `u32::MAX`.
+    U64,
+}
+
+impl OffsetsWidth {
+    /// Bytes per offset entry.
+    #[inline]
+    pub fn bytes(self) -> usize {
+        match self {
+            OffsetsWidth::U32 => 4,
+            OffsetsWidth::U64 => 8,
+        }
+    }
+}
+
+/// The index-width rule: offsets are stored as `u64` iff the directed edge
+/// count (the largest value the offsets array must represent) exceeds
+/// `u32::MAX`. Adjacency entries are always `u32` because vertex ids are.
+#[inline]
+pub fn offsets_width(num_directed_edges: u64) -> OffsetsWidth {
+    if num_directed_edges > u32::MAX as u64 {
+        OffsetsWidth::U64
+    } else {
+        OffsetsWidth::U32
+    }
+}
+
+/// The parsed fixed-size header of a binary CSR graph file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Header {
+    /// Format version (currently always [`FORMAT_VERSION`]).
+    pub version: u32,
+    /// Whether every adjacency list is sorted ascending.
+    pub sorted: bool,
+    /// Entry width of the offsets section.
+    pub width: OffsetsWidth,
+    /// Number of vertices.
+    pub num_vertices: u64,
+    /// Number of directed adjacency entries.
+    pub num_directed_edges: u64,
+    /// Number of distinct undirected, non-loop edges.
+    pub num_canonical_edges: u64,
+    /// FNV-1a 64 checksum over the offsets and adjacency sections.
+    pub checksum: u64,
+}
+
+impl Header {
+    /// Byte length of the offsets section this header describes.
+    #[inline]
+    pub fn offsets_len(&self) -> usize {
+        (self.num_vertices as usize + 1) * self.width.bytes()
+    }
+
+    /// Byte length of the adjacency section this header describes.
+    #[inline]
+    pub fn adjacency_len(&self) -> usize {
+        self.num_directed_edges as usize * 4
+    }
+
+    /// Total file length implied by this header.
+    #[inline]
+    pub fn file_len(&self) -> usize {
+        HEADER_LEN + self.offsets_len() + self.adjacency_len()
+    }
+
+    /// Serialises the header into its 48-byte on-disk form.
+    pub fn to_bytes(&self) -> [u8; HEADER_LEN] {
+        let mut buf = [0u8; HEADER_LEN];
+        buf[0..8].copy_from_slice(&MAGIC);
+        buf[8..12].copy_from_slice(&self.version.to_le_bytes());
+        let mut flags = 0u32;
+        if self.sorted {
+            flags |= FLAG_SORTED;
+        }
+        if self.width == OffsetsWidth::U64 {
+            flags |= FLAG_WIDE_OFFSETS;
+        }
+        buf[12..16].copy_from_slice(&flags.to_le_bytes());
+        buf[16..24].copy_from_slice(&self.num_vertices.to_le_bytes());
+        buf[24..32].copy_from_slice(&self.num_directed_edges.to_le_bytes());
+        buf[32..40].copy_from_slice(&self.num_canonical_edges.to_le_bytes());
+        buf[40..48].copy_from_slice(&self.checksum.to_le_bytes());
+        buf
+    }
+
+    /// Parses and validates a header from the first bytes of a file.
+    ///
+    /// Rejects wrong magic, unknown versions, unknown flag bits, vertex
+    /// counts outside the workspace's `u32` id range, a stored width that
+    /// contradicts the width rule, and counts whose implied section sizes
+    /// overflow `usize`.
+    pub fn parse(bytes: &[u8]) -> Result<Header, GraphError> {
+        if bytes.len() < HEADER_LEN {
+            return Err(GraphError::Format(format!(
+                "file too short for a binary CSR header: {} bytes, need {HEADER_LEN}",
+                bytes.len()
+            )));
+        }
+        if bytes[0..8] != MAGIC {
+            return Err(GraphError::Format(
+                "bad magic: not a binary CSR graph file".to_string(),
+            ));
+        }
+        let version = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
+        if version != FORMAT_VERSION {
+            return Err(GraphError::Format(format!(
+                "unsupported format version {version} (this reader supports {FORMAT_VERSION})"
+            )));
+        }
+        let flags = u32::from_le_bytes(bytes[12..16].try_into().unwrap());
+        if flags & !KNOWN_FLAGS != 0 {
+            return Err(GraphError::Format(format!(
+                "unknown flag bits {:#x} set",
+                flags & !KNOWN_FLAGS
+            )));
+        }
+        let num_vertices = u64::from_le_bytes(bytes[16..24].try_into().unwrap());
+        let num_directed_edges = u64::from_le_bytes(bytes[24..32].try_into().unwrap());
+        let num_canonical_edges = u64::from_le_bytes(bytes[32..40].try_into().unwrap());
+        let checksum = u64::from_le_bytes(bytes[40..48].try_into().unwrap());
+        if num_vertices >= u32::MAX as u64 {
+            return Err(GraphError::Format(format!(
+                "vertex count {num_vertices} exceeds the u32 vertex-id range"
+            )));
+        }
+        let width = offsets_width(num_directed_edges);
+        let stored_wide = flags & FLAG_WIDE_OFFSETS != 0;
+        if stored_wide != (width == OffsetsWidth::U64) {
+            return Err(GraphError::Format(format!(
+                "offsets width flag (wide={stored_wide}) contradicts the width rule for \
+                 {num_directed_edges} directed edges"
+            )));
+        }
+        // Guard the usize arithmetic in the section-length accessors on
+        // 32-bit hosts; 64-bit hosts cannot overflow here.
+        let implied = (num_vertices + 1)
+            .checked_mul(width.bytes() as u64)
+            .and_then(|o| num_directed_edges.checked_mul(4).map(|a| (o, a)))
+            .and_then(|(o, a)| o.checked_add(a))
+            .and_then(|s| s.checked_add(HEADER_LEN as u64));
+        match implied {
+            Some(total) if total <= usize::MAX as u64 => {}
+            _ => {
+                return Err(GraphError::Format(
+                    "section sizes implied by header overflow this platform".to_string(),
+                ));
+            }
+        }
+        Ok(Header {
+            version,
+            sorted: flags & FLAG_SORTED != 0,
+            width,
+            num_vertices,
+            num_directed_edges,
+            num_canonical_edges,
+            checksum,
+        })
+    }
+}
+
+/// Incremental FNV-1a 64 hasher, the integrity checksum of the format.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Fnv1a(u64);
+
+impl Fnv1a {
+    const OFFSET_BASIS: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    pub(crate) fn new() -> Self {
+        Fnv1a(Self::OFFSET_BASIS)
+    }
+
+    #[inline]
+    pub(crate) fn update(&mut self, bytes: &[u8]) {
+        let mut h = self.0;
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(Self::PRIME);
+        }
+        self.0 = h;
+    }
+
+    pub(crate) fn finish(self) -> u64 {
+        self.0
+    }
+}
+
+/// Quick check whether `bytes` begin with the binary CSR magic. Used for
+/// `--format auto` detection on graph-loading paths.
+#[inline]
+pub fn is_binary_header(bytes: &[u8]) -> bool {
+    bytes.len() >= 8 && bytes[0..8] == MAGIC
+}
+
+fn checksum_sections<'a>(graph: GraphRef<'a>, width: OffsetsWidth) -> u64 {
+    let mut hasher = Fnv1a::new();
+    let n = graph.num_vertices();
+    match width {
+        OffsetsWidth::U32 => {
+            for i in 0..=n {
+                hasher.update(&(graph.adjacency_start(i) as u32).to_le_bytes());
+            }
+        }
+        OffsetsWidth::U64 => {
+            for i in 0..=n {
+                hasher.update(&(graph.adjacency_start(i) as u64).to_le_bytes());
+            }
+        }
+    }
+    for v in 0..n {
+        for &w in graph.neighbors(v as u32) {
+            hasher.update(&w.to_le_bytes());
+        }
+    }
+    hasher.finish()
+}
+
+/// Writes a graph in the binary CSR format. Two passes over the graph: one
+/// to compute the checksum (which lives in the header, before the data it
+/// covers), one to stream the sections.
+pub fn write_binary<'a, W: Write>(
+    graph: impl Into<GraphRef<'a>>,
+    writer: W,
+) -> Result<(), GraphError> {
+    let graph = graph.into();
+    let width = offsets_width(graph.num_directed_edges() as u64);
+    let header = Header {
+        version: FORMAT_VERSION,
+        sorted: graph.is_sorted(),
+        width,
+        num_vertices: graph.num_vertices() as u64,
+        num_directed_edges: graph.num_directed_edges() as u64,
+        num_canonical_edges: graph.num_canonical_edges() as u64,
+        checksum: checksum_sections(graph, width),
+    };
+    let mut w = std::io::BufWriter::new(writer);
+    w.write_all(&header.to_bytes())?;
+    let n = graph.num_vertices();
+    match width {
+        OffsetsWidth::U32 => {
+            for i in 0..=n {
+                w.write_all(&(graph.adjacency_start(i) as u32).to_le_bytes())?;
+            }
+        }
+        OffsetsWidth::U64 => {
+            for i in 0..=n {
+                w.write_all(&(graph.adjacency_start(i) as u64).to_le_bytes())?;
+            }
+        }
+    }
+    for v in 0..n {
+        for &nb in graph.neighbors(v as u32) {
+            w.write_all(&nb.to_le_bytes())?;
+        }
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Writes a graph in the binary CSR format to a file path.
+pub fn write_binary_file<'a, P: AsRef<Path>>(
+    graph: impl Into<GraphRef<'a>>,
+    path: P,
+) -> Result<(), GraphError> {
+    let file = std::fs::File::create(path)?;
+    write_binary(graph, file)
+}
+
+/// Decodes a binary CSR graph from an in-memory byte buffer into a heap
+/// [`CsrGraph`]. This is the non-mmap read path (and the only one that works
+/// on a `&[u8]` without a backing file); the checksum is verified in full.
+pub fn read_binary(bytes: &[u8]) -> Result<CsrGraph, GraphError> {
+    let header = Header::parse(bytes)?;
+    if bytes.len() != header.file_len() {
+        return Err(GraphError::Format(format!(
+            "file length {} does not match the {} bytes implied by the header \
+             (truncated or trailing garbage)",
+            bytes.len(),
+            header.file_len()
+        )));
+    }
+    let offsets_bytes = &bytes[HEADER_LEN..HEADER_LEN + header.offsets_len()];
+    let adj_bytes = &bytes[HEADER_LEN + header.offsets_len()..];
+    let mut hasher = Fnv1a::new();
+    hasher.update(offsets_bytes);
+    hasher.update(adj_bytes);
+    let computed = hasher.finish();
+    if computed != header.checksum {
+        return Err(GraphError::Format(format!(
+            "checksum mismatch: header says {:#018x}, data hashes to {computed:#018x}",
+            header.checksum
+        )));
+    }
+    let n = header.num_vertices as usize;
+    let mut offsets = Vec::with_capacity(n + 1);
+    match header.width {
+        OffsetsWidth::U32 => {
+            for chunk in offsets_bytes.chunks_exact(4) {
+                offsets.push(u32::from_le_bytes(chunk.try_into().unwrap()) as usize);
+            }
+        }
+        OffsetsWidth::U64 => {
+            for chunk in offsets_bytes.chunks_exact(8) {
+                let v = u64::from_le_bytes(chunk.try_into().unwrap());
+                if v > usize::MAX as u64 {
+                    return Err(GraphError::Format(format!("offset {v} overflows usize")));
+                }
+                offsets.push(v as usize);
+            }
+        }
+    }
+    let neighbors: Vec<u32> = adj_bytes
+        .chunks_exact(4)
+        .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
+        .collect();
+    let graph = CsrGraph::from_parts(n, offsets, neighbors)?;
+    Ok(graph)
+}
+
+/// Reads a binary CSR graph file into a heap [`CsrGraph`].
+pub fn read_binary_file<P: AsRef<Path>>(path: P) -> Result<CsrGraph, GraphError> {
+    let bytes = std::fs::read(path)?;
+    read_binary(&bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CsrGraph {
+        CsrGraph::from_canonical_edges(5, &[(0, 1), (0, 2), (1, 2), (2, 3), (3, 4)])
+    }
+
+    #[test]
+    fn width_rule_boundary() {
+        assert_eq!(offsets_width(0), OffsetsWidth::U32);
+        assert_eq!(offsets_width(u32::MAX as u64), OffsetsWidth::U32);
+        assert_eq!(offsets_width(u32::MAX as u64 + 1), OffsetsWidth::U64);
+        assert_eq!(OffsetsWidth::U32.bytes(), 4);
+        assert_eq!(OffsetsWidth::U64.bytes(), 8);
+    }
+
+    #[test]
+    fn write_read_roundtrip() {
+        let g = sample();
+        let mut buf = Vec::new();
+        write_binary(&g, &mut buf).unwrap();
+        assert_eq!(buf.len(), HEADER_LEN + 4 * 6 + 4 * g.num_directed_edges());
+        let g2 = read_binary(&buf).unwrap();
+        assert_eq!(g, g2);
+        assert_eq!(g2.num_canonical_edges(), g.num_canonical_edges());
+    }
+
+    #[test]
+    fn empty_graph_roundtrips() {
+        let g = CsrGraph::empty(0);
+        let mut buf = Vec::new();
+        write_binary(&g, &mut buf).unwrap();
+        let g2 = read_binary(&buf).unwrap();
+        assert_eq!(g, g2);
+        let g = CsrGraph::empty(7);
+        let mut buf = Vec::new();
+        write_binary(&g, &mut buf).unwrap();
+        assert_eq!(read_binary(&buf).unwrap(), g);
+    }
+
+    #[test]
+    fn header_roundtrips_and_preserves_counts() {
+        let g = sample();
+        let mut buf = Vec::new();
+        write_binary(&g, &mut buf).unwrap();
+        let h = Header::parse(&buf).unwrap();
+        assert_eq!(h.version, FORMAT_VERSION);
+        assert!(h.sorted);
+        assert_eq!(h.width, OffsetsWidth::U32);
+        assert_eq!(h.num_vertices, 5);
+        assert_eq!(h.num_directed_edges, 10);
+        assert_eq!(h.num_canonical_edges, 5);
+        assert_eq!(h.file_len(), buf.len());
+        assert_eq!(Header::parse(&h.to_bytes()).unwrap(), h);
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let mut buf = Vec::new();
+        write_binary(&sample(), &mut buf).unwrap();
+        buf[0] = b'X';
+        let err = read_binary(&buf).unwrap_err();
+        assert!(matches!(err, GraphError::Format(_)), "{err:?}");
+        assert!(err.to_string().contains("magic"));
+    }
+
+    #[test]
+    fn rejects_wrong_version() {
+        let mut buf = Vec::new();
+        write_binary(&sample(), &mut buf).unwrap();
+        buf[8..12].copy_from_slice(&99u32.to_le_bytes());
+        let err = read_binary(&buf).unwrap_err();
+        assert!(err.to_string().contains("version 99"), "{err}");
+    }
+
+    #[test]
+    fn rejects_unknown_flags() {
+        let mut buf = Vec::new();
+        write_binary(&sample(), &mut buf).unwrap();
+        buf[12..16].copy_from_slice(&(KNOWN_FLAGS | 0x80).to_le_bytes());
+        assert!(read_binary(&buf).is_err());
+    }
+
+    #[test]
+    fn rejects_truncated_file() {
+        let mut buf = Vec::new();
+        write_binary(&sample(), &mut buf).unwrap();
+        buf.truncate(buf.len() - 3);
+        let err = read_binary(&buf).unwrap_err();
+        assert!(err.to_string().contains("truncated"), "{err}");
+        // Truncation into the header itself.
+        let err = read_binary(&buf[..20]).unwrap_err();
+        assert!(err.to_string().contains("too short"), "{err}");
+    }
+
+    #[test]
+    fn rejects_corrupted_payload() {
+        let mut buf = Vec::new();
+        write_binary(&sample(), &mut buf).unwrap();
+        let last = buf.len() - 1;
+        buf[last] ^= 0xff;
+        let err = read_binary(&buf).unwrap_err();
+        assert!(err.to_string().contains("checksum"), "{err}");
+    }
+
+    #[test]
+    fn detects_binary_header() {
+        let mut buf = Vec::new();
+        write_binary(&sample(), &mut buf).unwrap();
+        assert!(is_binary_header(&buf));
+        assert!(!is_binary_header(b"# vertices 5"));
+        assert!(!is_binary_header(b"CHRDL"));
+    }
+
+    #[test]
+    fn unsorted_flag_survives_roundtrip() {
+        let g = sample().with_scrambled_adjacency(11);
+        assert!(!g.is_sorted());
+        let mut buf = Vec::new();
+        write_binary(&g, &mut buf).unwrap();
+        assert!(!Header::parse(&buf).unwrap().sorted);
+        let g2 = read_binary(&buf).unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn fnv1a_matches_reference_vectors() {
+        // Published FNV-1a 64 test vectors.
+        let mut h = Fnv1a::new();
+        h.update(b"");
+        assert_eq!(h.finish(), 0xcbf2_9ce4_8422_2325);
+        let mut h = Fnv1a::new();
+        h.update(b"a");
+        assert_eq!(h.finish(), 0xaf63_dc4c_8601_ec8c);
+        let mut h = Fnv1a::new();
+        h.update(b"foobar");
+        assert_eq!(h.finish(), 0x85944171f73967e8);
+    }
+}

@@ -1,0 +1,473 @@
+//! Memory-mapped binary CSR graphs.
+//!
+//! [`MmapCsrGraph`] opens a file in the [`format`](super::format) described
+//! layout and serves the neighbour/degree/canonical-edge surface of
+//! [`CsrGraph`] straight out of the mapping: the adjacency section is
+//! reinterpreted as a `&[u32]` slice (the format guarantees 4-byte
+//! alignment relative to the file start, and the kernel guarantees
+//! page-aligned mappings), offsets are decoded per lookup with unaligned
+//! little-endian loads. Nothing is materialised on the heap, so opening a
+//! multi-gigabyte graph costs a header parse plus an `O(V)` structural
+//! validation pass over the offsets — the adjacency pages fault in lazily
+//! as extraction touches them.
+//!
+//! On big-endian hosts (or when the mmap shim falls back to a heap read
+//! that happens to be misaligned) the file is copied into an 8-aligned
+//! owned buffer, byte-swapping where needed; the public API is identical.
+
+use super::format::{Header, OffsetsWidth, HEADER_LEN};
+use crate::{CsrGraph, Edge, EdgeList, GraphError, VertexId};
+use memmap2::Mmap;
+use std::fs::File;
+use std::path::Path;
+
+/// Owned, 8-aligned byte buffer used when the raw mapping cannot be used
+/// directly (misaligned heap fallback, or a big-endian host that needs the
+/// sections byte-swapped).
+#[derive(Debug)]
+struct AlignedBytes {
+    buf: Vec<u64>,
+    len: usize,
+}
+
+impl AlignedBytes {
+    fn from_slice(bytes: &[u8]) -> Self {
+        let words = bytes.len().div_ceil(8);
+        let mut buf = vec![0u64; words];
+        // SAFETY: u64 -> u8 reinterpretation of an initialised buffer with
+        // capacity >= bytes.len(); u8 has no alignment or validity needs.
+        let dst =
+            unsafe { std::slice::from_raw_parts_mut(buf.as_mut_ptr() as *mut u8, bytes.len()) };
+        dst.copy_from_slice(bytes);
+        AlignedBytes {
+            buf,
+            len: bytes.len(),
+        }
+    }
+
+    #[inline]
+    fn as_bytes(&self) -> &[u8] {
+        // SAFETY: same reinterpretation as in `from_slice`.
+        unsafe { std::slice::from_raw_parts(self.buf.as_ptr() as *const u8, self.len) }
+    }
+}
+
+#[derive(Debug)]
+enum Backing {
+    Mapped(Mmap),
+    Owned(AlignedBytes),
+}
+
+impl Backing {
+    #[inline]
+    fn bytes(&self) -> &[u8] {
+        match self {
+            Backing::Mapped(map) => map,
+            Backing::Owned(buf) => buf.as_bytes(),
+        }
+    }
+}
+
+/// A read-only CSR graph served directly from a binary graph file.
+///
+/// Exposes the same read surface as [`CsrGraph`] (neighbours, degrees,
+/// edge counts, `has_edge`, edge iteration), so every extractor runs on it
+/// unchanged through [`GraphRef`](crate::GraphRef). The canonical edge
+/// count is `O(1)` — it is stored in the file header rather than recomputed.
+#[derive(Debug)]
+pub struct MmapCsrGraph {
+    backing: Backing,
+    header: Header,
+}
+
+impl MmapCsrGraph {
+    /// Opens a binary CSR graph file as a memory-mapped graph.
+    ///
+    /// Performs the cheap structural validation described in the
+    /// [format docs](super::format): header sanity, file length, and an
+    /// `O(V)` monotonicity check of the offsets section. The full data
+    /// checksum is *not* verified here (it would fault in every page);
+    /// call [`MmapCsrGraph::verify_checksum`] when integrity matters more
+    /// than load time.
+    pub fn open<P: AsRef<Path>>(path: P) -> Result<Self, GraphError> {
+        let file = File::open(path)?;
+        Self::from_file(&file)
+    }
+
+    /// Opens an already-open file as a memory-mapped graph. See
+    /// [`MmapCsrGraph::open`].
+    pub fn from_file(file: &File) -> Result<Self, GraphError> {
+        // SAFETY: the standard mmap caveat — the caller must not truncate
+        // the file while the map is alive. All byte accesses made through
+        // this type are bounds-checked against the mapping length captured
+        // here, and the parsed contents are treated as untrusted input.
+        let map = unsafe { Mmap::map(file) }?;
+        let backing = Self::normalize(map)?;
+        let header = Header::parse(backing.bytes())?;
+        if backing.bytes().len() != header.file_len() {
+            return Err(GraphError::Format(format!(
+                "file length {} does not match the {} bytes implied by the header \
+                 (truncated or trailing garbage)",
+                backing.bytes().len(),
+                header.file_len()
+            )));
+        }
+        let graph = MmapCsrGraph { backing, header };
+        graph.validate_offsets()?;
+        Ok(graph)
+    }
+
+    /// Turns the raw mapping into a backing whose adjacency section can be
+    /// reinterpreted as native-endian `&[u32]` in place.
+    fn normalize(map: Mmap) -> Result<Backing, GraphError> {
+        #[cfg(target_endian = "little")]
+        {
+            // The sections sit at 4-aligned file offsets, so 4-alignment of
+            // the base pointer is all the adjacency cast needs. Kernel
+            // mappings are page-aligned; only the shim's heap fallback can
+            // ever be misaligned, and then we pay one copy.
+            if (map.as_ptr() as usize).is_multiple_of(4) {
+                Ok(Backing::Mapped(map))
+            } else {
+                Ok(Backing::Owned(AlignedBytes::from_slice(&map)))
+            }
+        }
+        #[cfg(target_endian = "big")]
+        {
+            // The file stores little-endian sections; swap them into native
+            // order once so the hot accessors stay cast-based.
+            let header = Header::parse(&map)?;
+            let mut owned = AlignedBytes::from_slice(&map);
+            let len = owned.len;
+            let bytes =
+                unsafe { std::slice::from_raw_parts_mut(owned.buf.as_mut_ptr() as *mut u8, len) };
+            let adj_start = HEADER_LEN + header.offsets_len();
+            if adj_start <= bytes.len() {
+                for chunk in bytes[adj_start..].chunks_exact_mut(4) {
+                    chunk.reverse();
+                }
+            }
+            Ok(Backing::Owned(owned))
+        }
+    }
+
+    fn validate_offsets(&self) -> Result<(), GraphError> {
+        let n = self.num_vertices();
+        if self.adjacency_start(0) != 0 {
+            return Err(GraphError::Format(
+                "offsets section must start at 0".to_string(),
+            ));
+        }
+        if self.adjacency_start(n) != self.header.num_directed_edges as usize {
+            return Err(GraphError::Format(format!(
+                "last offset {} does not match the directed edge count {}",
+                self.adjacency_start(n),
+                self.header.num_directed_edges
+            )));
+        }
+        let mut prev = 0usize;
+        for i in 1..=n {
+            let cur = self.adjacency_start(i);
+            if cur < prev {
+                return Err(GraphError::Format(format!(
+                    "offsets must be non-decreasing (offset {i} is {cur}, previous {prev})"
+                )));
+            }
+            prev = cur;
+        }
+        Ok(())
+    }
+
+    /// The parsed file header.
+    #[inline]
+    pub fn header(&self) -> &Header {
+        &self.header
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.header.num_vertices as usize
+    }
+
+    /// Number of undirected edges as half the stored adjacency entries.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.num_directed_edges() / 2
+    }
+
+    /// Number of distinct undirected, non-loop edges — `O(1)`, read from
+    /// the file header (the writer computes it once at conversion time).
+    #[inline]
+    pub fn num_canonical_edges(&self) -> usize {
+        self.header.num_canonical_edges as usize
+    }
+
+    /// Number of directed adjacency entries (twice the edge count).
+    #[inline]
+    pub fn num_directed_edges(&self) -> usize {
+        self.header.num_directed_edges as usize
+    }
+
+    /// Sum of all degrees (equals `num_directed_edges`).
+    #[inline]
+    pub fn total_degree(&self) -> usize {
+        self.num_directed_edges()
+    }
+
+    /// Start of vertex `i`'s adjacency range; valid for `i` in
+    /// `0..=num_vertices()`. Decoded from the offsets section with an
+    /// unaligned load — no offset array is materialised.
+    #[inline]
+    pub fn adjacency_start(&self, i: usize) -> usize {
+        debug_assert!(i <= self.num_vertices());
+        let bytes = self.backing.bytes();
+        match self.header.width {
+            OffsetsWidth::U32 => {
+                let at = HEADER_LEN + 4 * i;
+                u32::from_le_bytes(bytes[at..at + 4].try_into().unwrap()) as usize
+            }
+            OffsetsWidth::U64 => {
+                let at = HEADER_LEN + 8 * i;
+                u64::from_le_bytes(bytes[at..at + 8].try_into().unwrap()) as usize
+            }
+        }
+    }
+
+    /// Degree of vertex `v`.
+    #[inline]
+    pub fn degree(&self, v: VertexId) -> usize {
+        let v = v as usize;
+        self.adjacency_start(v + 1) - self.adjacency_start(v)
+    }
+
+    /// The whole adjacency section as a typed slice into the mapping.
+    #[inline]
+    pub fn adjacency(&self) -> &[VertexId] {
+        let bytes = &self.backing.bytes()[HEADER_LEN + self.header.offsets_len()..];
+        debug_assert_eq!(bytes.as_ptr() as usize % 4, 0);
+        // SAFETY: construction guarantees a 4-aligned base (normalize),
+        // native-endian u32 contents, and exactly num_directed_edges
+        // entries (file-length check against the header).
+        unsafe {
+            std::slice::from_raw_parts(
+                bytes.as_ptr() as *const VertexId,
+                self.header.num_directed_edges as usize,
+            )
+        }
+    }
+
+    /// Neighbours of `v` as a slice into the mapping.
+    #[inline]
+    pub fn neighbors(&self, v: VertexId) -> &[VertexId] {
+        let s = self.adjacency_start(v as usize);
+        let e = self.adjacency_start(v as usize + 1);
+        &self.adjacency()[s..e]
+    }
+
+    /// Whether every adjacency list is sorted ascending (from the header;
+    /// the streaming converter and binary writer always record this
+    /// truthfully).
+    #[inline]
+    pub fn is_sorted(&self) -> bool {
+        self.header.sorted
+    }
+
+    /// Tests whether the edge `{u, v}` exists. Binary search when the
+    /// adjacency is sorted, linear scan otherwise — same policy as
+    /// [`CsrGraph::has_edge`].
+    pub fn has_edge(&self, u: VertexId, v: VertexId) -> bool {
+        if u as usize >= self.num_vertices() || v as usize >= self.num_vertices() {
+            return false;
+        }
+        let (a, b) = if self.degree(u) <= self.degree(v) {
+            (u, v)
+        } else {
+            (v, u)
+        };
+        let adj = self.neighbors(a);
+        if self.is_sorted() {
+            adj.binary_search(&b).is_ok()
+        } else {
+            adj.contains(&b)
+        }
+    }
+
+    /// Maximum degree over all vertices (0 for an empty graph).
+    pub fn max_degree(&self) -> usize {
+        (0..self.num_vertices())
+            .map(|v| self.adjacency_start(v + 1) - self.adjacency_start(v))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Iterates over every undirected edge once, in canonical orientation
+    /// `(u, v)` with `u < v`.
+    pub fn edges(&self) -> impl Iterator<Item = Edge> + '_ {
+        (0..self.num_vertices() as VertexId).flat_map(move |u| {
+            self.neighbors(u)
+                .iter()
+                .copied()
+                .filter(move |&v| u < v)
+                .map(move |v| (u, v))
+        })
+    }
+
+    /// Collects every undirected edge into an [`EdgeList`] (canonical form).
+    pub fn to_edge_list(&self) -> EdgeList {
+        let mut el = EdgeList::with_capacity(self.num_vertices(), self.num_edges());
+        for (u, v) in self.edges() {
+            el.push(u, v);
+        }
+        el
+    }
+
+    /// Materialises the graph as a heap [`CsrGraph`] (copying both
+    /// sections out of the mapping). Used when a consumer genuinely needs
+    /// an owned graph — e.g. re-sorting adjacency for the Opt variant.
+    pub fn to_csr_graph(&self) -> CsrGraph {
+        let n = self.num_vertices();
+        let offsets: Vec<usize> = (0..=n).map(|i| self.adjacency_start(i)).collect();
+        let neighbors = self.adjacency().to_vec();
+        CsrGraph::from_parts(n, offsets, neighbors)
+            .expect("a structurally validated mapping is valid CSR input")
+    }
+
+    /// Recomputes the FNV-1a checksum over the offsets and adjacency
+    /// sections and compares it against the header. `O(file size)`; faults
+    /// in every page.
+    pub fn verify_checksum(&self) -> Result<(), GraphError> {
+        let mut hasher = super::format::Fnv1a::new();
+        let bytes = self.backing.bytes();
+        #[cfg(target_endian = "little")]
+        hasher.update(&bytes[HEADER_LEN..]);
+        #[cfg(target_endian = "big")]
+        {
+            // The in-memory adjacency was byte-swapped to native order at
+            // load; hash the on-disk (little-endian) representation.
+            hasher.update(&bytes[HEADER_LEN..HEADER_LEN + self.header.offsets_len()]);
+            for &v in self.adjacency() {
+                hasher.update(&v.to_le_bytes());
+            }
+        }
+        let computed = hasher.finish();
+        if computed != self.header.checksum {
+            return Err(GraphError::Format(format!(
+                "checksum mismatch: header says {:#018x}, data hashes to {computed:#018x}",
+                self.header.checksum
+            )));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::format::write_binary_file;
+    use super::*;
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("chordal_mmap_{}_{name}.bin", std::process::id()))
+    }
+
+    fn sample() -> CsrGraph {
+        CsrGraph::from_canonical_edges(6, &[(0, 1), (0, 2), (1, 2), (2, 3), (3, 4), (0, 5)])
+    }
+
+    #[test]
+    fn mapped_graph_mirrors_heap_surface() {
+        let g = sample();
+        let path = temp_path("mirror");
+        write_binary_file(&g, &path).unwrap();
+        let m = MmapCsrGraph::open(&path).unwrap();
+        assert_eq!(m.num_vertices(), g.num_vertices());
+        assert_eq!(m.num_edges(), g.num_edges());
+        assert_eq!(m.num_directed_edges(), g.num_directed_edges());
+        assert_eq!(m.num_canonical_edges(), g.num_canonical_edges());
+        assert_eq!(m.total_degree(), g.total_degree());
+        assert_eq!(m.is_sorted(), g.is_sorted());
+        assert_eq!(m.max_degree(), g.max_degree());
+        for v in 0..g.num_vertices() as VertexId {
+            assert_eq!(m.degree(v), g.degree(v));
+            assert_eq!(m.neighbors(v), g.neighbors(v));
+        }
+        for i in 0..=g.num_vertices() {
+            assert_eq!(m.adjacency_start(i), g.offsets()[i]);
+        }
+        assert_eq!(m.edges().collect::<Vec<_>>(), g.edges().collect::<Vec<_>>());
+        assert!(m.has_edge(0, 5));
+        assert!(!m.has_edge(1, 5));
+        assert!(!m.has_edge(0, 99));
+        assert_eq!(m.to_csr_graph(), g);
+        m.verify_checksum().unwrap();
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn open_rejects_truncated_file() {
+        let g = sample();
+        let path = temp_path("trunc");
+        write_binary_file(&g, &path).unwrap();
+        let full = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &full[..full.len() - 2]).unwrap();
+        assert!(MmapCsrGraph::open(&path).is_err());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn verify_checksum_catches_corruption() {
+        let g = sample();
+        let path = temp_path("corrupt");
+        write_binary_file(&g, &path).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x55;
+        std::fs::write(&path, &bytes).unwrap();
+        // Structural validation alone does not touch the adjacency…
+        let m = MmapCsrGraph::open(&path).unwrap();
+        // …but the full checksum pass does.
+        assert!(m.verify_checksum().is_err());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn open_rejects_nonmonotone_offsets() {
+        let g = sample();
+        let path = temp_path("monotone");
+        write_binary_file(&g, &path).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        // Corrupt the second offset entry to be larger than the third.
+        bytes[HEADER_LEN + 4..HEADER_LEN + 8].copy_from_slice(&1000u32.to_le_bytes());
+        std::fs::write(&path, &bytes).unwrap();
+        let err = MmapCsrGraph::open(&path).unwrap_err();
+        assert!(err.to_string().contains("non-decreasing"), "{err}");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn empty_graph_maps() {
+        let g = CsrGraph::empty(4);
+        let path = temp_path("empty");
+        write_binary_file(&g, &path).unwrap();
+        let m = MmapCsrGraph::open(&path).unwrap();
+        assert_eq!(m.num_vertices(), 4);
+        assert_eq!(m.num_edges(), 0);
+        assert_eq!(m.neighbors(2), &[] as &[VertexId]);
+        assert_eq!(m.to_csr_graph(), g);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn unsorted_graph_preserves_adjacency_order() {
+        let g = sample().with_scrambled_adjacency(5);
+        let path = temp_path("unsorted");
+        write_binary_file(&g, &path).unwrap();
+        let m = MmapCsrGraph::open(&path).unwrap();
+        assert!(!m.is_sorted());
+        for v in 0..g.num_vertices() as VertexId {
+            assert_eq!(m.neighbors(v), g.neighbors(v));
+        }
+        assert!(m.has_edge(0, 2));
+        let _ = std::fs::remove_file(&path);
+    }
+}

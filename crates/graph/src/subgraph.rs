@@ -6,21 +6,22 @@
 //! of its vertices (a *vertex-induced subgraph*, used by the partitioned
 //! baseline).
 
-use crate::{CsrGraph, Edge, EdgeList, VertexId, NO_VERTEX};
+use crate::{CsrGraph, Edge, EdgeList, GraphRef, VertexId, NO_VERTEX};
 
 /// Builds the spanning subgraph of `graph` containing exactly the edges in
 /// `edges`. Vertex ids are preserved; vertices not covered by any edge become
 /// isolated. Edges not present in `graph` are still included — callers that
 /// care should validate separately (see
 /// [`edges_subset_of_graph`]).
-pub fn edge_subgraph(graph: &CsrGraph, edges: &[Edge]) -> CsrGraph {
-    let el = EdgeList::from_edges(graph.num_vertices(), edges.to_vec())
+pub fn edge_subgraph<'a>(graph: impl Into<GraphRef<'a>>, edges: &[Edge]) -> CsrGraph {
+    let el = EdgeList::from_edges(graph.into().num_vertices(), edges.to_vec())
         .expect("edge endpoints must be valid vertices of the host graph");
     CsrGraph::from_edge_list(&el)
 }
 
 /// Checks that every edge in `edges` is an edge of `graph`.
-pub fn edges_subset_of_graph(graph: &CsrGraph, edges: &[Edge]) -> bool {
+pub fn edges_subset_of_graph<'a>(graph: impl Into<GraphRef<'a>>, edges: &[Edge]) -> bool {
+    let graph = graph.into();
     edges.iter().all(|&(u, v)| graph.has_edge(u, v))
 }
 
@@ -38,7 +39,11 @@ pub struct InducedSubgraph {
 
 /// Extracts the subgraph induced by `vertices` (duplicates ignored), with
 /// vertices renumbered consecutively in the order given.
-pub fn induced_subgraph(graph: &CsrGraph, vertices: &[VertexId]) -> InducedSubgraph {
+pub fn induced_subgraph<'a>(
+    graph: impl Into<GraphRef<'a>>,
+    vertices: &[VertexId],
+) -> InducedSubgraph {
+    let graph = graph.into();
     let n = graph.num_vertices();
     let mut global_to_local = vec![NO_VERTEX; n];
     let mut local_to_global = Vec::with_capacity(vertices.len());
