@@ -18,6 +18,7 @@
 //!   scheduler         Batch-scheduling policy ablation (pool counters)
 //!   repair            Maximality-repair strategy ablation (incremental vs scratch)
 //!   storage           Cold-start ablation: text re-parse vs binary mmap reload
+//!   serving           Closed-loop load against the resident extraction service
 //!   all               Run everything above in order
 //!
 //! Options:
@@ -31,7 +32,7 @@
 
 use chordal_bench::experiments::{
     chordal_fraction, figure2, figure3, figure7, maximality_gap, repair, scaling, scheduler,
-    storage, table1, table2, HarnessOptions,
+    serving, storage, table1, table2, HarnessOptions,
 };
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -87,6 +88,9 @@ fn main() -> ExitCode {
         "storage" => {
             storage::run_and_print(&options);
         }
+        "serving" => {
+            serving::run_and_print(&options);
+        }
         "all" => {
             table1::run_and_print(&options);
             println!();
@@ -113,6 +117,8 @@ fn main() -> ExitCode {
             repair::run_and_print(&options);
             println!();
             storage::run_and_print(&options);
+            println!();
+            serving::run_and_print(&options);
         }
         "help" | "--help" | "-h" => {
             print_usage();
@@ -128,7 +134,7 @@ fn main() -> ExitCode {
 
 fn print_usage() {
     println!(
-        "usage: experiments <table1|figure2|figure3|figure4|figure5|figure6|figure7|table2|chordal-fraction|maximality-gap|scheduler|repair|storage|all> \
+        "usage: experiments <table1|figure2|figure3|figure4|figure5|figure6|figure7|table2|chordal-fraction|maximality-gap|scheduler|repair|storage|serving|all> \
          [--scale N] [--genes N] [--threads N] [--repeats N] [--out PATH] [--quick]"
     );
 }

@@ -19,6 +19,7 @@ pub mod options;
 pub mod repair;
 pub mod scaling;
 pub mod scheduler;
+pub mod serving;
 pub mod storage;
 pub mod table1;
 pub mod table2;

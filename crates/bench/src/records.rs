@@ -215,6 +215,65 @@ impl_to_json!(StoragePoint {
     chordal_edges,
 });
 
+/// One point of the `serving` ablation: a closed-loop client population
+/// driving one server configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServingPoint {
+    /// Experiment id (`"serving"`).
+    pub experiment: String,
+    /// Workload label (e.g. `"hot-cache"`, `"cold-cache"`).
+    pub workload: String,
+    /// Concurrent closed-loop clients.
+    pub clients: usize,
+    /// Requests attempted across all clients.
+    pub requests: u64,
+    /// Requests answered `ok`.
+    pub ok: u64,
+    /// Requests answered `overload` by admission control.
+    pub overloaded: u64,
+    /// Median end-to-end request latency, nanoseconds.
+    pub p50_ns: u64,
+    /// 95th-percentile end-to-end request latency, nanoseconds.
+    pub p95_ns: u64,
+    /// 99th-percentile end-to-end request latency, nanoseconds.
+    pub p99_ns: u64,
+    /// Mean server-side extraction time (`extract_ns`) of ok requests.
+    pub mean_extract_ns: u64,
+    /// Mean server-side pre-extraction time (`wait_ns`: admission + cache
+    /// + session setup) of ok requests.
+    pub mean_wait_ns: u64,
+    /// Graph-cache hits over the run (delta of server `STATS`).
+    pub cache_hits: u64,
+    /// Graph-cache misses over the run (delta).
+    pub cache_misses: u64,
+    /// Graph-cache evictions over the run (delta).
+    pub cache_evictions: u64,
+    /// Help-invitation tickets dropped by saturated pool queues over the
+    /// run (delta of `pool.tickets_dropped`).
+    pub tickets_dropped: u64,
+    /// Worker threads of the shared persistent pool.
+    pub pool_threads: usize,
+}
+
+impl_to_json!(ServingPoint {
+    experiment,
+    workload,
+    clients,
+    requests,
+    ok,
+    overloaded,
+    p50_ns,
+    p95_ns,
+    p99_ns,
+    mean_extract_ns,
+    mean_wait_ns,
+    cache_hits,
+    cache_misses,
+    cache_evictions,
+    tickets_dropped,
+    pool_threads,
+});
+
 /// A free-form experiment record: an id plus a JSON-encodable payload. Used
 /// for the non-timing experiments (Table I, Figures 2-3, 7, Table II,
 /// chordal fractions).

@@ -14,6 +14,8 @@
 //!                  [--threads 8] [--engine pool|rayon|serial] [--repeat N] [...extract flags]
 //! chordal analyze  --in graph.txt
 //! chordal verify   --graph graph.txt --subgraph chordal.txt
+//! chordal serve    [--addr 127.0.0.1:0] [--max-sessions N] [--max-inflight N]
+//!                  [--cache-budget-bytes N] [--engine pool|rayon|serial] [--threads N]
 //! ```
 //!
 //! Every graph-loading path accepts either a plain-text edge list or the
@@ -59,6 +61,7 @@ use chordal_graph::storage::{
 };
 use chordal_graph::subgraph::{edge_subgraph, edges_subset_of_graph};
 use chordal_graph::{CsrGraph, GraphRef};
+use chordal_serve::ServeConfig;
 use std::collections::HashMap;
 use std::process::ExitCode;
 
@@ -76,6 +79,7 @@ fn main() -> ExitCode {
         "batch" => cmd_batch(&options),
         "analyze" => cmd_analyze(&options),
         "verify" => cmd_verify(&options),
+        "serve" => cmd_serve(&options),
         "help" | "--help" | "-h" => {
             print_usage();
             Ok(())
@@ -108,6 +112,8 @@ fn print_usage() {
          \x20          [--repeat N] [...extract flags]\n\
          \x20 analyze  --in FILE\n\
          \x20 verify   --graph FILE --subgraph FILE [--maximality N]\n\
+         \x20 serve    [--addr HOST:PORT] [--max-sessions N] [--max-inflight N]\n\
+         \x20          [--cache-budget-bytes N] [--engine serial|pool|rayon] [--threads N]\n\
          \x20 help\n\
          \n\
          graph inputs may be text edge lists or binary CSR files (`convert`\n\
@@ -471,6 +477,49 @@ fn cmd_batch(flags: &Flags) -> Result<(), ExtractError> {
             }
         );
     }
+    Ok(())
+}
+
+fn cmd_serve(flags: &Flags) -> Result<(), ExtractError> {
+    let defaults = ServeConfig::default();
+    let config = ServeConfig {
+        addr: flags
+            .get("addr")
+            .cloned()
+            .unwrap_or_else(|| defaults.addr.clone()),
+        max_sessions: parse_number(flags, "max-sessions", defaults.max_sessions)?,
+        max_inflight: parse_number(flags, "max-inflight", defaults.max_inflight)?,
+        cache_budget_bytes: parse_number(flags, "cache-budget-bytes", defaults.cache_budget_bytes)?,
+        default_engine: flags
+            .get("engine")
+            .cloned()
+            .unwrap_or_else(|| defaults.default_engine.clone()),
+        default_threads: parse_number(flags, "threads", defaults.default_threads)?,
+        // The HOLD saturation hook is a test-only verb; the CLI never
+        // exposes it.
+        test_hooks: false,
+    };
+    if config.max_sessions == 0 || config.max_inflight == 0 {
+        return Err(ExtractError::invalid_option(
+            "max-sessions/max-inflight",
+            "0",
+        ));
+    }
+    // Validate the default engine spelling up front rather than on the
+    // first EXTRACT of every connection.
+    ExtractorConfig::default().with_engine_name(&config.default_engine, config.default_threads)?;
+    let mut handle =
+        chordal_serve::Server::start(config).map_err(|e| ExtractError::io("starting server", e))?;
+    // Scripted clients read this line to learn the bound port (`--addr`
+    // with port 0 picks a free one).
+    println!("serving on {}", handle.addr());
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    while !handle.is_shut_down() {
+        std::thread::sleep(std::time::Duration::from_millis(100));
+    }
+    handle.shutdown();
+    println!("server stopped");
     Ok(())
 }
 

@@ -268,6 +268,57 @@ pub fn is_binary_header(bytes: &[u8]) -> bool {
     bytes.len() >= 8 && bytes[0..8] == MAGIC
 }
 
+/// Content hash of a graph: FNV-1a 64 over the vertex count, the directed
+/// adjacency-entry count and the sections checksum of the graph's canonical
+/// binary CSR encoding. Two graphs hash equal exactly when their binary CSR
+/// files would be byte-identical, whatever representation they currently
+/// live in — so the hash is a storage-independent identity for "the same
+/// graph bytes", usable as a cache key by serving layers.
+///
+/// For an mmap-backed graph this is **zero-parse**: every input is already
+/// in the 48-byte header ([`content_hash_from_header`]), so hashing costs
+/// no page faults. A heap graph pays one `O(V + E)` checksum pass — the
+/// same pass `write_binary` (and therefore `chordal convert`) performs, so
+/// the hash of a parsed text file equals the hash of its converted binary.
+pub fn content_hash<'a>(graph: impl Into<GraphRef<'a>>) -> u64 {
+    let graph = graph.into();
+    let checksum = match graph {
+        GraphRef::Mapped(m) => m.header().checksum,
+        GraphRef::Heap(_) => {
+            checksum_sections(graph, offsets_width(graph.num_directed_edges() as u64))
+        }
+    };
+    content_hash_parts(
+        graph.num_vertices() as u64,
+        graph.num_directed_edges() as u64,
+        checksum,
+    )
+}
+
+/// [`content_hash`] computed from a parsed binary CSR [`Header`] alone —
+/// the zero-parse path: a serving layer can derive the cache key of a
+/// binary graph file from its first 48 bytes, without touching the offsets
+/// or adjacency sections. The `checksum` header field is the same FNV-1a
+/// value `chordal convert --verify` validates, so a verified conversion
+/// pins the cache key.
+pub fn content_hash_from_header(header: &Header) -> u64 {
+    content_hash_parts(
+        header.num_vertices,
+        header.num_directed_edges,
+        header.checksum,
+    )
+}
+
+/// The shared mix behind [`content_hash`]/[`content_hash_from_header`]:
+/// FNV-1a 64 over the three little-endian u64 identity fields.
+fn content_hash_parts(num_vertices: u64, num_directed_edges: u64, checksum: u64) -> u64 {
+    let mut hasher = Fnv1a::new();
+    hasher.update(&num_vertices.to_le_bytes());
+    hasher.update(&num_directed_edges.to_le_bytes());
+    hasher.update(&checksum.to_le_bytes());
+    hasher.finish()
+}
+
 fn checksum_sections<'a>(graph: GraphRef<'a>, width: OffsetsWidth) -> u64 {
     let mut hasher = Fnv1a::new();
     let n = graph.num_vertices();
@@ -425,6 +476,23 @@ mod tests {
         let g2 = read_binary(&buf).unwrap();
         assert_eq!(g, g2);
         assert_eq!(g2.num_canonical_edges(), g.num_canonical_edges());
+    }
+
+    #[test]
+    fn content_hash_is_representation_independent() {
+        let g = sample();
+        let mut buf = Vec::new();
+        write_binary(&g, &mut buf).unwrap();
+        let header = Header::parse(&buf).unwrap();
+        // Heap graph, parsed header, and decoded copy all agree on the key.
+        assert_eq!(content_hash(&g), content_hash_from_header(&header));
+        assert_eq!(content_hash(&g), content_hash(&read_binary(&buf).unwrap()));
+        // A different graph (one edge dropped) must not collide.
+        let other = CsrGraph::from_canonical_edges(5, &[(0, 1), (0, 2), (1, 2), (2, 3)]);
+        assert_ne!(content_hash(&g), content_hash(&other));
+        // Same edges, different vertex count: different identity.
+        let padded = CsrGraph::from_canonical_edges(6, &[(0, 1), (0, 2), (1, 2), (2, 3), (3, 4)]);
+        assert_ne!(content_hash(&g), content_hash(&padded));
     }
 
     #[test]

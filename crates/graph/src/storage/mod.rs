@@ -23,8 +23,8 @@ pub mod mmap;
 pub mod stream;
 
 pub use format::{
-    is_binary_header, offsets_width, read_binary, read_binary_file, write_binary,
-    write_binary_file, Header, OffsetsWidth, FORMAT_VERSION,
+    content_hash, content_hash_from_header, is_binary_header, offsets_width, read_binary,
+    read_binary_file, write_binary, write_binary_file, Header, OffsetsWidth, FORMAT_VERSION,
 };
 pub use mmap::MmapCsrGraph;
 pub use stream::{

@@ -1,0 +1,124 @@
+//! A small blocking client for the serve protocol.
+//!
+//! Used by the differential/soak test suites and the closed-loop load
+//! generator in `chordal-bench`. One [`ServeClient`] is one connection;
+//! requests are answered in order, so a client is also the natural unit
+//! of closed-loop load (send, wait, repeat).
+
+use crate::protocol::JsonValue;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// One decoded response frame: the parsed JSON header plus the raw payload
+/// bytes (empty unless the header announced `payload_bytes`).
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// The parsed response object.
+    pub json: JsonValue,
+    /// The raw header line as received (without the newline).
+    pub raw: String,
+    /// The length-prefixed payload following the header, if any.
+    pub payload: Vec<u8>,
+}
+
+impl Response {
+    /// Whether the frame reported success (`"ok":true`).
+    pub fn ok(&self) -> bool {
+        self.json.get("ok").and_then(JsonValue::as_bool) == Some(true)
+    }
+
+    /// The stable error code of a failure frame, if this is one.
+    pub fn code(&self) -> Option<&str> {
+        self.json.get("code").and_then(JsonValue::as_str)
+    }
+
+    /// A top-level string field.
+    pub fn str_field(&self, key: &str) -> Option<&str> {
+        self.json.get(key).and_then(JsonValue::as_str)
+    }
+
+    /// A top-level integer field.
+    pub fn u64_field(&self, key: &str) -> Option<u64> {
+        self.json.get(key).and_then(JsonValue::as_u64)
+    }
+}
+
+/// A blocking protocol client over one TCP connection.
+pub struct ServeClient {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl ServeClient {
+    /// Connects to a running server.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<ServeClient> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        // A generous dead-server guard so a wedged test fails instead of
+        // hanging; real responses arrive far sooner.
+        stream.set_read_timeout(Some(Duration::from_secs(60)))?;
+        let writer = stream.try_clone()?;
+        Ok(ServeClient {
+            reader: BufReader::new(stream),
+            writer,
+        })
+    }
+
+    /// Sends one request line (the newline is appended) and reads its
+    /// response.
+    pub fn request(&mut self, line: &str) -> std::io::Result<Response> {
+        self.send_line(line)?;
+        self.read_response()
+    }
+
+    /// Sends one request line without waiting for the response — the
+    /// pipelining primitive. Pair with [`ServeClient::read_response`].
+    pub fn send_line(&mut self, line: &str) -> std::io::Result<()> {
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()
+    }
+
+    /// Sends raw bytes verbatim (no newline appended). Lets torture tests
+    /// produce partial frames and malformed byte sequences.
+    pub fn send_raw(&mut self, bytes: &[u8]) -> std::io::Result<()> {
+        self.writer.write_all(bytes)?;
+        self.writer.flush()
+    }
+
+    /// Reads one response frame: a JSON header line, then `payload_bytes`
+    /// raw bytes when the header announces them.
+    pub fn read_response(&mut self) -> std::io::Result<Response> {
+        let mut raw = String::new();
+        let n = self.reader.read_line(&mut raw)?;
+        if n == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        let raw = raw.trim_end_matches(['\n', '\r']).to_string();
+        let json = JsonValue::parse(&raw).map_err(|e| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("malformed response frame `{raw}`: {e}"),
+            )
+        })?;
+        let payload_len = json
+            .get("payload_bytes")
+            .and_then(JsonValue::as_u64)
+            .unwrap_or(0) as usize;
+        let mut payload = vec![0u8; payload_len];
+        if payload_len > 0 {
+            self.reader.read_exact(&mut payload)?;
+        }
+        Ok(Response { json, raw, payload })
+    }
+
+    /// Shuts down the write half, signalling EOF to the server while
+    /// responses can still be drained.
+    pub fn close_write(&mut self) -> std::io::Result<()> {
+        self.writer.shutdown(std::net::Shutdown::Write)
+    }
+}

@@ -1,0 +1,117 @@
+//! `chordal serve` — the resident extraction service.
+//!
+//! The batch CLI pays graph parsing, pool spawn-up and workspace growth on
+//! every invocation; production traffic is a resident process that pays
+//! them once. This crate turns the extraction stack into that process: a
+//! TCP front end speaking a small hand-rolled protocol, a
+//! session-per-connection model multiplexed onto the shared persistent
+//! worker pool, a graph cache keyed by content hash (load once, extract
+//! many), and admission control that answers overload explicitly instead
+//! of queueing unboundedly.
+//!
+//! # Protocol specification
+//!
+//! The protocol is line-oriented requests with JSON responses, plus a
+//! length-prefixed binary payload for extraction output. It is hand-rolled
+//! (the build environment has no serde; the encoder mirrors the
+//! JSON-lines encoder of `chordal-bench`).
+//!
+//! ## Framing
+//!
+//! * **Requests** are UTF-8 lines terminated by `\n` (a trailing `\r` is
+//!   stripped), at most [`protocol::MAX_REQUEST_BYTES`] bytes including
+//!   the terminator. A line is a verb followed by space-separated
+//!   `key=value` arguments: `EXTRACT path=/tmp/g.bin algorithm=alg1`.
+//!   Empty lines are ignored. Requests may be pipelined: the server
+//!   answers strictly in request order.
+//! * **Responses** are exactly one JSON object per request, on one line.
+//!   Success frames carry `"ok":true` and a `"verb"` echo; error frames
+//!   carry `"ok":false`, a stable `"code"` and a human-readable
+//!   `"error"`. When a response announces `"payload_bytes":N`, exactly
+//!   `N` raw bytes follow the header line's `\n` — the length prefix is
+//!   the framing, the payload is not JSON.
+//!
+//! ## Verbs
+//!
+//! | verb | arguments | reply |
+//! |------|-----------|-------|
+//! | `PING` | — | liveness echo |
+//! | `LOAD` | `path=` (required), `format=text\|bin\|auto` | loads the graph through the content-hash cache; replies with the 16-hex-digit `graph` key, vertex/edge counts, `cache=hit\|miss` and the entry's resident bytes |
+//! | `EXTRACT` | `graph=<16-hex>` **or** `path=` (+`format=`), `algorithm=alg1\|reference\|dearing\|partitioned`, `variant=opt\|unopt`, `semantics=async\|sync`, `engine=serial\|pool\|rayon`, `threads=N`, `partitions=N`, `repair=true\|false`, `repair-strategy=incremental\|scratch`, `payload=none\|edges` | runs one extraction; replies with chordal edge count, iterations, `extract_ns` (extraction proper) and `wait_ns` (admission + cache + session setup), then the edge-list payload when `payload=edges` |
+//! | `STATS` | — | server/cache/pool introspection (see below) |
+//! | `SHUTDOWN` | — | acknowledges, then stops the server gracefully |
+//! | `HOLD` | `ms=N` | **test hook** (only with [`ServeConfig::test_hooks`]): occupies one admission permit for `N` ms, so saturation tests are deterministic instead of timing-dependent |
+//!
+//! `EXTRACT payload=edges` serialises the extracted chordal subgraph in
+//! the same edge-list text format `chordal extract --out` writes — the
+//! differential suite asserts the bytes are identical.
+//!
+//! ## Error codes and overload semantics
+//!
+//! | code | meaning | connection |
+//! |------|---------|------------|
+//! | `bad-frame` | not UTF-8, or the line exceeded [`protocol::MAX_REQUEST_BYTES`] | closed after an oversized frame (the stream cannot be resynchronised); kept open for a non-UTF-8 line |
+//! | `bad-verb` | unknown verb | open |
+//! | `missing-arg` / `bad-arg` | required argument absent / value unparsable | open |
+//! | `not-found` | `EXTRACT graph=` names a hash the cache no longer holds (e.g. evicted) — re-`LOAD` or use `path=` | open |
+//! | `io` | graph file unreadable/corrupt | open |
+//! | `overload` | admission control rejected the request (see below) | open (session-limit rejections close) |
+//! | `internal` | a request handler panicked | closed |
+//!
+//! **Admission control** is explicit backpressure, never an unbounded
+//! queue: at most [`ServeConfig::max_sessions`] connections are serviced —
+//! a connection beyond that is answered with one `overload` frame and
+//! closed — and at most [`ServeConfig::max_inflight`] extractions run at
+//! once; an `EXTRACT` arriving beyond that is answered `overload`
+//! immediately (the reply carries the pool's current `idle_workers` as a
+//! retry hint) instead of waiting. Saturation of the pool's ticket queues
+//! is visible as `tickets_dropped` in `STATS`, so clients and tests can
+//! observe pressure directly rather than inferring it from latency.
+//!
+//! ## The content-hash cache key
+//!
+//! Graphs are cached under
+//! [`chordal_graph::storage::content_hash`]: FNV-1a 64 over the vertex
+//! count, directed adjacency-entry count and the sections checksum of the
+//! graph's canonical binary CSR encoding. For a **binary** file the key is
+//! derived from the 48-byte header alone
+//! ([`content_hash_from_header`](chordal_graph::storage::content_hash_from_header))
+//! — the header `checksum` field is exactly the FNV-1a value
+//! `chordal convert` writes and `chordal convert --verify` validates, so a
+//! cache hit on a converted graph is **zero-parse**: one header read, then
+//! the existing mmap (page-cache-shared across every session) serves all
+//! extractions. A **text** file must be parsed once, after which its hash
+//! equals its converted binary's — the two on-disk representations of one
+//! graph share a single cache entry. Entries are evicted LRU when resident
+//! bytes exceed [`ServeConfig::cache_budget_bytes`]; in-flight extractions
+//! keep evicted graphs alive through their `Arc` until they finish.
+//!
+//! ## `STATS` layout
+//!
+//! ```json
+//! {"ok":true,"verb":"STATS",
+//!  "server":{"sessions_active":1,"sessions_total":3,"requests_total":17,
+//!            "extractions_total":9,"overloaded_total":2,"inflight":0,
+//!            "max_inflight":8,"max_sessions":64},
+//!  "cache":{"entries":2,"resident_bytes":123456,"budget_bytes":1048576,
+//!           "hits":7,"misses":2,"evictions":1},
+//!  "pool":{"size":8,"idle_workers":8,"regions":41,"tickets":120,
+//!          "steals":9,"tickets_dropped":0}}
+//! ```
+//!
+//! `pool.idle_workers` and `pool.tickets_dropped` surface
+//! [`chordal_runtime::pool_idle_workers`] and
+//! [`chordal_runtime::pool_stats`]`().tickets_dropped` so admission-control
+//! tests assert on counters, not timing heuristics.
+
+#![deny(missing_docs)]
+
+pub mod cache;
+pub mod client;
+pub mod protocol;
+pub mod server;
+
+pub use cache::{CacheStats, GraphCache};
+pub use client::{Response, ServeClient};
+pub use protocol::{ErrorCode, JsonValue, Request};
+pub use server::{ServeConfig, Server, ServerHandle};

@@ -1,0 +1,714 @@
+//! The resident TCP server: accept loop, session-per-connection threads,
+//! admission control, and the request handlers.
+//!
+//! Concurrency model: one OS thread per admitted connection (sessions are
+//! long-lived and mostly blocked on socket reads; extraction parallelism
+//! comes from the process-wide persistent worker pool, not from connection
+//! threads). Every connection owns its [`ExtractionSession`]s — workspaces
+//! are never shared across connections — while the graph cache and the
+//! pool are shared by all of them. That is exactly the multi-session shape
+//! the measured-EWMA scheduler and the pool's region accounting were built
+//! for.
+//!
+//! See the crate docs for the protocol specification this module
+//! implements.
+
+use crate::cache::GraphCache;
+use crate::protocol::{error_frame, json_escape, ErrorCode, Request, MAX_REQUEST_BYTES};
+use chordal_core::{
+    AdjacencyMode, Algorithm, ExtractionSession, ExtractorConfig, RepairStrategy, Semantics,
+};
+use chordal_graph::io::write_edge_list;
+use chordal_graph::storage::FileFormat;
+use chordal_graph::subgraph::edge_subgraph;
+use std::collections::HashMap;
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// How long blocked reads wait before re-checking the shutdown flag.
+const POLL_INTERVAL: Duration = Duration::from_millis(50);
+
+/// Upper bound on per-connection cached extraction sessions (one per
+/// distinct request configuration). Beyond it an arbitrary session is
+/// dropped — a workspace rebuild, not an error.
+const MAX_SESSIONS_PER_CONNECTION: usize = 8;
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Listen address, `host:port` (port 0 picks a free port).
+    pub addr: String,
+    /// Connections serviced concurrently; one beyond this is answered with
+    /// a single `overload` frame and closed.
+    pub max_sessions: usize,
+    /// Extractions running concurrently; an `EXTRACT` beyond this is
+    /// answered `overload` immediately instead of queueing.
+    pub max_inflight: usize,
+    /// Resident-byte budget of the graph cache.
+    pub cache_budget_bytes: usize,
+    /// Default execution engine for `EXTRACT` requests that name none.
+    pub default_engine: String,
+    /// Default engine thread count for `EXTRACT` requests that name none.
+    pub default_threads: usize,
+    /// Enables the deterministic-saturation test verb (`HOLD`). Never set
+    /// in production configurations.
+    pub test_hooks: bool,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        // One extraction per pool worker plus the submitting connection
+        // thread: beyond that, requests would only queue on the pool's
+        // injector — exactly the unbounded buildup admission control is
+        // there to refuse.
+        let threads = chordal_runtime::pool_size().max(1);
+        ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            max_sessions: 64,
+            max_inflight: threads + 1,
+            cache_budget_bytes: 256 << 20,
+            default_engine: "rayon".to_string(),
+            default_threads: chordal_runtime::available_threads(),
+            test_hooks: false,
+        }
+    }
+}
+
+/// Monotonic serving counters (see the `STATS` verb).
+struct Counters {
+    sessions_active: AtomicUsize,
+    sessions_total: AtomicU64,
+    requests_total: AtomicU64,
+    extractions_total: AtomicU64,
+    overloaded_total: AtomicU64,
+    inflight: AtomicUsize,
+}
+
+/// State shared between the accept loop and every connection thread.
+struct Shared {
+    config: ServeConfig,
+    shutdown: AtomicBool,
+    counters: Counters,
+    cache: GraphCache,
+}
+
+impl Shared {
+    /// Tries to take one extraction permit; `None` means overloaded.
+    fn try_acquire_inflight(self: &Arc<Self>) -> Option<InflightPermit> {
+        let max = self.config.max_inflight;
+        let mut current = self.counters.inflight.load(Ordering::SeqCst);
+        loop {
+            if current >= max {
+                self.counters
+                    .overloaded_total
+                    .fetch_add(1, Ordering::SeqCst);
+                return None;
+            }
+            match self.counters.inflight.compare_exchange(
+                current,
+                current + 1,
+                Ordering::SeqCst,
+                Ordering::SeqCst,
+            ) {
+                Ok(_) => return Some(InflightPermit(Arc::clone(self))),
+                Err(actual) => current = actual,
+            }
+        }
+    }
+}
+
+/// RAII extraction permit.
+struct InflightPermit(Arc<Shared>);
+
+impl Drop for InflightPermit {
+    fn drop(&mut self) {
+        self.0.counters.inflight.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// RAII active-session count.
+struct SessionGuard(Arc<Shared>);
+
+impl Drop for SessionGuard {
+    fn drop(&mut self) {
+        self.0
+            .counters
+            .sessions_active
+            .fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// The server factory. [`Server::start`] binds, spawns the accept loop and
+/// returns the [`ServerHandle`] controlling it.
+pub struct Server;
+
+/// A running server: its bound address plus shutdown control. Dropping the
+/// handle shuts the server down.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+    connections: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>>,
+}
+
+impl Server {
+    /// Binds `config.addr` and starts serving. Returns once the listener
+    /// is live — connections are accepted from that point on.
+    pub fn start(config: ServeConfig) -> std::io::Result<ServerHandle> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let shared = Arc::new(Shared {
+            cache: GraphCache::new(config.cache_budget_bytes),
+            config,
+            shutdown: AtomicBool::new(false),
+            counters: Counters {
+                sessions_active: AtomicUsize::new(0),
+                sessions_total: AtomicU64::new(0),
+                requests_total: AtomicU64::new(0),
+                extractions_total: AtomicU64::new(0),
+                overloaded_total: AtomicU64::new(0),
+                inflight: AtomicUsize::new(0),
+            },
+        });
+        let connections: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>> =
+            Arc::new(Mutex::new(Vec::new()));
+        let accept_shared = Arc::clone(&shared);
+        let accept_connections = Arc::clone(&connections);
+        let accept_thread = std::thread::Builder::new()
+            .name("chordal-serve-accept".to_string())
+            .spawn(move || accept_loop(listener, accept_shared, accept_connections))?;
+        Ok(ServerHandle {
+            addr,
+            shared,
+            accept_thread: Some(accept_thread),
+            connections,
+        })
+    }
+}
+
+impl ServerHandle {
+    /// The address the server is listening on.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Requests shutdown and joins every server thread. Idempotent.
+    pub fn shutdown(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+        let handles: Vec<_> = self
+            .connections
+            .lock()
+            .expect("connection registry")
+            .drain(..)
+            .collect();
+        for handle in handles {
+            let _ = handle.join();
+        }
+    }
+
+    /// Whether a `SHUTDOWN` request (or an explicit [`ServerHandle::shutdown`])
+    /// has stopped the server.
+    pub fn is_shut_down(&self) -> bool {
+        self.shared.shutdown.load(Ordering::SeqCst)
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Accept loop: admit up to `max_sessions` concurrent connections, answer
+/// the rest with one `overload` frame, poll the shutdown flag in between.
+fn accept_loop(
+    listener: TcpListener,
+    shared: Arc<Shared>,
+    connections: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>>,
+) {
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let active = shared.counters.sessions_active.load(Ordering::SeqCst);
+                if active >= shared.config.max_sessions {
+                    shared
+                        .counters
+                        .overloaded_total
+                        .fetch_add(1, Ordering::SeqCst);
+                    let mut stream = stream;
+                    let _ = stream.write_all(
+                        format!(
+                            "{}\n",
+                            error_frame(
+                                ErrorCode::Overload,
+                                &format!("session limit reached ({} active)", active),
+                            )
+                        )
+                        .as_bytes(),
+                    );
+                    continue;
+                }
+                shared
+                    .counters
+                    .sessions_active
+                    .fetch_add(1, Ordering::SeqCst);
+                shared
+                    .counters
+                    .sessions_total
+                    .fetch_add(1, Ordering::SeqCst);
+                let conn_shared = Arc::clone(&shared);
+                let handle = std::thread::Builder::new()
+                    .name("chordal-serve-conn".to_string())
+                    .spawn(move || {
+                        let guard = SessionGuard(Arc::clone(&conn_shared));
+                        run_connection(stream, conn_shared);
+                        drop(guard);
+                    });
+                match handle {
+                    Ok(handle) => connections
+                        .lock()
+                        .expect("connection registry")
+                        .push(handle),
+                    Err(_) => {
+                        // Spawn failure: the guard above never ran, so the
+                        // active count must be released here.
+                        shared
+                            .counters
+                            .sessions_active
+                            .fetch_sub(1, Ordering::SeqCst);
+                    }
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(20)),
+        }
+    }
+}
+
+/// What a request handler wants done with its response.
+struct Outcome {
+    /// The JSON header line (without the terminating newline).
+    frame: String,
+    /// Length-prefixed payload bytes announced by the frame.
+    payload: Vec<u8>,
+    /// Close the connection after writing.
+    close: bool,
+    /// Trip the server-wide shutdown flag after writing.
+    shutdown: bool,
+}
+
+impl Outcome {
+    fn reply(frame: String) -> Outcome {
+        Outcome {
+            frame,
+            payload: Vec::new(),
+            close: false,
+            shutdown: false,
+        }
+    }
+
+    fn error(code: ErrorCode, message: &str) -> Outcome {
+        Outcome::reply(error_frame(code, message))
+    }
+
+    fn closing(mut self) -> Outcome {
+        self.close = true;
+        self
+    }
+}
+
+/// Per-connection state: the extraction sessions this connection has built,
+/// keyed by their canonical configuration string.
+struct Connection {
+    shared: Arc<Shared>,
+    sessions: HashMap<String, ExtractionSession>,
+}
+
+/// Reads frames off one connection until EOF, error, or shutdown.
+fn run_connection(stream: TcpStream, shared: Arc<Shared>) {
+    let _ = stream.set_read_timeout(Some(POLL_INTERVAL));
+    let _ = stream.set_nodelay(true);
+    let mut reader = stream.try_clone().ok();
+    let mut writer = stream;
+    let mut connection = Connection {
+        shared: Arc::clone(&shared),
+        sessions: HashMap::new(),
+    };
+    let mut buf: Vec<u8> = Vec::new();
+    let mut chunk = [0u8; 4096];
+    let Some(reader) = reader.as_mut() else {
+        return;
+    };
+    'outer: loop {
+        // Drain every complete line already buffered (pipelining).
+        while let Some(newline) = buf.iter().position(|&b| b == b'\n') {
+            let line: Vec<u8> = buf.drain(..=newline).collect();
+            let line = &line[..line.len() - 1];
+            let line = match std::str::from_utf8(line) {
+                Ok(text) => text.trim_end_matches('\r'),
+                Err(_) => {
+                    let frame = error_frame(ErrorCode::BadFrame, "request line is not UTF-8");
+                    if write_frame(&mut writer, &frame, &[]).is_err() {
+                        break 'outer;
+                    }
+                    continue;
+                }
+            };
+            if line.trim().is_empty() {
+                continue;
+            }
+            shared
+                .counters
+                .requests_total
+                .fetch_add(1, Ordering::SeqCst);
+            let outcome = catch_unwind(AssertUnwindSafe(|| handle_line(&mut connection, line)))
+                .unwrap_or_else(|_| {
+                    Outcome::error(ErrorCode::Internal, "request handler panicked").closing()
+                });
+            if write_frame(&mut writer, &outcome.frame, &outcome.payload).is_err() {
+                break 'outer;
+            }
+            if outcome.shutdown {
+                shared.shutdown.store(true, Ordering::SeqCst);
+            }
+            if outcome.close || outcome.shutdown {
+                break 'outer;
+            }
+        }
+        if buf.len() >= MAX_REQUEST_BYTES {
+            let frame = error_frame(
+                ErrorCode::BadFrame,
+                &format!("request line exceeds {MAX_REQUEST_BYTES} bytes"),
+            );
+            let _ = write_frame(&mut writer, &frame, &[]);
+            break;
+        }
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        match reader.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {}
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(_) => break,
+        }
+    }
+}
+
+/// Writes one response frame (header line + optional payload) and flushes.
+fn write_frame(writer: &mut TcpStream, frame: &str, payload: &[u8]) -> std::io::Result<()> {
+    let mut bytes = Vec::with_capacity(frame.len() + 1 + payload.len());
+    bytes.extend_from_slice(frame.as_bytes());
+    bytes.push(b'\n');
+    bytes.extend_from_slice(payload);
+    writer.write_all(&bytes)?;
+    writer.flush()
+}
+
+/// Parses and dispatches one request line.
+fn handle_line(connection: &mut Connection, line: &str) -> Outcome {
+    let request = match Request::parse(line) {
+        Ok(request) => request,
+        Err(message) => return Outcome::error(ErrorCode::BadArg, &message),
+    };
+    match request.verb.as_str() {
+        "PING" => Outcome::reply("{\"ok\":true,\"verb\":\"PING\"}".to_string()),
+        "LOAD" => handle_load(connection, &request),
+        "EXTRACT" => handle_extract(connection, &request),
+        "STATS" => Outcome::reply(stats_frame(&connection.shared)),
+        "SHUTDOWN" => {
+            let mut outcome = Outcome::reply("{\"ok\":true,\"verb\":\"SHUTDOWN\"}".to_string());
+            outcome.shutdown = true;
+            outcome
+        }
+        "HOLD" if connection.shared.config.test_hooks => handle_hold(connection, &request),
+        other => Outcome::error(ErrorCode::BadVerb, &format!("unknown verb `{other}`")),
+    }
+}
+
+/// Resolves the optional `format=` argument.
+fn requested_format(request: &Request) -> Result<Option<FileFormat>, String> {
+    match request.arg("format") {
+        None => Ok(None),
+        Some(name) => {
+            FileFormat::parse(name).map_err(|_| format!("invalid value `{name}` for `format`"))
+        }
+    }
+}
+
+fn handle_load(connection: &mut Connection, request: &Request) -> Outcome {
+    let path = match request.require("path") {
+        Ok(path) => path,
+        Err(message) => return Outcome::error(ErrorCode::MissingArg, &message),
+    };
+    let format = match requested_format(request) {
+        Ok(format) => format,
+        Err(message) => return Outcome::error(ErrorCode::BadArg, &message),
+    };
+    let cache = &connection.shared.cache;
+    match cache.get_or_load(std::path::Path::new(path), format) {
+        Ok((graph, hash, hit)) => {
+            let view = graph.as_graph_ref();
+            let stats = cache.stats();
+            Outcome::reply(format!(
+                "{{\"ok\":true,\"verb\":\"LOAD\",\"graph\":\"{hash:016x}\",\
+                 \"vertices\":{},\"edges\":{},\"canonical_edges\":{},\
+                 \"cache\":\"{}\",\"resident_bytes\":{}}}",
+                view.num_vertices(),
+                view.num_edges(),
+                view.num_canonical_edges(),
+                if hit { "hit" } else { "miss" },
+                stats.resident_bytes,
+            ))
+        }
+        Err(e) => Outcome::error(ErrorCode::Io, &format!("loading {path}: {e}")),
+    }
+}
+
+/// Builds the extraction configuration named by a request's arguments and
+/// a canonical key for session reuse.
+fn request_config(
+    connection: &Connection,
+    request: &Request,
+) -> Result<(ExtractorConfig, String), String> {
+    let defaults = &connection.shared.config;
+    let algorithm =
+        Algorithm::parse(request.arg("algorithm").unwrap_or("alg1")).map_err(|e| e.to_string())?;
+    let adjacency =
+        AdjacencyMode::parse(request.arg("variant").unwrap_or("opt")).map_err(|e| e.to_string())?;
+    let semantics =
+        Semantics::parse(request.arg("semantics").unwrap_or("async")).map_err(|e| e.to_string())?;
+    let engine_name = request.arg("engine").unwrap_or(&defaults.default_engine);
+    let threads = match request.arg("threads") {
+        None => defaults.default_threads,
+        Some(v) => v
+            .parse::<usize>()
+            .map_err(|_| format!("invalid value `{v}` for `threads`"))?,
+    };
+    let partitions = match request.arg("partitions") {
+        None => 0,
+        Some(v) => v
+            .parse::<usize>()
+            .map_err(|_| format!("invalid value `{v}` for `partitions`"))?,
+    };
+    let repair = match request.arg("repair") {
+        None => request.arg("repair-strategy").is_some(),
+        Some("true") => true,
+        Some("false") => false,
+        Some(other) => return Err(format!("invalid value `{other}` for `repair`")),
+    };
+    let repair_strategy = match request.arg("repair-strategy") {
+        None => RepairStrategy::default(),
+        Some(name) => RepairStrategy::parse(name).map_err(|e| e.to_string())?,
+    };
+    let config = ExtractorConfig::default()
+        .with_algorithm(algorithm)
+        .with_adjacency(adjacency)
+        .with_semantics(semantics)
+        .with_repair(repair)
+        .with_repair_strategy(repair_strategy)
+        .with_partitions(
+            partitions,
+            chordal_core::partitioned::PartitionStrategy::Blocks,
+        )
+        .with_engine_name(engine_name, threads)
+        .map_err(|e| e.to_string())?;
+    let key = format!(
+        "{}|{:?}|{:?}|{}x{}|p{}|r{}|{:?}",
+        algorithm.name(),
+        adjacency,
+        semantics,
+        config.engine.name(),
+        threads,
+        partitions,
+        repair,
+        repair_strategy,
+    );
+    Ok((config, key))
+}
+
+fn handle_extract(connection: &mut Connection, request: &Request) -> Outcome {
+    let wait_start = Instant::now();
+    let shared = Arc::clone(&connection.shared);
+    // Admission first: a saturated server must answer before paying any
+    // cache or configuration work.
+    let Some(permit) = shared.try_acquire_inflight() else {
+        return Outcome::error(
+            ErrorCode::Overload,
+            &format!(
+                "extraction limit reached ({} in flight, {} pool workers idle)",
+                shared.config.max_inflight,
+                chordal_runtime::pool_idle_workers()
+            ),
+        );
+    };
+    let (config, session_key) = match request_config(connection, request) {
+        Ok(built) => built,
+        Err(message) => return Outcome::error(ErrorCode::BadArg, &message),
+    };
+    // Resolve the graph: resident hash, or path through the cache.
+    let (graph, hash, hit) = if let Some(hex) = request.arg("graph") {
+        let Ok(hash) = u64::from_str_radix(hex, 16) else {
+            return Outcome::error(ErrorCode::BadArg, &format!("invalid graph key `{hex}`"));
+        };
+        match shared.cache.get(hash) {
+            Some(graph) => (graph, hash, true),
+            None => {
+                return Outcome::error(
+                    ErrorCode::NotFound,
+                    &format!("graph {hash:016x} is not resident (evicted or never loaded); re-LOAD or pass path="),
+                )
+            }
+        }
+    } else {
+        let path = match request.require("path") {
+            Ok(path) => path,
+            Err(_) => {
+                return Outcome::error(
+                    ErrorCode::MissingArg,
+                    "EXTRACT needs `graph=` (resident key) or `path=` (file)",
+                )
+            }
+        };
+        let format = match requested_format(request) {
+            Ok(format) => format,
+            Err(message) => return Outcome::error(ErrorCode::BadArg, &message),
+        };
+        match shared.cache.get_or_load(std::path::Path::new(path), format) {
+            Ok(resolved) => resolved,
+            Err(e) => return Outcome::error(ErrorCode::Io, &format!("loading {path}: {e}")),
+        }
+    };
+    let payload_edges = match request.arg("payload") {
+        None | Some("none") => false,
+        Some("edges") => true,
+        Some(other) => {
+            return Outcome::error(
+                ErrorCode::BadArg,
+                &format!("invalid value `{other}` for `payload`"),
+            )
+        }
+    };
+    // Session reuse: one ExtractionSession per distinct configuration per
+    // connection, so repeated same-shape requests stop paying workspace
+    // growth. The map is small and bounded; overflow drops an arbitrary
+    // session (a rebuild, not an error).
+    if !connection.sessions.contains_key(&session_key)
+        && connection.sessions.len() >= MAX_SESSIONS_PER_CONNECTION
+    {
+        if let Some(victim) = connection.sessions.keys().next().cloned() {
+            connection.sessions.remove(&victim);
+        }
+    }
+    let session = connection
+        .sessions
+        .entry(session_key)
+        .or_insert_with(|| ExtractionSession::new(config));
+    let view = graph.as_graph_ref();
+    let wait_ns = wait_start.elapsed().as_nanos() as u64;
+    let result = session.extract(view);
+    shared
+        .counters
+        .extractions_total
+        .fetch_add(1, Ordering::SeqCst);
+    drop(permit);
+    let payload = if payload_edges {
+        let sub = edge_subgraph(view, result.edges());
+        let mut bytes = Vec::new();
+        write_edge_list(&sub, &mut bytes).expect("serialising to memory cannot fail");
+        bytes
+    } else {
+        Vec::new()
+    };
+    let mut frame = format!(
+        "{{\"ok\":true,\"verb\":\"EXTRACT\",\"graph\":\"{hash:016x}\",\
+         \"algorithm\":\"{}\",\"vertices\":{},\"canonical_edges\":{},\
+         \"chordal_edges\":{},\"iterations\":{},\"extract_ns\":{},\
+         \"wait_ns\":{wait_ns},\"cache\":\"{}\"",
+        json_escape(session.extractor_name()),
+        view.num_vertices(),
+        view.num_canonical_edges(),
+        result.num_chordal_edges(),
+        result.iterations,
+        result.extract_ns(),
+        if hit { "hit" } else { "miss" },
+    );
+    if payload_edges {
+        frame.push_str(&format!(",\"payload_bytes\":{}", payload.len()));
+    }
+    frame.push('}');
+    Outcome {
+        frame,
+        payload,
+        close: false,
+        shutdown: false,
+    }
+}
+
+/// Test hook: hold one admission permit for `ms=` milliseconds, so
+/// saturation tests are deterministic.
+fn handle_hold(connection: &mut Connection, request: &Request) -> Outcome {
+    let ms = match request.require("ms").map(|v| v.parse::<u64>()) {
+        Ok(Ok(ms)) => ms.min(10_000),
+        Ok(Err(_)) | Err(_) => return Outcome::error(ErrorCode::BadArg, "HOLD needs ms=N"),
+    };
+    let Some(permit) = connection.shared.try_acquire_inflight() else {
+        return Outcome::error(ErrorCode::Overload, "extraction limit reached");
+    };
+    std::thread::sleep(Duration::from_millis(ms));
+    drop(permit);
+    Outcome::reply(format!(
+        "{{\"ok\":true,\"verb\":\"HOLD\",\"held_ms\":{ms}}}"
+    ))
+}
+
+/// Builds the `STATS` frame: server counters, cache snapshot, pool
+/// introspection (including `idle_workers` and `tickets_dropped`, the
+/// admission-control observables).
+fn stats_frame(shared: &Arc<Shared>) -> String {
+    let c = &shared.counters;
+    let cache = shared.cache.stats();
+    let pool = chordal_runtime::pool_stats();
+    format!(
+        "{{\"ok\":true,\"verb\":\"STATS\",\
+         \"server\":{{\"sessions_active\":{},\"sessions_total\":{},\
+         \"requests_total\":{},\"extractions_total\":{},\
+         \"overloaded_total\":{},\"inflight\":{},\
+         \"max_inflight\":{},\"max_sessions\":{}}},\
+         \"cache\":{{\"entries\":{},\"resident_bytes\":{},\"budget_bytes\":{},\
+         \"hits\":{},\"misses\":{},\"evictions\":{}}},\
+         \"pool\":{{\"size\":{},\"idle_workers\":{},\"regions\":{},\
+         \"tickets\":{},\"steals\":{},\"tickets_dropped\":{}}}}}",
+        c.sessions_active.load(Ordering::SeqCst),
+        c.sessions_total.load(Ordering::SeqCst),
+        c.requests_total.load(Ordering::SeqCst),
+        c.extractions_total.load(Ordering::SeqCst),
+        c.overloaded_total.load(Ordering::SeqCst),
+        c.inflight.load(Ordering::SeqCst),
+        shared.config.max_inflight,
+        shared.config.max_sessions,
+        cache.entries,
+        cache.resident_bytes,
+        cache.budget_bytes,
+        cache.hits,
+        cache.misses,
+        cache.evictions,
+        chordal_runtime::pool_size(),
+        chordal_runtime::pool_idle_workers(),
+        pool.regions,
+        pool.tickets,
+        pool.steals,
+        pool.tickets_dropped,
+    )
+}

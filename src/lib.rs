@@ -20,6 +20,8 @@
 //!   component stitching.
 //! * [`analysis`] — clustering coefficients, shortest-path distributions,
 //!   assortativity and chordal-fraction reporting.
+//! * [`serve`] — the resident extraction service behind `chordal serve`:
+//!   TCP protocol, content-hash graph cache, admission control.
 //!
 //! ## Quick start
 //!
@@ -120,6 +122,7 @@ pub use chordal_core as core;
 pub use chordal_generators as generators;
 pub use chordal_graph as graph;
 pub use chordal_runtime as runtime;
+pub use chordal_serve as serve;
 
 pub use chordal_core::{
     extract_maximal_chordal, extract_maximal_chordal_serial, AdjacencyMode, Algorithm,
