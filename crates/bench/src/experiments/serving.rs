@@ -22,10 +22,14 @@
 //!   again, so this is the zero-parse hot path the cache exists for.
 //!
 //! Requests are assigned to clients by a fixed affine schedule, so the
-//! workload is deterministic for a given client/request count. Overloaded
-//! responses (admission control) are counted, not retried — a closed-loop
-//! client that just got told "overload" would only re-offer the same
-//! pressure.
+//! workload is deterministic for a given client/request count. Every
+//! request carries a generous `deadline_ms` bound on its admission-queue
+//! wait, and overloaded responses are retried through
+//! [`chordal_serve::RetryPolicy`] — jittered exponential backoff that
+//! honours the server's `retry_after_ms` hint — so the record reports how
+//! much retrying the hint actually caused (`retries`) next to the requests
+//! that stayed overloaded after the budget (`overloaded`) and the ones
+//! whose deadline expired in the queue (`deadline_exceeded`).
 
 use super::HarnessOptions;
 use crate::records::ServingPoint;
@@ -33,7 +37,7 @@ use crate::workloads::SUITE_SEED;
 use chordal_generators::rmat::{RmatKind, RmatParams};
 use chordal_graph::io::write_edge_list_file;
 use chordal_graph::storage::convert_edge_list_to_binary;
-use chordal_serve::{JsonValue, Response, ServeClient, ServeConfig, Server};
+use chordal_serve::{JsonValue, Response, RetryPolicy, ServeClient, ServeConfig, Server};
 use std::path::PathBuf;
 use std::time::Instant;
 
@@ -48,12 +52,16 @@ impl Drop for ScratchFiles {
     }
 }
 
-/// What one client measured for one request.
+/// What one client measured for one logical request (retries included in
+/// `latency_ns` and counted in `retries`).
 struct Sample {
     latency_ns: u64,
     extract_ns: u64,
     wait_ns: u64,
+    queue_wait_ns: u64,
+    retries: u64,
     overloaded: bool,
+    deadline_exceeded: bool,
 }
 
 /// Cache/pool counters snapshotted through `STATS`.
@@ -106,15 +114,24 @@ fn drive(
                     let mut conn = ServeClient::connect(addr).expect("connecting load client");
                     // One warm-up request builds the connection's session.
                     let _ = conn.request(&request_line(client, 0));
+                    // Per-client retry policy, seeded by client id so the
+                    // jitter schedule is deterministic per run shape.
+                    let policy = RetryPolicy {
+                        seed: 0xbe7c_0000 + client as u64,
+                        ..RetryPolicy::default()
+                    };
                     let mut samples = Vec::with_capacity(requests_per_client);
                     for index in 0..requests_per_client {
                         let line = request_line(client, index);
                         let start = Instant::now();
-                        let response = conn.request(&line).expect("load request");
+                        let (response, attempts) = conn
+                            .request_with_retry(&line, &policy)
+                            .expect("load request");
                         let latency_ns = start.elapsed().as_nanos() as u64;
                         let overloaded = response.code() == Some("overload");
+                        let deadline_exceeded = response.code() == Some("deadline-exceeded");
                         assert!(
-                            response.ok() || overloaded,
+                            response.ok() || overloaded || deadline_exceeded,
                             "unexpected serving failure: {}",
                             response.raw
                         );
@@ -122,7 +139,10 @@ fn drive(
                             latency_ns,
                             extract_ns: response.u64_field("extract_ns").unwrap_or(0),
                             wait_ns: response.u64_field("wait_ns").unwrap_or(0),
+                            queue_wait_ns: response.u64_field("queue_wait_ns").unwrap_or(0),
+                            retries: u64::from(attempts.saturating_sub(1)),
                             overloaded,
+                            deadline_exceeded,
                         });
                     }
                     samples
@@ -138,9 +158,14 @@ fn drive(
 
 /// Folds raw samples + counter deltas into one record.
 fn point(workload: &str, clients: usize, samples: &[Sample], delta: Counters) -> ServingPoint {
-    let ok: Vec<&Sample> = samples.iter().filter(|s| !s.overloaded).collect();
+    let ok: Vec<&Sample> = samples
+        .iter()
+        .filter(|s| !s.overloaded && !s.deadline_exceeded)
+        .collect();
     let mut latencies: Vec<u64> = ok.iter().map(|s| s.latency_ns).collect();
     latencies.sort_unstable();
+    let mut queue_waits: Vec<u64> = ok.iter().map(|s| s.queue_wait_ns).collect();
+    queue_waits.sort_unstable();
     let mean = |f: fn(&Sample) -> u64| {
         if ok.is_empty() {
             0
@@ -155,11 +180,15 @@ fn point(workload: &str, clients: usize, samples: &[Sample], delta: Counters) ->
         requests: samples.len() as u64,
         ok: ok.len() as u64,
         overloaded: samples.iter().filter(|s| s.overloaded).count() as u64,
+        deadline_exceeded: samples.iter().filter(|s| s.deadline_exceeded).count() as u64,
+        retries: samples.iter().map(|s| s.retries).sum(),
         p50_ns: percentile(&latencies, 50),
         p95_ns: percentile(&latencies, 95),
         p99_ns: percentile(&latencies, 99),
         mean_extract_ns: mean(|s| s.extract_ns),
         mean_wait_ns: mean(|s| s.wait_ns),
+        mean_queue_wait_ns: mean(|s| s.queue_wait_ns),
+        p95_queue_wait_ns: percentile(&queue_waits, 95),
         cache_hits: delta.cache_hits,
         cache_misses: delta.cache_misses,
         cache_evictions: delta.cache_evictions,
@@ -217,7 +246,7 @@ pub fn run(options: &HarnessOptions) -> Vec<ServingPoint> {
     let before = snapshot(&mut control);
     let samples = drive(addr, clients, requests_per_client, |client, index| {
         format!(
-            "EXTRACT path={} algorithm=alg1 semantics=sync",
+            "EXTRACT path={} algorithm=alg1 semantics=sync deadline_ms=30000",
             paths[pick(client, index)].display()
         )
     });
@@ -248,7 +277,7 @@ pub fn run(options: &HarnessOptions) -> Vec<ServingPoint> {
     let before = snapshot(&mut control);
     let samples = drive(addr, clients, requests_per_client, |client, index| {
         format!(
-            "EXTRACT graph={} algorithm=alg1 semantics=sync",
+            "EXTRACT graph={} algorithm=alg1 semantics=sync deadline_ms=30000",
             hashes[pick(client, index)]
         )
     });
@@ -273,31 +302,37 @@ pub fn run_and_print(options: &HarnessOptions) -> Vec<ServingPoint> {
     println!("Serving: closed-loop load against the resident extraction service");
     let points = run(options);
     println!(
-        "  {:<10} {:>7} {:>9} {:>6} {:>9} {:>12} {:>12} {:>12} {:>12} {:>12}",
+        "  {:<10} {:>7} {:>9} {:>6} {:>9} {:>8} {:>8} {:>12} {:>12} {:>12} {:>12} {:>12} {:>12}",
         "workload",
         "clients",
         "requests",
         "ok",
         "overload",
+        "expired",
+        "retries",
         "p50(ns)",
         "p95(ns)",
         "p99(ns)",
         "extract(ns)",
-        "wait(ns)"
+        "wait(ns)",
+        "queue(ns)"
     );
     for p in &points {
         println!(
-            "  {:<10} {:>7} {:>9} {:>6} {:>9} {:>12} {:>12} {:>12} {:>12} {:>12}",
+            "  {:<10} {:>7} {:>9} {:>6} {:>9} {:>8} {:>8} {:>12} {:>12} {:>12} {:>12} {:>12} {:>12}",
             p.workload,
             p.clients,
             p.requests,
             p.ok,
             p.overloaded,
+            p.deadline_exceeded,
+            p.retries,
             p.p50_ns,
             p.p95_ns,
             p.p99_ns,
             p.mean_extract_ns,
-            p.mean_wait_ns
+            p.mean_wait_ns,
+            p.mean_queue_wait_ns
         );
         println!(
             "  {:<10} cache: {} hits / {} misses / {} evictions; pool: {} tickets dropped",
@@ -322,12 +357,19 @@ mod tests {
         let resident = points.iter().find(|p| p.workload == "resident").unwrap();
         for p in &points {
             assert!(p.ok > 0, "{p:?}");
-            assert_eq!(p.requests, p.ok + p.overloaded, "{p:?}");
+            assert_eq!(
+                p.requests,
+                p.ok + p.overloaded + p.deadline_exceeded,
+                "{p:?}"
+            );
             assert!(p.p50_ns <= p.p95_ns && p.p95_ns <= p.p99_ns, "{p:?}");
             assert!(p.p50_ns > 0, "{p:?}");
             let json = p.to_json();
             assert!(json.contains("\"experiment\":\"serving\""));
             assert!(json.contains("\"p99_ns\":"));
+            assert!(json.contains("\"mean_queue_wait_ns\":"));
+            assert!(json.contains("\"deadline_exceeded\":"));
+            assert!(json.contains("\"retries\":"));
         }
         // The paths workload pays the initial loads; the resident workload
         // never misses (all its graphs were LOADed up front).

@@ -229,8 +229,14 @@ pub struct ServingPoint {
     pub requests: u64,
     /// Requests answered `ok`.
     pub ok: u64,
-    /// Requests answered `overload` by admission control.
+    /// Requests answered `overload` by admission control even after the
+    /// client retry policy was exhausted.
     pub overloaded: u64,
+    /// Requests whose `deadline_ms` expired in the admission queue.
+    pub deadline_exceeded: u64,
+    /// Overload retries the closed-loop clients performed (server
+    /// `retry_after_ms` hints honoured with jittered backoff).
+    pub retries: u64,
     /// Median end-to-end request latency, nanoseconds.
     pub p50_ns: u64,
     /// 95th-percentile end-to-end request latency, nanoseconds.
@@ -242,6 +248,11 @@ pub struct ServingPoint {
     /// Mean server-side pre-extraction time (`wait_ns`: admission + cache
     /// + session setup) of ok requests.
     pub mean_wait_ns: u64,
+    /// Mean time ok requests spent parked in the admission queue
+    /// (`queue_wait_ns`).
+    pub mean_queue_wait_ns: u64,
+    /// 95th-percentile admission-queue wait of ok requests, nanoseconds.
+    pub p95_queue_wait_ns: u64,
     /// Graph-cache hits over the run (delta of server `STATS`).
     pub cache_hits: u64,
     /// Graph-cache misses over the run (delta).
@@ -262,11 +273,15 @@ impl_to_json!(ServingPoint {
     requests,
     ok,
     overloaded,
+    deadline_exceeded,
+    retries,
     p50_ns,
     p95_ns,
     p99_ns,
     mean_extract_ns,
     mean_wait_ns,
+    mean_queue_wait_ns,
+    p95_queue_wait_ns,
     cache_hits,
     cache_misses,
     cache_evictions,

@@ -15,6 +15,7 @@
 //! chordal analyze  --in graph.txt
 //! chordal verify   --graph graph.txt --subgraph chordal.txt
 //! chordal serve    [--addr 127.0.0.1:0] [--max-sessions N] [--max-inflight N]
+//!                  [--max-queue N] [--default-deadline-ms N] [--drain-timeout-ms N]
 //!                  [--cache-budget-bytes N] [--engine pool|rayon|serial] [--threads N]
 //! ```
 //!
@@ -113,6 +114,7 @@ fn print_usage() {
          \x20 analyze  --in FILE\n\
          \x20 verify   --graph FILE --subgraph FILE [--maximality N]\n\
          \x20 serve    [--addr HOST:PORT] [--max-sessions N] [--max-inflight N]\n\
+         \x20          [--max-queue N] [--default-deadline-ms N] [--drain-timeout-ms N]\n\
          \x20          [--cache-budget-bytes N] [--engine serial|pool|rayon] [--threads N]\n\
          \x20 help\n\
          \n\
@@ -480,6 +482,35 @@ fn cmd_batch(flags: &Flags) -> Result<(), ExtractError> {
     Ok(())
 }
 
+/// Set from the signal handler; the serve loop polls it and turns the
+/// signal into the same graceful drain `SHUTDOWN` performs.
+static SHUTDOWN_SIGNAL: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);
+
+extern "C" fn on_shutdown_signal(_signum: i32) {
+    // A store to an atomic is async-signal-safe; everything else (the
+    // drain itself, printing) happens on the main thread.
+    SHUTDOWN_SIGNAL.store(true, std::sync::atomic::Ordering::SeqCst);
+}
+
+#[cfg(unix)]
+fn install_shutdown_signal_handlers() {
+    // Minimal libc binding — std already links libc on unix, so no new
+    // dependency. `signal` is sufficient here: the handler only stores a
+    // flag, so SA_RESTART semantics don't matter.
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    unsafe {
+        signal(SIGINT, on_shutdown_signal as *const () as usize);
+        signal(SIGTERM, on_shutdown_signal as *const () as usize);
+    }
+}
+
+#[cfg(not(unix))]
+fn install_shutdown_signal_handlers() {}
+
 fn cmd_serve(flags: &Flags) -> Result<(), ExtractError> {
     let defaults = ServeConfig::default();
     let config = ServeConfig {
@@ -489,6 +520,14 @@ fn cmd_serve(flags: &Flags) -> Result<(), ExtractError> {
             .unwrap_or_else(|| defaults.addr.clone()),
         max_sessions: parse_number(flags, "max-sessions", defaults.max_sessions)?,
         max_inflight: parse_number(flags, "max-inflight", defaults.max_inflight)?,
+        // `--max-queue 0` is legal: bounce-only admission, no queueing.
+        max_queue: parse_number(flags, "max-queue", defaults.max_queue)?,
+        default_deadline_ms: parse_number(
+            flags,
+            "default-deadline-ms",
+            defaults.default_deadline_ms,
+        )?,
+        drain_timeout_ms: parse_number(flags, "drain-timeout-ms", defaults.drain_timeout_ms)?,
         cache_budget_bytes: parse_number(flags, "cache-budget-bytes", defaults.cache_budget_bytes)?,
         default_engine: flags
             .get("engine")
@@ -508,6 +547,7 @@ fn cmd_serve(flags: &Flags) -> Result<(), ExtractError> {
     // Validate the default engine spelling up front rather than on the
     // first EXTRACT of every connection.
     ExtractorConfig::default().with_engine_name(&config.default_engine, config.default_threads)?;
+    install_shutdown_signal_handlers();
     let mut handle =
         chordal_serve::Server::start(config).map_err(|e| ExtractError::io("starting server", e))?;
     // Scripted clients read this line to learn the bound port (`--addr`
@@ -516,8 +556,16 @@ fn cmd_serve(flags: &Flags) -> Result<(), ExtractError> {
     use std::io::Write as _;
     let _ = std::io::stdout().flush();
     while !handle.is_shut_down() {
+        if SHUTDOWN_SIGNAL.load(std::sync::atomic::Ordering::SeqCst) {
+            println!("signal received, draining");
+            let _ = std::io::stdout().flush();
+            break;
+        }
         std::thread::sleep(std::time::Duration::from_millis(100));
     }
+    // Either path ends in the same graceful drain: stop accepting, wait up
+    // to --drain-timeout-ms for queued and in-flight requests, answer any
+    // straggler, then close.
     handle.shutdown();
     println!("server stopped");
     Ok(())

@@ -24,6 +24,15 @@
 //!   forbid serving big graphs) and becomes the first eviction candidate.
 //!   Eviction drops the cache's `Arc`; sessions mid-extraction on the
 //!   evicted graph keep it alive through theirs until they finish.
+//! * **Verified admission.** A binary file must pass its stored FNV-1a
+//!   section checksum before it is admitted: `load_graph` validates
+//!   structure only (offsets monotone, counts consistent), so a bit flip
+//!   in the adjacency section would otherwise be served silently forever.
+//!   A failed check quarantines the entry — any resident copy under the
+//!   header-claimed hash is evicted, the `corruptions` counter is bumped,
+//!   and the caller gets [`CacheError::Corrupt`] (the wire `corrupt` code)
+//!   instead of garbage bytes. Resident *hits* skip re-verification: an
+//!   entry can only have become resident by passing the check.
 
 use chordal_graph::storage::{
     content_hash, content_hash_from_header, detect_format, load_graph, FileFormat, Header,
@@ -34,6 +43,42 @@ use std::collections::HashMap;
 use std::io::Read;
 use std::path::Path;
 use std::sync::{Arc, Mutex};
+
+/// Why a cache resolution failed.
+#[derive(Debug)]
+pub enum CacheError {
+    /// Reading or decoding the graph file failed before any checksum work.
+    Io(GraphError),
+    /// The file's data sections do not hash to the checksum its header
+    /// claims. The entry was quarantined: any resident copy under the
+    /// claimed content hash was evicted and the corruption counter bumped.
+    Corrupt {
+        /// The content hash the (untrusted) header claimed.
+        claimed_hash: u64,
+        /// What the verification found.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for CacheError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CacheError::Io(e) => write!(f, "{e}"),
+            CacheError::Corrupt {
+                claimed_hash,
+                message,
+            } => {
+                write!(f, "graph {claimed_hash:016x} is corrupt: {message}")
+            }
+        }
+    }
+}
+
+impl From<GraphError> for CacheError {
+    fn from(e: GraphError) -> Self {
+        CacheError::Io(e)
+    }
+}
 
 /// Counters and occupancy of a [`GraphCache`], as one consistent snapshot.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -50,6 +95,8 @@ pub struct CacheStats {
     pub misses: u64,
     /// Entries evicted to keep residency within budget.
     pub evictions: u64,
+    /// Checksum failures detected on admission (each one quarantined).
+    pub corruptions: u64,
 }
 
 /// One resident graph.
@@ -67,12 +114,16 @@ struct Inner {
     hits: u64,
     misses: u64,
     evictions: u64,
+    corruptions: u64,
 }
 
 /// A bounded, shared, content-hash-keyed graph cache.
 pub struct GraphCache {
     inner: Mutex<Inner>,
     budget_bytes: usize,
+    /// Fault injection: the next N admissions are treated as corrupt.
+    #[cfg(any(test, feature = "fault-injection"))]
+    armed_corruptions: std::sync::atomic::AtomicU64,
 }
 
 /// Estimated resident footprint of a loaded graph: the mapped file length
@@ -114,8 +165,46 @@ impl GraphCache {
                 hits: 0,
                 misses: 0,
                 evictions: 0,
+                corruptions: 0,
             }),
             budget_bytes,
+            #[cfg(any(test, feature = "fault-injection"))]
+            armed_corruptions: std::sync::atomic::AtomicU64::new(0),
+        }
+    }
+
+    /// Fault injection: treat the next `n` path resolutions as corrupt —
+    /// each quarantines like a real checksum failure (resident copy
+    /// evicted, counter bumped, `corrupt` answered).
+    #[cfg(any(test, feature = "fault-injection"))]
+    pub fn arm_corruption(&self, n: u64) {
+        self.armed_corruptions
+            .fetch_add(n, std::sync::atomic::Ordering::SeqCst);
+    }
+
+    /// Consumes one armed forced corruption, if any.
+    #[cfg(any(test, feature = "fault-injection"))]
+    fn take_armed_corruption(&self) -> bool {
+        self.armed_corruptions
+            .fetch_update(
+                std::sync::atomic::Ordering::SeqCst,
+                std::sync::atomic::Ordering::SeqCst,
+                |n| n.checked_sub(1),
+            )
+            .is_ok()
+    }
+
+    /// Quarantines `hash`: evicts any resident copy and counts the
+    /// corruption. Returns a [`CacheError::Corrupt`] describing it.
+    fn quarantine(&self, hash: u64, message: String) -> CacheError {
+        let mut inner = self.inner.lock().expect("cache lock");
+        if let Some(entry) = inner.map.remove(&hash) {
+            inner.resident_bytes -= entry.bytes;
+        }
+        inner.corruptions += 1;
+        CacheError::Corrupt {
+            claimed_hash: hash,
+            message,
         }
     }
 
@@ -141,17 +230,30 @@ impl GraphCache {
 
     /// Resolves a path through the cache: derive the content hash as
     /// cheaply as the format allows, return the resident entry on a hit,
-    /// load + insert + evict-to-budget on a miss. Returns the graph, its
-    /// content hash, and whether the lookup hit.
+    /// verify + load + insert + evict-to-budget on a miss. Returns the
+    /// graph, its content hash, and whether the lookup hit.
     pub fn get_or_load(
         &self,
         path: &Path,
         format: Option<FileFormat>,
-    ) -> Result<(Arc<LoadedGraph>, u64, bool), GraphError> {
+    ) -> Result<(Arc<LoadedGraph>, u64, bool), CacheError> {
         let format = match format {
             Some(f) => f,
             None => detect_format(path)?,
         };
+        // Fault injection: a forced corruption behaves exactly like a real
+        // checksum failure on this path — quarantine and answer `corrupt`.
+        #[cfg(any(test, feature = "fault-injection"))]
+        if self.take_armed_corruption() {
+            let hash = if format == FileFormat::Binary {
+                binary_header(path)
+                    .map(|h| content_hash_from_header(&h))
+                    .unwrap_or(0)
+            } else {
+                0
+            };
+            return Err(self.quarantine(hash, "injected cache corruption".to_string()));
+        }
         // Binary fast path: the content hash is a function of the header,
         // so a resident graph costs one 48-byte read — no section parse,
         // no second mmap. A fast-path lookup that comes up empty already
@@ -168,6 +270,16 @@ impl GraphCache {
             }
         }
         let loaded = load_graph(path, Some(format))?;
+        // Admission gate: a mapped binary graph must hash to the checksum
+        // its header claims before anything downstream may trust it.
+        // `load_graph` validated structure only; this pass covers the data
+        // sections a bit flip would silently poison.
+        if let LoadedGraph::Mapped(m) = &loaded {
+            if let Err(e) = m.verify_checksum() {
+                let claimed = content_hash_from_header(m.header());
+                return Err(self.quarantine(claimed, e.to_string()));
+            }
+        }
         let hash = content_hash(loaded.as_graph_ref());
         // The load above raced nothing (text files can't know their hash
         // before parsing), so re-check residency before inserting: another
@@ -229,6 +341,7 @@ impl GraphCache {
             hits: inner.hits,
             misses: inner.misses,
             evictions: inner.evictions,
+            corruptions: inner.corruptions,
         }
     }
 }
@@ -308,6 +421,61 @@ mod tests {
         // The least recently used entry (the first) is the one gone.
         assert!(cache.get(hashes[0]).is_none());
         assert!(cache.get(hashes[2]).is_some());
+    }
+
+    #[test]
+    fn corrupt_binary_is_rejected_on_admission_and_never_cached() {
+        let mut scratch = Scratch(Vec::new());
+        let (_, bin) = write_pair(&mut scratch, "flip", 7, 21);
+        // Flip one adjacency byte: the header (and so the claimed content
+        // hash) still parses, only the section checksum can catch it.
+        let mut bytes = std::fs::read(&bin).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x55;
+        std::fs::write(&bin, &bytes).unwrap();
+        let cache = GraphCache::new(usize::MAX);
+        match cache.get_or_load(&bin, None) {
+            Err(CacheError::Corrupt { claimed_hash, .. }) => {
+                assert_ne!(claimed_hash, 0);
+                assert!(
+                    cache.get(claimed_hash).is_none(),
+                    "a corrupt graph must not become resident"
+                );
+            }
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.corruptions, 1);
+        assert_eq!(stats.entries, 0);
+        // Deterministic: the same file fails the same way.
+        assert!(matches!(
+            cache.get_or_load(&bin, None),
+            Err(CacheError::Corrupt { .. })
+        ));
+        assert_eq!(cache.stats().corruptions, 2);
+    }
+
+    #[test]
+    fn forced_corruption_quarantines_the_resident_entry_then_readmits() {
+        let mut scratch = Scratch(Vec::new());
+        let (_, bin) = write_pair(&mut scratch, "armed", 7, 22);
+        let cache = GraphCache::new(usize::MAX);
+        let (_, hash, _) = cache.get_or_load(&bin, None).unwrap();
+        assert!(cache.get(hash).is_some());
+        cache.arm_corruption(1);
+        match cache.get_or_load(&bin, None) {
+            Err(CacheError::Corrupt { claimed_hash, .. }) => assert_eq!(claimed_hash, hash),
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+        assert!(
+            cache.get(hash).is_none(),
+            "quarantine must evict the resident copy"
+        );
+        assert_eq!(cache.stats().corruptions, 1);
+        // The fault was one-shot: the (healthy) file re-admits cleanly.
+        let (_, rehash, hit) = cache.get_or_load(&bin, None).unwrap();
+        assert_eq!(rehash, hash);
+        assert!(!hit);
     }
 
     #[test]

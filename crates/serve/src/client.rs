@@ -5,10 +5,58 @@
 //! requests are answered in order, so a client is also the natural unit
 //! of closed-loop load (send, wait, repeat).
 
-use crate::protocol::JsonValue;
+use crate::protocol::{splitmix64, JsonValue};
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
+
+/// Back-off policy for [`ServeClient::request_with_retry`].
+///
+/// Retries apply to `overload` responses only — every other failure
+/// (including `deadline-exceeded`) is the caller's decision. The delay
+/// before attempt *n* is the server's `retry_after_ms` hint when the
+/// overload frame carries one, otherwise `base_delay * 2^(n-1)`; either
+/// way it is capped at `max_delay` and stretched by up to +50% of seeded
+/// SplitMix64 jitter so a herd of rejected clients does not retry in
+/// lockstep — deterministically per seed, so load runs replay.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Total attempts, the first one included (so `1` disables retrying).
+    pub max_attempts: u32,
+    /// First-retry delay for the exponential fallback schedule.
+    pub base_delay: Duration,
+    /// Upper bound on any single delay, hinted or computed.
+    pub max_delay: Duration,
+    /// Seed of the jitter stream.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 4,
+            base_delay: Duration::from_millis(10),
+            max_delay: Duration::from_millis(500),
+            seed: 0x5eed,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The delay before retry `attempt` (1-based), given the server's
+    /// optional `retry_after_ms` hint. Pure: same inputs and jitter state,
+    /// same delay.
+    fn delay(&self, attempt: u32, hint_ms: Option<u64>, jitter_state: &mut u64) -> Duration {
+        let base = match hint_ms {
+            Some(ms) => Duration::from_millis(ms),
+            None => self.base_delay * 2u32.saturating_pow(attempt.saturating_sub(1)),
+        };
+        let base = base.min(self.max_delay);
+        // Up to +50% jitter, in per-mille steps.
+        let jitter_pm = splitmix64(jitter_state) % 500;
+        base + base.mul_f64(jitter_pm as f64 / 1000.0)
+    }
+}
 
 /// One decoded response frame: the parsed JSON header plus the raw payload
 /// bytes (empty unless the header announced `payload_bytes`).
@@ -70,6 +118,29 @@ impl ServeClient {
     pub fn request(&mut self, line: &str) -> std::io::Result<Response> {
         self.send_line(line)?;
         self.read_response()
+    }
+
+    /// Like [`ServeClient::request`], but retries `overload` responses
+    /// under `policy`, honoring the server's `retry_after_ms` hint when
+    /// present. Returns the final response plus the number of attempts
+    /// made (1 = no retry was needed). The last response is returned even
+    /// if it is still `overload` — attempts are capped, never infinite.
+    pub fn request_with_retry(
+        &mut self,
+        line: &str,
+        policy: &RetryPolicy,
+    ) -> std::io::Result<(Response, u32)> {
+        let mut jitter_state = policy.seed;
+        let mut attempt = 1;
+        loop {
+            let response = self.request(line)?;
+            if response.code() != Some("overload") || attempt >= policy.max_attempts.max(1) {
+                return Ok((response, attempt));
+            }
+            let hint = response.u64_field("retry_after_ms");
+            std::thread::sleep(policy.delay(attempt, hint, &mut jitter_state));
+            attempt += 1;
+        }
     }
 
     /// Sends one request line without waiting for the response — the

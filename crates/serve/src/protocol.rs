@@ -35,6 +35,12 @@ pub enum ErrorCode {
     Io,
     /// Admission control rejected the request.
     Overload,
+    /// The request's `deadline_ms` expired while it was queued; it never
+    /// executed.
+    DeadlineExceeded,
+    /// A graph file failed its checksum on cache admission (or a resident
+    /// entry was detected corrupt) and was quarantined.
+    Corrupt,
     /// A request handler panicked; the connection is closed.
     Internal,
 }
@@ -50,6 +56,8 @@ impl ErrorCode {
             ErrorCode::NotFound => "not-found",
             ErrorCode::Io => "io",
             ErrorCode::Overload => "overload",
+            ErrorCode::DeadlineExceeded => "deadline-exceeded",
+            ErrorCode::Corrupt => "corrupt",
             ErrorCode::Internal => "internal",
         }
     }
@@ -116,11 +124,34 @@ pub fn json_escape(s: &str) -> String {
 
 /// Builds one error frame: `{"ok":false,"code":...,"error":...}`.
 pub fn error_frame(code: ErrorCode, message: &str) -> String {
-    format!(
-        "{{\"ok\":false,\"code\":\"{}\",\"error\":\"{}\"}}",
+    error_frame_with(code, message, &[])
+}
+
+/// Builds one error frame carrying extra numeric fields, e.g. the
+/// `retry_after_ms` hint on `overload` or `queue_wait_ns` on
+/// `deadline-exceeded`.
+pub fn error_frame_with(code: ErrorCode, message: &str, extra: &[(&str, u64)]) -> String {
+    let mut frame = format!(
+        "{{\"ok\":false,\"code\":\"{}\",\"error\":\"{}\"",
         code.as_str(),
         json_escape(message)
-    )
+    );
+    for (key, value) in extra {
+        frame.push_str(&format!(",\"{key}\":{value}"));
+    }
+    frame.push('}');
+    frame
+}
+
+/// SplitMix64: the seeded deterministic sequence shared by the client's
+/// retry jitter and the fault injector's probabilistic schedule. Mutates
+/// the state in place and returns the next draw.
+pub(crate) fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
 }
 
 /// A parsed JSON value — the minimal reader for response frames.
@@ -390,6 +421,33 @@ mod tests {
             parsed.get("error").unwrap().as_str(),
             Some("value \"x\"\nbroke")
         );
+    }
+
+    #[test]
+    fn error_frames_carry_extra_numeric_fields() {
+        let frame = error_frame_with(
+            ErrorCode::DeadlineExceeded,
+            "deadline passed",
+            &[("queue_wait_ns", 1234), ("deadline_ms", 5)],
+        );
+        let parsed = JsonValue::parse(&frame).unwrap();
+        assert_eq!(
+            parsed.get("code").unwrap().as_str(),
+            Some("deadline-exceeded")
+        );
+        assert_eq!(parsed.get("queue_wait_ns").unwrap().as_u64(), Some(1234));
+        assert_eq!(parsed.get("deadline_ms").unwrap().as_u64(), Some(5));
+    }
+
+    #[test]
+    fn splitmix64_is_deterministic_per_seed() {
+        let mut a = 42;
+        let mut b = 42;
+        let first: Vec<u64> = (0..8).map(|_| splitmix64(&mut a)).collect();
+        let second: Vec<u64> = (0..8).map(|_| splitmix64(&mut b)).collect();
+        assert_eq!(first, second);
+        let mut c = 43;
+        assert_ne!(first[0], splitmix64(&mut c), "seeds must diverge");
     }
 
     #[test]

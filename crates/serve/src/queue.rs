@@ -1,0 +1,392 @@
+//! Deadline-aware admission queueing: the bounded FIFO wait queue behind
+//! the `max_inflight` extraction gate.
+//!
+//! PR 7's admission control was admission-or-bounce: a full permit set
+//! answered `overload` immediately, so a burst one request beyond
+//! `max_inflight` thrashed clients into retry loops even though the server
+//! would have been free a few milliseconds later. [`AdmissionQueue`]
+//! replaces the bare CAS counter with a condvar-parked wait queue:
+//!
+//! * A request that finds a free permit (and nobody already waiting) takes
+//!   it immediately — the uncontended path is one mutex acquisition, no
+//!   parking.
+//! * A request that finds the server saturated parks in a strict FIFO
+//!   queue (tickets are monotonically numbered; only the front ticket may
+//!   take a freed permit) bounded by `max_queue`. Only a *full queue*
+//!   answers `overload` now.
+//! * A parked request carries an optional deadline. When the deadline
+//!   passes before a permit frees, the request is removed from the queue
+//!   and answered with a typed `deadline-exceeded` error carrying the time
+//!   it spent queued — it never executes. The deadline bounds *queue wait*
+//!   only; once a permit is granted the request runs to completion.
+//! * Shutdown is graceful: [`AdmissionQueue::drain`] waits for the queue
+//!   and all in-flight permits to empty (the drain phase), and
+//!   [`AdmissionQueue::halt`] wakes any stragglers past the drain deadline
+//!   with a shutting-down rejection so every queued request is answered
+//!   before sockets close.
+//!
+//! Permit release is panic-safe by construction: the server wraps the
+//! grant in an RAII guard, so a request handler that panics releases its
+//! permit during unwinding and the next FIFO waiter is woken — a poisoned
+//! request cannot poison the queue. (No queue mutex is ever held across
+//! user code, so `std` mutex poisoning is unreachable here.)
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Why [`AdmissionQueue::acquire`] did not grant a permit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AcquireError {
+    /// The wait queue is at `max_queue`; the request was never enqueued.
+    QueueFull {
+        /// Queue occupancy observed at rejection (== `max_queue`).
+        queue_depth: usize,
+    },
+    /// The request's deadline passed while it was parked in the queue.
+    DeadlineExceeded {
+        /// Time the request spent queued before expiring.
+        waited_ns: u64,
+    },
+    /// The server is past its drain deadline (or already halted); queued
+    /// requests are being answered and no new work is admitted.
+    ShuttingDown {
+        /// Time the request spent queued before the halt woke it.
+        waited_ns: u64,
+    },
+}
+
+/// One consistent snapshot of the queue counters (the `STATS` fields).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct QueueStats {
+    /// Permits currently held.
+    pub inflight: usize,
+    /// Requests currently parked in the wait queue.
+    pub queue_depth: usize,
+    /// Requests that ever had to park (monotonic).
+    pub queue_waits: u64,
+    /// Requests whose deadline expired while queued (monotonic).
+    pub deadline_expired: u64,
+    /// Longest observed queue wait, nanoseconds (monotonic maximum; counts
+    /// expired waits too).
+    pub max_queue_wait_ns: u64,
+}
+
+/// Mutable queue state behind the one lock.
+struct State {
+    inflight: usize,
+    /// FIFO of waiting ticket numbers; the front ticket is next in line.
+    waiters: VecDeque<u64>,
+    next_ticket: u64,
+    halted: bool,
+    queue_waits: u64,
+    deadline_expired: u64,
+    max_queue_wait_ns: u64,
+}
+
+/// The bounded FIFO admission queue (see the module docs).
+pub struct AdmissionQueue {
+    max_inflight: usize,
+    max_queue: usize,
+    state: Mutex<State>,
+    cond: Condvar,
+}
+
+impl AdmissionQueue {
+    /// Creates a queue granting at most `max_inflight` concurrent permits
+    /// and parking at most `max_queue` waiters. `max_queue == 0` restores
+    /// the PR 7 bounce-only behaviour (any saturated request is rejected).
+    pub fn new(max_inflight: usize, max_queue: usize) -> Self {
+        AdmissionQueue {
+            max_inflight,
+            max_queue,
+            state: Mutex::new(State {
+                inflight: 0,
+                waiters: VecDeque::new(),
+                next_ticket: 0,
+                halted: false,
+                queue_waits: 0,
+                deadline_expired: 0,
+                max_queue_wait_ns: 0,
+            }),
+            cond: Condvar::new(),
+        }
+    }
+
+    /// Acquires one permit, parking FIFO behind earlier waiters when the
+    /// server is saturated. Returns the nanoseconds spent queued (0 on the
+    /// uncontended path). `deadline` bounds the queue wait only.
+    ///
+    /// The caller owns the permit on `Ok` and must pair it with exactly
+    /// one [`AdmissionQueue::release`] (the server wraps this in an RAII
+    /// guard).
+    pub fn acquire(&self, deadline: Option<Instant>) -> Result<u64, AcquireError> {
+        let mut state = self.state.lock().expect("admission queue lock");
+        if state.halted {
+            return Err(AcquireError::ShuttingDown { waited_ns: 0 });
+        }
+        // Uncontended: free permit and nobody queued ahead of us.
+        if state.waiters.is_empty() && state.inflight < self.max_inflight {
+            state.inflight += 1;
+            return Ok(0);
+        }
+        if state.waiters.len() >= self.max_queue {
+            return Err(AcquireError::QueueFull {
+                queue_depth: state.waiters.len(),
+            });
+        }
+        let ticket = state.next_ticket;
+        state.next_ticket += 1;
+        state.waiters.push_back(ticket);
+        state.queue_waits += 1;
+        let start = Instant::now();
+        loop {
+            if state.halted {
+                let waited_ns = Self::leave_queue(&mut state, ticket, start);
+                self.cond.notify_all();
+                return Err(AcquireError::ShuttingDown { waited_ns });
+            }
+            if state.waiters.front() == Some(&ticket) && state.inflight < self.max_inflight {
+                state.waiters.pop_front();
+                state.inflight += 1;
+                let waited_ns = start.elapsed().as_nanos() as u64;
+                state.max_queue_wait_ns = state.max_queue_wait_ns.max(waited_ns);
+                // The new front waiter may also be grantable (releases can
+                // outpace grants); pass the wakeup along.
+                self.cond.notify_all();
+                return Ok(waited_ns);
+            }
+            match deadline {
+                Some(d) => {
+                    let now = Instant::now();
+                    if now >= d {
+                        let waited_ns = Self::leave_queue(&mut state, ticket, start);
+                        state.deadline_expired += 1;
+                        // Our departure may have promoted the next waiter
+                        // to the front; let it re-check.
+                        self.cond.notify_all();
+                        return Err(AcquireError::DeadlineExceeded { waited_ns });
+                    }
+                    let (guard, _) = self
+                        .cond
+                        .wait_timeout(state, d - now)
+                        .expect("admission queue lock");
+                    state = guard;
+                }
+                None => {
+                    state = self.cond.wait(state).expect("admission queue lock");
+                }
+            }
+        }
+    }
+
+    /// Removes `ticket` from wherever it sits in the queue and records its
+    /// wait time; returns the nanoseconds it was parked.
+    fn leave_queue(state: &mut State, ticket: u64, start: Instant) -> u64 {
+        state.waiters.retain(|&t| t != ticket);
+        let waited_ns = start.elapsed().as_nanos() as u64;
+        state.max_queue_wait_ns = state.max_queue_wait_ns.max(waited_ns);
+        waited_ns
+    }
+
+    /// Returns one permit and wakes the front waiter (and the drain
+    /// watcher, which shares the condvar).
+    pub fn release(&self) {
+        let mut state = self.state.lock().expect("admission queue lock");
+        debug_assert!(state.inflight > 0, "release without a matching acquire");
+        state.inflight = state.inflight.saturating_sub(1);
+        drop(state);
+        self.cond.notify_all();
+    }
+
+    /// Waits up to `timeout` for every queued and in-flight request to
+    /// finish. Returns whether the queue fully drained.
+    pub fn drain(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        let mut state = self.state.lock().expect("admission queue lock");
+        loop {
+            if state.inflight == 0 && state.waiters.is_empty() {
+                return true;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return false;
+            }
+            // Cap each wait so a missed notification cannot stall the
+            // drain watcher past its deadline.
+            let step = (deadline - now).min(Duration::from_millis(50));
+            let (guard, _) = self
+                .cond
+                .wait_timeout(state, step)
+                .expect("admission queue lock");
+            state = guard;
+        }
+    }
+
+    /// Trips the hard stop: every parked waiter is woken and answered
+    /// [`AcquireError::ShuttingDown`], and future acquires are rejected
+    /// the same way. Idempotent.
+    pub fn halt(&self) {
+        let mut state = self.state.lock().expect("admission queue lock");
+        state.halted = true;
+        drop(state);
+        self.cond.notify_all();
+    }
+
+    /// A consistent snapshot of the queue counters.
+    pub fn stats(&self) -> QueueStats {
+        let state = self.state.lock().expect("admission queue lock");
+        QueueStats {
+            inflight: state.inflight,
+            queue_depth: state.waiters.len(),
+            queue_waits: state.queue_waits,
+            deadline_expired: state.deadline_expired,
+            max_queue_wait_ns: state.max_queue_wait_ns,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn uncontended_acquires_do_not_wait() {
+        let q = AdmissionQueue::new(2, 4);
+        assert_eq!(q.acquire(None), Ok(0));
+        assert_eq!(q.acquire(None), Ok(0));
+        let stats = q.stats();
+        assert_eq!(stats.inflight, 2);
+        assert_eq!(stats.queue_waits, 0);
+        q.release();
+        q.release();
+        assert_eq!(q.stats().inflight, 0);
+    }
+
+    #[test]
+    fn full_queue_rejects_without_enqueueing() {
+        let q = AdmissionQueue::new(1, 0);
+        assert_eq!(q.acquire(None), Ok(0));
+        assert_eq!(
+            q.acquire(None),
+            Err(AcquireError::QueueFull { queue_depth: 0 })
+        );
+        // The rejection never counted as a wait.
+        assert_eq!(q.stats().queue_waits, 0);
+        q.release();
+    }
+
+    #[test]
+    fn deadline_expires_a_parked_waiter_with_its_wait_time() {
+        let q = AdmissionQueue::new(1, 4);
+        assert_eq!(q.acquire(None), Ok(0));
+        let start = Instant::now();
+        let err = q
+            .acquire(Some(Instant::now() + Duration::from_millis(40)))
+            .unwrap_err();
+        let elapsed = start.elapsed();
+        match err {
+            AcquireError::DeadlineExceeded { waited_ns } => {
+                assert!(waited_ns >= 35_000_000, "waited only {waited_ns}ns");
+                assert!(elapsed >= Duration::from_millis(35));
+            }
+            other => panic!("expected DeadlineExceeded, got {other:?}"),
+        }
+        let stats = q.stats();
+        assert_eq!(stats.deadline_expired, 1);
+        assert_eq!(stats.queue_depth, 0, "expired waiters leave the queue");
+        assert!(stats.max_queue_wait_ns >= 35_000_000);
+        q.release();
+        // The permit is free again; a fresh acquire is uncontended.
+        assert_eq!(q.acquire(None), Ok(0));
+        q.release();
+    }
+
+    #[test]
+    fn grants_are_fifo_across_threads() {
+        let q = Arc::new(AdmissionQueue::new(1, 8));
+        assert_eq!(q.acquire(None), Ok(0)); // occupy the only permit
+        let order = Arc::new(Mutex::new(Vec::new()));
+        let parked = Arc::new(AtomicUsize::new(0));
+        std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for i in 0..4 {
+                let q = Arc::clone(&q);
+                let order = Arc::clone(&order);
+                let parked = Arc::clone(&parked);
+                // Serialise enqueue order: thread i parks only after the
+                // queue holds i waiters.
+                handles.push(scope.spawn(move || {
+                    while q.stats().queue_depth != i {
+                        std::thread::sleep(Duration::from_millis(1));
+                    }
+                    parked.fetch_add(1, Ordering::SeqCst);
+                    let waited = q.acquire(None).expect("queued acquire");
+                    assert!(waited > 0, "parked acquires report their wait");
+                    order.lock().unwrap().push(i);
+                    q.release();
+                }));
+            }
+            while q.stats().queue_depth != 4 {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            q.release(); // free the held permit: the queue drains in order
+            for h in handles {
+                h.join().unwrap();
+            }
+        });
+        assert_eq!(*order.lock().unwrap(), vec![0, 1, 2, 3]);
+        let stats = q.stats();
+        assert_eq!(stats.queue_waits, 4);
+        assert_eq!(stats.inflight, 0);
+    }
+
+    #[test]
+    fn halt_wakes_parked_waiters_and_rejects_new_ones() {
+        let q = Arc::new(AdmissionQueue::new(1, 8));
+        assert_eq!(q.acquire(None), Ok(0));
+        std::thread::scope(|scope| {
+            let waiter = {
+                let q = Arc::clone(&q);
+                scope.spawn(move || q.acquire(None))
+            };
+            while q.stats().queue_depth != 1 {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            q.halt();
+            match waiter.join().unwrap() {
+                Err(AcquireError::ShuttingDown { .. }) => {}
+                other => panic!("expected ShuttingDown, got {other:?}"),
+            }
+        });
+        assert_eq!(
+            q.acquire(None),
+            Err(AcquireError::ShuttingDown { waited_ns: 0 })
+        );
+        q.release();
+    }
+
+    #[test]
+    fn drain_waits_for_inflight_and_queued_work() {
+        let q = Arc::new(AdmissionQueue::new(1, 8));
+        assert_eq!(q.acquire(None), Ok(0));
+        assert!(!q.drain(Duration::from_millis(30)), "held permit blocks");
+        std::thread::scope(|scope| {
+            {
+                let q = Arc::clone(&q);
+                scope.spawn(move || {
+                    std::thread::sleep(Duration::from_millis(50));
+                    q.release();
+                });
+            }
+            assert!(
+                q.drain(Duration::from_secs(5)),
+                "drain must observe the release"
+            );
+        });
+        let stats = q.stats();
+        assert_eq!((stats.inflight, stats.queue_depth), (0, 0));
+    }
+}

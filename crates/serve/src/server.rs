@@ -1,5 +1,13 @@
 //! The resident TCP server: accept loop, session-per-connection threads,
-//! admission control, and the request handlers.
+//! deadline-aware admission queueing, and the request handlers.
+//!
+//! Admission is a bounded FIFO wait queue ([`crate::queue::AdmissionQueue`]):
+//! work beyond `max_inflight` parks on a condvar until a permit frees or
+//! its `deadline_ms` expires (`deadline-exceeded`), and only a full queue
+//! answers `overload`. Shutdown drains queued + in-flight requests under
+//! [`ServeConfig::drain_timeout_ms`] before closing sockets. With the
+//! `fault-injection` feature (or under test) the `FAULT` verb arms the
+//! deterministic chaos schedule in [`crate::fault`].
 //!
 //! Concurrency model: one OS thread per admitted connection (sessions are
 //! long-lived and mostly blocked on socket reads; extraction parallelism
@@ -13,8 +21,13 @@
 //! See the crate docs for the protocol specification this module
 //! implements.
 
-use crate::cache::GraphCache;
-use crate::protocol::{error_frame, json_escape, ErrorCode, Request, MAX_REQUEST_BYTES};
+use crate::cache::{CacheError, GraphCache};
+#[cfg(any(test, feature = "fault-injection"))]
+use crate::fault::{FaultInjector, FaultKind};
+use crate::protocol::{
+    error_frame, error_frame_with, json_escape, ErrorCode, Request, MAX_REQUEST_BYTES,
+};
+use crate::queue::{AcquireError, AdmissionQueue};
 use chordal_core::{
     AdjacencyMode, Algorithm, ExtractionSession, ExtractorConfig, RepairStrategy, Semantics,
 };
@@ -45,9 +58,18 @@ pub struct ServeConfig {
     /// Connections serviced concurrently; one beyond this is answered with
     /// a single `overload` frame and closed.
     pub max_sessions: usize,
-    /// Extractions running concurrently; an `EXTRACT` beyond this is
-    /// answered `overload` immediately instead of queueing.
+    /// Extractions running concurrently; work beyond this parks in the
+    /// bounded FIFO admission queue instead of being bounced.
     pub max_inflight: usize,
+    /// Requests that may wait in the admission queue at once; one beyond
+    /// this is answered `overload`. `0` restores bounce-only admission.
+    pub max_queue: usize,
+    /// Default queue-wait deadline (milliseconds) for requests that carry
+    /// no `deadline_ms=`; `0` means wait indefinitely.
+    pub default_deadline_ms: u64,
+    /// How long shutdown waits for queued + in-flight requests to finish
+    /// before force-answering the stragglers and closing sockets.
+    pub drain_timeout_ms: u64,
     /// Resident-byte budget of the graph cache.
     pub cache_budget_bytes: usize,
     /// Default execution engine for `EXTRACT` requests that name none.
@@ -70,6 +92,9 @@ impl Default for ServeConfig {
             addr: "127.0.0.1:0".to_string(),
             max_sessions: 64,
             max_inflight: threads + 1,
+            max_queue: 32,
+            default_deadline_ms: 0,
+            drain_timeout_ms: 5_000,
             cache_budget_bytes: 256 << 20,
             default_engine: "rayon".to_string(),
             default_threads: chordal_runtime::available_threads(),
@@ -85,7 +110,6 @@ struct Counters {
     requests_total: AtomicU64,
     extractions_total: AtomicU64,
     overloaded_total: AtomicU64,
-    inflight: AtomicUsize,
 }
 
 /// State shared between the accept loop and every connection thread.
@@ -94,39 +118,94 @@ struct Shared {
     shutdown: AtomicBool,
     counters: Counters,
     cache: GraphCache,
+    admission: AdmissionQueue,
+    #[cfg(any(test, feature = "fault-injection"))]
+    faults: FaultInjector,
 }
 
 impl Shared {
-    /// Tries to take one extraction permit; `None` means overloaded.
-    fn try_acquire_inflight(self: &Arc<Self>) -> Option<InflightPermit> {
-        let max = self.config.max_inflight;
-        let mut current = self.counters.inflight.load(Ordering::SeqCst);
-        loop {
-            if current >= max {
+    /// Resolves the request's queue-wait deadline: an explicit
+    /// `deadline_ms=` wins (`0` means fail fast — expire unless a permit
+    /// is free right now), otherwise the configured default applies (`0`
+    /// meaning wait indefinitely).
+    fn request_deadline(&self, request: &Request) -> Result<Option<Instant>, String> {
+        match request.arg("deadline_ms") {
+            Some(v) => {
+                let ms = v
+                    .parse::<u64>()
+                    .map_err(|_| format!("invalid value `{v}` for `deadline_ms`"))?;
+                Ok(Some(Instant::now() + Duration::from_millis(ms)))
+            }
+            None if self.config.default_deadline_ms > 0 => Ok(Some(
+                Instant::now() + Duration::from_millis(self.config.default_deadline_ms),
+            )),
+            None => Ok(None),
+        }
+    }
+
+    /// Acquires one admission permit, parking FIFO behind earlier work
+    /// when saturated. `Ok` carries the permit and the nanoseconds spent
+    /// queued; `Err` is the ready-to-send rejection frame.
+    fn acquire_permit(
+        self: &Arc<Self>,
+        request: &Request,
+    ) -> Result<(AdmissionPermit, u64), Outcome> {
+        let deadline = match self.request_deadline(request) {
+            Ok(deadline) => deadline,
+            Err(message) => return Err(Outcome::error(ErrorCode::BadArg, &message)),
+        };
+        match self.admission.acquire(deadline) {
+            Ok(waited_ns) => Ok((AdmissionPermit(Arc::clone(self)), waited_ns)),
+            Err(AcquireError::QueueFull { queue_depth }) => {
                 self.counters
                     .overloaded_total
                     .fetch_add(1, Ordering::SeqCst);
-                return None;
+                // A deterministic back-off hint: deeper queues suggest
+                // longer waits. Clients without their own policy can sleep
+                // exactly this long before retrying.
+                let retry_after_ms = ((queue_depth as u64 + 1) * 5).clamp(5, 500);
+                Err(Outcome::reply(error_frame_with(
+                    ErrorCode::Overload,
+                    &format!(
+                        "admission queue full ({queue_depth} waiting, {} in flight, {} pool workers idle)",
+                        self.config.max_inflight,
+                        chordal_runtime::pool_idle_workers()
+                    ),
+                    &[
+                        ("retry_after_ms", retry_after_ms),
+                        ("queue_depth", queue_depth as u64),
+                    ],
+                )))
             }
-            match self.counters.inflight.compare_exchange(
-                current,
-                current + 1,
-                Ordering::SeqCst,
-                Ordering::SeqCst,
-            ) {
-                Ok(_) => return Some(InflightPermit(Arc::clone(self))),
-                Err(actual) => current = actual,
+            Err(AcquireError::DeadlineExceeded { waited_ns }) => {
+                Err(Outcome::reply(error_frame_with(
+                    ErrorCode::DeadlineExceeded,
+                    "deadline expired while queued; the request did not execute",
+                    &[("queue_wait_ns", waited_ns)],
+                )))
+            }
+            Err(AcquireError::ShuttingDown { waited_ns }) => {
+                self.counters
+                    .overloaded_total
+                    .fetch_add(1, Ordering::SeqCst);
+                Err(Outcome::reply(error_frame_with(
+                    ErrorCode::Overload,
+                    "server is shutting down; the request did not execute",
+                    &[("queue_wait_ns", waited_ns)],
+                )))
             }
         }
     }
 }
 
-/// RAII extraction permit.
-struct InflightPermit(Arc<Shared>);
+/// RAII admission permit. Dropping it — normally or by panic unwinding —
+/// returns the permit and wakes the next FIFO waiter, so a panicking
+/// request handler cannot poison the queue.
+struct AdmissionPermit(Arc<Shared>);
 
-impl Drop for InflightPermit {
+impl Drop for AdmissionPermit {
     fn drop(&mut self) {
-        self.0.counters.inflight.fetch_sub(1, Ordering::SeqCst);
+        self.0.admission.release();
     }
 }
 
@@ -164,6 +243,7 @@ impl Server {
         listener.set_nonblocking(true)?;
         let shared = Arc::new(Shared {
             cache: GraphCache::new(config.cache_budget_bytes),
+            admission: AdmissionQueue::new(config.max_inflight, config.max_queue),
             config,
             shutdown: AtomicBool::new(false),
             counters: Counters {
@@ -172,8 +252,9 @@ impl Server {
                 requests_total: AtomicU64::new(0),
                 extractions_total: AtomicU64::new(0),
                 overloaded_total: AtomicU64::new(0),
-                inflight: AtomicUsize::new(0),
             },
+            #[cfg(any(test, feature = "fault-injection"))]
+            faults: FaultInjector::default(),
         });
         let connections: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>> =
             Arc::new(Mutex::new(Vec::new()));
@@ -197,12 +278,28 @@ impl ServerHandle {
         self.addr
     }
 
-    /// Requests shutdown and joins every server thread. Idempotent.
+    /// Requests shutdown, drains, and joins every server thread.
+    /// Idempotent.
+    ///
+    /// Shutdown is graceful in three phases: stop accepting (the flag plus
+    /// the accept thread's exit), then **drain** — wait up to
+    /// [`ServeConfig::drain_timeout_ms`] for every queued and in-flight
+    /// request to finish — then halt, answering any straggler still parked
+    /// in the queue with an `overload` frame before the connection threads
+    /// are joined. Every request that was queued when shutdown began gets
+    /// a response either way.
     pub fn shutdown(&mut self) {
         self.shared.shutdown.store(true, Ordering::SeqCst);
         if let Some(handle) = self.accept_thread.take() {
             let _ = handle.join();
         }
+        self.shared
+            .admission
+            .drain(Duration::from_millis(self.shared.config.drain_timeout_ms));
+        // Halt even after a clean drain: it closes the window where a
+        // connection thread still draining buffered pipelined lines could
+        // park new work behind a server that has stopped serving.
+        self.shared.admission.halt();
         let handles: Vec<_> = self
             .connections
             .lock()
@@ -237,6 +334,13 @@ fn accept_loop(
     while !shared.shutdown.load(Ordering::SeqCst) {
         match listener.accept() {
             Ok((stream, _)) => {
+                // Injected accept fault: the connection vanishes before it
+                // is serviced, as if the peer (or the kernel) dropped it.
+                #[cfg(any(test, feature = "fault-injection"))]
+                if shared.faults.fire(FaultKind::Accept).is_some() {
+                    drop(stream);
+                    continue;
+                }
                 let active = shared.counters.sessions_active.load(Ordering::SeqCst);
                 if active >= shared.config.max_sessions {
                     shared
@@ -247,9 +351,10 @@ fn accept_loop(
                     let _ = stream.write_all(
                         format!(
                             "{}\n",
-                            error_frame(
+                            error_frame_with(
                                 ErrorCode::Overload,
                                 &format!("session limit reached ({} active)", active),
+                                &[("retry_after_ms", 50)],
                             )
                         )
                         .as_bytes(),
@@ -305,6 +410,10 @@ struct Outcome {
     close: bool,
     /// Trip the server-wide shutdown flag after writing.
     shutdown: bool,
+    /// Exempt this response from injected write faults (the `FAULT`
+    /// verb's own acks, so chaos scripts can always steer the schedule).
+    #[cfg(any(test, feature = "fault-injection"))]
+    fault_immune: bool,
 }
 
 impl Outcome {
@@ -314,6 +423,8 @@ impl Outcome {
             payload: Vec::new(),
             close: false,
             shutdown: false,
+            #[cfg(any(test, feature = "fault-injection"))]
+            fault_immune: false,
         }
     }
 
@@ -375,6 +486,14 @@ fn run_connection(stream: TcpStream, shared: Arc<Shared>) {
                 .unwrap_or_else(|_| {
                     Outcome::error(ErrorCode::Internal, "request handler panicked").closing()
                 });
+            // Injected write fault: the response write fails as if the
+            // pipe broke — the connection closes, nothing else suffers.
+            // The FAULT verb's own acks are immune so chaos scripts can
+            // always arm, inspect and clear the schedule.
+            #[cfg(any(test, feature = "fault-injection"))]
+            if !outcome.fault_immune && shared.faults.fire(FaultKind::Write).is_some() {
+                break 'outer;
+            }
             if write_frame(&mut writer, &outcome.frame, &outcome.payload).is_err() {
                 break 'outer;
             }
@@ -398,7 +517,22 @@ fn run_connection(stream: TcpStream, shared: Arc<Shared>) {
         }
         match reader.read(&mut chunk) {
             Ok(0) => break,
-            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Ok(n) => {
+                // Injected read faults act on data-bearing reads only:
+                // a slow-read delays the data (a slow client on the wire),
+                // a read fault behaves like an I/O error — the connection
+                // closes, the server keeps serving everyone else.
+                #[cfg(any(test, feature = "fault-injection"))]
+                {
+                    if let Some(ms) = shared.faults.fire(FaultKind::SlowRead) {
+                        std::thread::sleep(Duration::from_millis(ms.min(10_000)));
+                    }
+                    if shared.faults.fire(FaultKind::Read).is_some() {
+                        break;
+                    }
+                }
+                buf.extend_from_slice(&chunk[..n]);
+            }
             Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {}
             Err(e) if e.kind() == ErrorKind::Interrupted => {}
             Err(_) => break,
@@ -433,6 +567,12 @@ fn handle_line(connection: &mut Connection, line: &str) -> Outcome {
             outcome
         }
         "HOLD" if connection.shared.config.test_hooks => handle_hold(connection, &request),
+        #[cfg(any(test, feature = "fault-injection"))]
+        "FAULT" => {
+            let mut outcome = handle_fault(connection, &request);
+            outcome.fault_immune = true;
+            outcome
+        }
         other => Outcome::error(ErrorCode::BadVerb, &format!("unknown verb `{other}`")),
     }
 }
@@ -447,6 +587,16 @@ fn requested_format(request: &Request) -> Result<Option<FileFormat>, String> {
     }
 }
 
+/// Maps a cache resolution failure to its wire frame: `io` for read and
+/// decode errors, `corrupt` for a quarantined checksum failure.
+fn cache_error_outcome(path: &str, error: CacheError) -> Outcome {
+    let code = match &error {
+        CacheError::Io(_) => ErrorCode::Io,
+        CacheError::Corrupt { .. } => ErrorCode::Corrupt,
+    };
+    Outcome::error(code, &format!("loading {path}: {error}"))
+}
+
 fn handle_load(connection: &mut Connection, request: &Request) -> Outcome {
     let path = match request.require("path") {
         Ok(path) => path,
@@ -456,15 +606,23 @@ fn handle_load(connection: &mut Connection, request: &Request) -> Outcome {
         Ok(format) => format,
         Err(message) => return Outcome::error(ErrorCode::BadArg, &message),
     };
+    // Loading is admission-controlled work too: parsing or checksumming a
+    // large graph competes with extractions for memory bandwidth.
+    let shared = Arc::clone(&connection.shared);
+    let (permit, queue_wait_ns) = match shared.acquire_permit(request) {
+        Ok(granted) => granted,
+        Err(outcome) => return outcome,
+    };
     let cache = &connection.shared.cache;
-    match cache.get_or_load(std::path::Path::new(path), format) {
+    let outcome = match cache.get_or_load(std::path::Path::new(path), format) {
         Ok((graph, hash, hit)) => {
             let view = graph.as_graph_ref();
             let stats = cache.stats();
             Outcome::reply(format!(
                 "{{\"ok\":true,\"verb\":\"LOAD\",\"graph\":\"{hash:016x}\",\
                  \"vertices\":{},\"edges\":{},\"canonical_edges\":{},\
-                 \"cache\":\"{}\",\"resident_bytes\":{}}}",
+                 \"cache\":\"{}\",\"resident_bytes\":{},\
+                 \"queue_wait_ns\":{queue_wait_ns}}}",
                 view.num_vertices(),
                 view.num_edges(),
                 view.num_canonical_edges(),
@@ -472,8 +630,10 @@ fn handle_load(connection: &mut Connection, request: &Request) -> Outcome {
                 stats.resident_bytes,
             ))
         }
-        Err(e) => Outcome::error(ErrorCode::Io, &format!("loading {path}: {e}")),
-    }
+        Err(e) => cache_error_outcome(path, e),
+    };
+    drop(permit);
+    outcome
 }
 
 /// Builds the extraction configuration named by a request's arguments and
@@ -541,18 +701,18 @@ fn request_config(
 fn handle_extract(connection: &mut Connection, request: &Request) -> Outcome {
     let wait_start = Instant::now();
     let shared = Arc::clone(&connection.shared);
-    // Admission first: a saturated server must answer before paying any
-    // cache or configuration work.
-    let Some(permit) = shared.try_acquire_inflight() else {
-        return Outcome::error(
-            ErrorCode::Overload,
-            &format!(
-                "extraction limit reached ({} in flight, {} pool workers idle)",
-                shared.config.max_inflight,
-                chordal_runtime::pool_idle_workers()
-            ),
-        );
+    // Admission first: a saturated server must park (or answer) before
+    // paying any cache or configuration work.
+    let (permit, queue_wait_ns) = match shared.acquire_permit(request) {
+        Ok(granted) => granted,
+        Err(outcome) => return outcome,
     };
+    // Injected worker panic: fires *after* admission so the test proves
+    // unwinding releases the permit and the queue is not poisoned.
+    #[cfg(any(test, feature = "fault-injection"))]
+    if shared.faults.fire(FaultKind::Panic).is_some() {
+        panic!("injected worker panic");
+    }
     let (config, session_key) = match request_config(connection, request) {
         Ok(built) => built,
         Err(message) => return Outcome::error(ErrorCode::BadArg, &message),
@@ -587,7 +747,7 @@ fn handle_extract(connection: &mut Connection, request: &Request) -> Outcome {
         };
         match shared.cache.get_or_load(std::path::Path::new(path), format) {
             Ok(resolved) => resolved,
-            Err(e) => return Outcome::error(ErrorCode::Io, &format!("loading {path}: {e}")),
+            Err(e) => return cache_error_outcome(path, e),
         }
     };
     let payload_edges = match request.arg("payload") {
@@ -635,7 +795,7 @@ fn handle_extract(connection: &mut Connection, request: &Request) -> Outcome {
         "{{\"ok\":true,\"verb\":\"EXTRACT\",\"graph\":\"{hash:016x}\",\
          \"algorithm\":\"{}\",\"vertices\":{},\"canonical_edges\":{},\
          \"chordal_edges\":{},\"iterations\":{},\"extract_ns\":{},\
-         \"wait_ns\":{wait_ns},\"cache\":\"{}\"",
+         \"wait_ns\":{wait_ns},\"queue_wait_ns\":{queue_wait_ns},\"cache\":\"{}\"",
         json_escape(session.extractor_name()),
         view.num_vertices(),
         view.num_canonical_edges(),
@@ -648,55 +808,151 @@ fn handle_extract(connection: &mut Connection, request: &Request) -> Outcome {
         frame.push_str(&format!(",\"payload_bytes\":{}", payload.len()));
     }
     frame.push('}');
-    Outcome {
-        frame,
-        payload,
-        close: false,
-        shutdown: false,
-    }
+    let mut outcome = Outcome::reply(frame);
+    outcome.payload = payload;
+    outcome
 }
 
 /// Test hook: hold one admission permit for `ms=` milliseconds, so
-/// saturation tests are deterministic.
+/// saturation tests are deterministic. Goes through the same admission
+/// queue as real work — HOLDs park FIFO and honor `deadline_ms` too.
 fn handle_hold(connection: &mut Connection, request: &Request) -> Outcome {
     let ms = match request.require("ms").map(|v| v.parse::<u64>()) {
         Ok(Ok(ms)) => ms.min(10_000),
         Ok(Err(_)) | Err(_) => return Outcome::error(ErrorCode::BadArg, "HOLD needs ms=N"),
     };
-    let Some(permit) = connection.shared.try_acquire_inflight() else {
-        return Outcome::error(ErrorCode::Overload, "extraction limit reached");
+    let shared = Arc::clone(&connection.shared);
+    let (permit, queue_wait_ns) = match shared.acquire_permit(request) {
+        Ok(granted) => granted,
+        Err(outcome) => return outcome,
     };
     std::thread::sleep(Duration::from_millis(ms));
     drop(permit);
     Outcome::reply(format!(
-        "{{\"ok\":true,\"verb\":\"HOLD\",\"held_ms\":{ms}}}"
+        "{{\"ok\":true,\"verb\":\"HOLD\",\"held_ms\":{ms},\"queue_wait_ns\":{queue_wait_ns}}}"
     ))
 }
 
-/// Builds the `STATS` frame: server counters, cache snapshot, pool
-/// introspection (including `idle_workers` and `tickets_dropped`, the
-/// admission-control observables).
+/// The `FAULT` verb (compiled only with the `fault-injection` feature or
+/// under test): arms the chaos schedule.
+///
+/// * `FAULT kind=K [count=N] [ms=M]` — the next N (default 1) operations
+///   of kind `accept|read|write|slow-read|panic` fire; `ms` is the
+///   slow-read delay.
+/// * `FAULT kind=K seed=S [prob=P] [ms=M]` — seeded probabilistic mode:
+///   each operation fires with probability P/1000 (default 500), drawn
+///   from a SplitMix64 stream so the schedule replays per seed.
+/// * `FAULT kind=corrupt-cache [count=N]` — the next N cache admissions
+///   are treated as checksum failures (quarantine + `corrupt` reply).
+/// * `FAULT clear=true` — disarm everything.
+/// * `FAULT` — report armed directives and fired counters.
+#[cfg(any(test, feature = "fault-injection"))]
+fn handle_fault(connection: &mut Connection, request: &Request) -> Outcome {
+    let shared = &connection.shared;
+    let parse_u64 = |key: &str, default: u64| -> Result<u64, Outcome> {
+        match request.arg(key) {
+            None => Ok(default),
+            Some(v) => v.parse::<u64>().map_err(|_| {
+                Outcome::error(
+                    ErrorCode::BadArg,
+                    &format!("invalid value `{v}` for `{key}`"),
+                )
+            }),
+        }
+    };
+    if request.arg("clear") == Some("true") {
+        shared.faults.clear();
+        return Outcome::reply("{\"ok\":true,\"verb\":\"FAULT\",\"armed\":0}".to_string());
+    }
+    let Some(kind_name) = request.arg("kind") else {
+        let counts = shared.faults.counts();
+        return Outcome::reply(format!(
+            "{{\"ok\":true,\"verb\":\"FAULT\",\"armed\":{},\
+             \"fired\":{{\"accept\":{},\"read\":{},\"write\":{},\
+             \"slow_read\":{},\"panic\":{}}}}}",
+            shared.faults.armed(),
+            counts.accept,
+            counts.read,
+            counts.write,
+            counts.slow_read,
+            counts.panic,
+        ));
+    };
+    let count = match parse_u64("count", 1) {
+        Ok(count) => count,
+        Err(outcome) => return outcome,
+    };
+    if kind_name == "corrupt-cache" {
+        shared.cache.arm_corruption(count);
+        return Outcome::reply(format!(
+            "{{\"ok\":true,\"verb\":\"FAULT\",\"kind\":\"corrupt-cache\",\"count\":{count}}}"
+        ));
+    }
+    let Some(kind) = FaultKind::parse(kind_name) else {
+        return Outcome::error(
+            ErrorCode::BadArg,
+            &format!("invalid value `{kind_name}` for `kind`"),
+        );
+    };
+    let ms = match parse_u64("ms", 0) {
+        Ok(ms) => ms.min(10_000),
+        Err(outcome) => return outcome,
+    };
+    match request.arg("seed") {
+        Some(v) => {
+            let Ok(seed) = v.parse::<u64>() else {
+                return Outcome::error(
+                    ErrorCode::BadArg,
+                    &format!("invalid value `{v}` for `seed`"),
+                );
+            };
+            let prob = match parse_u64("prob", 500) {
+                Ok(prob) => prob,
+                Err(outcome) => return outcome,
+            };
+            shared.faults.arm_seeded(kind, seed, prob, ms);
+        }
+        None => shared.faults.arm(kind, count, ms),
+    }
+    Outcome::reply(format!(
+        "{{\"ok\":true,\"verb\":\"FAULT\",\"kind\":\"{}\",\"armed\":{}}}",
+        json_escape(kind_name),
+        shared.faults.armed(),
+    ))
+}
+
+/// Builds the `STATS` frame: server counters (including the admission
+/// queue observables), cache snapshot, pool introspection — plus the
+/// fired-fault counters when fault injection is compiled in.
 fn stats_frame(shared: &Arc<Shared>) -> String {
     let c = &shared.counters;
+    let q = shared.admission.stats();
     let cache = shared.cache.stats();
     let pool = chordal_runtime::pool_stats();
-    format!(
+    let mut frame = format!(
         "{{\"ok\":true,\"verb\":\"STATS\",\
          \"server\":{{\"sessions_active\":{},\"sessions_total\":{},\
          \"requests_total\":{},\"extractions_total\":{},\
          \"overloaded_total\":{},\"inflight\":{},\
-         \"max_inflight\":{},\"max_sessions\":{}}},\
+         \"queue_depth\":{},\"queue_waits\":{},\"deadline_expired\":{},\
+         \"max_queue_wait_ns\":{},\
+         \"max_inflight\":{},\"max_queue\":{},\"max_sessions\":{}}},\
          \"cache\":{{\"entries\":{},\"resident_bytes\":{},\"budget_bytes\":{},\
-         \"hits\":{},\"misses\":{},\"evictions\":{}}},\
+         \"hits\":{},\"misses\":{},\"evictions\":{},\"corruptions\":{}}},\
          \"pool\":{{\"size\":{},\"idle_workers\":{},\"regions\":{},\
-         \"tickets\":{},\"steals\":{},\"tickets_dropped\":{}}}}}",
+         \"tickets\":{},\"steals\":{},\"tickets_dropped\":{}}}",
         c.sessions_active.load(Ordering::SeqCst),
         c.sessions_total.load(Ordering::SeqCst),
         c.requests_total.load(Ordering::SeqCst),
         c.extractions_total.load(Ordering::SeqCst),
         c.overloaded_total.load(Ordering::SeqCst),
-        c.inflight.load(Ordering::SeqCst),
+        q.inflight,
+        q.queue_depth,
+        q.queue_waits,
+        q.deadline_expired,
+        q.max_queue_wait_ns,
         shared.config.max_inflight,
+        shared.config.max_queue,
         shared.config.max_sessions,
         cache.entries,
         cache.resident_bytes,
@@ -704,11 +960,23 @@ fn stats_frame(shared: &Arc<Shared>) -> String {
         cache.hits,
         cache.misses,
         cache.evictions,
+        cache.corruptions,
         chordal_runtime::pool_size(),
         chordal_runtime::pool_idle_workers(),
         pool.regions,
         pool.tickets,
         pool.steals,
         pool.tickets_dropped,
-    )
+    );
+    #[cfg(any(test, feature = "fault-injection"))]
+    {
+        let f = shared.faults.counts();
+        frame.push_str(&format!(
+            ",\"faults\":{{\"accept\":{},\"read\":{},\"write\":{},\
+             \"slow_read\":{},\"panic\":{}}}",
+            f.accept, f.read, f.write, f.slow_read, f.panic,
+        ));
+    }
+    frame.push('}');
+    frame
 }

@@ -1,0 +1,386 @@
+//! Deadline-aware admission queueing, end to end: bursts beyond
+//! `max_inflight` are absorbed by the bounded FIFO queue without a single
+//! `overload` reply, queued requests expire exactly at their `deadline_ms`
+//! without executing, queue order is FIFO, shutdown drains every queued
+//! request, and the client-side retry policy rides the server's
+//! `retry_after_ms` hint. Saturation is always a deterministic state built
+//! with the `HOLD` test hook (one permit, held for a scripted duration),
+//! never a timing race; queue occupancy is confirmed through `STATS`
+//! before any assertion that depends on it.
+
+use maximal_chordal::graph::io::write_edge_list_file;
+use maximal_chordal::graph::storage::convert_edge_list_to_binary;
+use maximal_chordal::prelude::*;
+use maximal_chordal::serve::{JsonValue, RetryPolicy, ServeClient, ServeConfig, Server};
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+/// One seeded binary graph on disk, removed on drop.
+struct Workload {
+    files: Vec<PathBuf>,
+    bin: PathBuf,
+}
+
+impl Workload {
+    fn binary(tag: &str) -> Workload {
+        let dir = std::env::temp_dir();
+        let pid = std::process::id();
+        let txt = dir.join(format!("chordal_serve_deadline_{pid}_{tag}.txt"));
+        let bin = dir.join(format!("chordal_serve_deadline_{pid}_{tag}.bin"));
+        let graph = RmatParams::preset(RmatKind::G, 7, 91).generate();
+        write_edge_list_file(&graph, &txt).expect("writing text edge list");
+        convert_edge_list_to_binary(&txt, &bin).expect("streaming conversion");
+        Workload {
+            files: vec![txt, bin.clone()],
+            bin,
+        }
+    }
+}
+
+impl Drop for Workload {
+    fn drop(&mut self) {
+        for f in &self.files {
+            let _ = std::fs::remove_file(f);
+        }
+    }
+}
+
+fn stat(client: &mut ServeClient, path: &[&str]) -> u64 {
+    let response = client.request("STATS").unwrap();
+    assert!(response.ok(), "{}", response.raw);
+    response
+        .json
+        .path(path)
+        .and_then(JsonValue::as_u64)
+        .unwrap_or_else(|| panic!("missing {path:?} in {}", response.raw))
+}
+
+/// Polls a STATS field until it reaches `want` (or a generous deadline
+/// trips), so saturation/queue state is confirmed, not assumed.
+fn wait_for(client: &mut ServeClient, path: &[&str], want: u64) {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while stat(client, path) != want {
+        assert!(Instant::now() < deadline, "{path:?} never reached {want}");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+#[test]
+fn a_burst_beyond_max_inflight_is_absorbed_without_one_overload() {
+    let workload = Workload::binary("burst");
+    let mut handle = Server::start(ServeConfig {
+        max_inflight: 1,
+        max_queue: 16,
+        test_hooks: true,
+        ..ServeConfig::default()
+    })
+    .expect("starting server");
+    let addr = handle.addr();
+    let mut observer = ServeClient::connect(addr).unwrap();
+    let overloaded_before = stat(&mut observer, &["server", "overloaded_total"]);
+    let waits_before = stat(&mut observer, &["server", "queue_waits"]);
+
+    // Saturate the single permit, then burst five extractions at it.
+    let mut holder = ServeClient::connect(addr).unwrap();
+    holder.send_line("HOLD ms=2000").unwrap();
+    wait_for(&mut observer, &["server", "inflight"], 1);
+    const BURST: usize = 5;
+    std::thread::scope(|scope| {
+        let workload = &workload;
+        for _ in 0..BURST {
+            scope.spawn(move || {
+                let mut client = ServeClient::connect(addr).unwrap();
+                let response = client
+                    .request(&format!(
+                        "EXTRACT path={} algorithm=alg1",
+                        workload.bin.display()
+                    ))
+                    .unwrap();
+                // The acceptance lock: queueing means every burst request
+                // succeeds; none may be bounced.
+                assert!(response.ok(), "burst request bounced: {}", response.raw);
+                assert!(
+                    response.u64_field("queue_wait_ns").unwrap() > 0,
+                    "burst requests must have queued: {}",
+                    response.raw
+                );
+            });
+        }
+        // All five must actually park behind the held permit.
+        wait_for(&mut observer, &["server", "queue_depth"], BURST as u64);
+    });
+    assert_eq!(
+        stat(&mut observer, &["server", "overloaded_total"]),
+        overloaded_before,
+        "a bounded queue absorbs the burst without a single overload reply"
+    );
+    assert_eq!(
+        stat(&mut observer, &["server", "queue_waits"]) - waits_before,
+        BURST as u64
+    );
+    assert!(stat(&mut observer, &["server", "max_queue_wait_ns"]) > 0);
+    assert!(holder.read_response().unwrap().ok());
+    handle.shutdown();
+}
+
+#[test]
+fn an_expired_deadline_answers_without_executing() {
+    let workload = Workload::binary("expire");
+    let mut handle = Server::start(ServeConfig {
+        max_inflight: 1,
+        max_queue: 16,
+        test_hooks: true,
+        ..ServeConfig::default()
+    })
+    .expect("starting server");
+    let addr = handle.addr();
+    let mut observer = ServeClient::connect(addr).unwrap();
+    let mut holder = ServeClient::connect(addr).unwrap();
+    holder.send_line("HOLD ms=2500").unwrap();
+    wait_for(&mut observer, &["server", "inflight"], 1);
+    let extractions_before = stat(&mut observer, &["server", "extractions_total"]);
+
+    let mut client = ServeClient::connect(addr).unwrap();
+    let sent = Instant::now();
+    let expired = client
+        .request(&format!(
+            "EXTRACT path={} algorithm=alg1 deadline_ms=100",
+            workload.bin.display()
+        ))
+        .unwrap();
+    let elapsed = sent.elapsed();
+    assert_eq!(expired.code(), Some("deadline-exceeded"), "{}", expired.raw);
+    // The reply carries the queue wait, which covers at least the
+    // deadline itself...
+    let queue_wait_ns = expired.u64_field("queue_wait_ns").unwrap();
+    assert!(queue_wait_ns >= 100_000_000, "waited {queue_wait_ns}ns");
+    // ...and arrives promptly at expiry — far before the holder would
+    // have freed the permit.
+    assert!(
+        elapsed < Duration::from_millis(1500),
+        "expiry took {elapsed:?}, the deadline was 100ms"
+    );
+    // The expired request never executed.
+    assert_eq!(
+        stat(&mut observer, &["server", "extractions_total"]),
+        extractions_before
+    );
+    assert_eq!(stat(&mut observer, &["server", "deadline_expired"]), 1);
+    assert_eq!(stat(&mut observer, &["server", "queue_depth"]), 0);
+
+    // Recovery: once the holder frees the permit, the same request (same
+    // connection) succeeds.
+    assert!(holder.read_response().unwrap().ok());
+    let retried = client
+        .request(&format!(
+            "EXTRACT path={} algorithm=alg1 deadline_ms=1000",
+            workload.bin.display()
+        ))
+        .unwrap();
+    assert!(retried.ok(), "{}", retried.raw);
+    handle.shutdown();
+}
+
+#[test]
+fn queued_requests_are_granted_in_fifo_order() {
+    let mut handle = Server::start(ServeConfig {
+        max_inflight: 1,
+        max_queue: 8,
+        test_hooks: true,
+        ..ServeConfig::default()
+    })
+    .expect("starting server");
+    let addr = handle.addr();
+    let mut observer = ServeClient::connect(addr).unwrap();
+    let mut holder = ServeClient::connect(addr).unwrap();
+    holder.send_line("HOLD ms=1000").unwrap();
+    wait_for(&mut observer, &["server", "inflight"], 1);
+
+    // Enqueue three HOLDs strictly one after another — each is confirmed
+    // parked (queue_depth grew) before the next is sent, so the arrival
+    // order is not a race.
+    const WAITERS: usize = 3;
+    let mut clients = Vec::new();
+    for i in 0..WAITERS {
+        let mut client = ServeClient::connect(addr).unwrap();
+        client.send_line("HOLD ms=50").unwrap();
+        wait_for(&mut observer, &["server", "queue_depth"], i as u64 + 1);
+        clients.push(client);
+    }
+    assert!(holder.read_response().unwrap().ok());
+    // FIFO: waiter i completes strictly before waiter i+1 (each holds the
+    // single permit for 50ms, so completion instants are well separated).
+    let mut completions = Vec::new();
+    for (i, client) in clients.iter_mut().enumerate() {
+        let response = client.read_response().unwrap();
+        assert!(response.ok(), "waiter {i}: {}", response.raw);
+        completions.push(Instant::now());
+        assert!(
+            response.u64_field("queue_wait_ns").unwrap() > 0,
+            "waiter {i} must have queued"
+        );
+    }
+    // Responses were read in enqueue order above; reading client i+1
+    // *after* client i can only observe FIFO violations as an inversion
+    // of arrival instants, which serialized 50ms holds make visible.
+    for pair in completions.windows(2) {
+        assert!(pair[0] <= pair[1]);
+    }
+    handle.shutdown();
+}
+
+#[test]
+fn shutdown_drains_every_queued_request() {
+    let workload = Workload::binary("drain");
+    let mut handle = Server::start(ServeConfig {
+        max_inflight: 1,
+        max_queue: 8,
+        test_hooks: true,
+        ..ServeConfig::default()
+    })
+    .expect("starting server");
+    let addr = handle.addr();
+    let mut observer = ServeClient::connect(addr).unwrap();
+    let mut holder = ServeClient::connect(addr).unwrap();
+    holder.send_line("HOLD ms=400").unwrap();
+    wait_for(&mut observer, &["server", "inflight"], 1);
+
+    const QUEUED: usize = 3;
+    let mut clients = Vec::new();
+    for i in 0..QUEUED {
+        let mut client = ServeClient::connect(addr).unwrap();
+        client
+            .send_line(&format!(
+                "EXTRACT path={} algorithm=alg1",
+                workload.bin.display()
+            ))
+            .unwrap();
+        wait_for(&mut observer, &["server", "queue_depth"], i as u64 + 1);
+        clients.push(client);
+    }
+    // Shutdown with work queued: the drain phase must let the held permit
+    // expire and all three queued extractions run to completion.
+    handle.shutdown();
+    assert!(holder.read_response().unwrap().ok());
+    for (i, client) in clients.iter_mut().enumerate() {
+        let response = client.read_response().unwrap();
+        assert!(
+            response.ok(),
+            "queued request {i} must be served through the drain: {}",
+            response.raw
+        );
+    }
+}
+
+#[test]
+fn a_forced_drain_deadline_still_answers_every_queued_request() {
+    let mut handle = Server::start(ServeConfig {
+        max_inflight: 1,
+        max_queue: 8,
+        // Far shorter than the 1500ms hold: the drain cannot finish, so
+        // halt must answer the stragglers.
+        drain_timeout_ms: 100,
+        test_hooks: true,
+        ..ServeConfig::default()
+    })
+    .expect("starting server");
+    let addr = handle.addr();
+    let mut observer = ServeClient::connect(addr).unwrap();
+    let mut holder = ServeClient::connect(addr).unwrap();
+    holder.send_line("HOLD ms=1500").unwrap();
+    wait_for(&mut observer, &["server", "inflight"], 1);
+
+    let mut clients = Vec::new();
+    for i in 0..2usize {
+        let mut client = ServeClient::connect(addr).unwrap();
+        client.send_line("HOLD ms=0").unwrap();
+        wait_for(&mut observer, &["server", "queue_depth"], i as u64 + 1);
+        clients.push(client);
+    }
+    handle.shutdown();
+    // In-flight work still completes (shutdown joins its thread)...
+    assert!(holder.read_response().unwrap().ok());
+    // ...and the waiters the drain could not serve are *answered*, not
+    // abandoned: an overload frame telling them the server is going away.
+    for (i, client) in clients.iter_mut().enumerate() {
+        let response = client.read_response().unwrap();
+        assert_eq!(
+            response.code(),
+            Some("overload"),
+            "straggler {i}: {}",
+            response.raw
+        );
+        assert!(
+            response.raw.contains("shutting down"),
+            "straggler {i}: {}",
+            response.raw
+        );
+    }
+}
+
+#[test]
+fn a_full_queue_answers_overload_with_a_retry_hint() {
+    let mut handle = Server::start(ServeConfig {
+        max_inflight: 1,
+        max_queue: 1,
+        test_hooks: true,
+        ..ServeConfig::default()
+    })
+    .expect("starting server");
+    let addr = handle.addr();
+    let mut observer = ServeClient::connect(addr).unwrap();
+    let mut holder = ServeClient::connect(addr).unwrap();
+    holder.send_line("HOLD ms=800").unwrap();
+    wait_for(&mut observer, &["server", "inflight"], 1);
+    let mut queued = ServeClient::connect(addr).unwrap();
+    queued.send_line("HOLD ms=0").unwrap();
+    wait_for(&mut observer, &["server", "queue_depth"], 1);
+
+    // Permit held, queue full: the third request is the one bounced.
+    let mut bounced = ServeClient::connect(addr).unwrap();
+    let response = bounced.request("HOLD ms=0").unwrap();
+    assert_eq!(response.code(), Some("overload"), "{}", response.raw);
+    assert!(
+        response.u64_field("retry_after_ms").unwrap() >= 5,
+        "overload must carry a back-off hint: {}",
+        response.raw
+    );
+    assert_eq!(response.u64_field("queue_depth"), Some(1));
+    assert!(holder.read_response().unwrap().ok());
+    assert!(queued.read_response().unwrap().ok());
+    handle.shutdown();
+}
+
+#[test]
+fn client_retry_rides_the_hint_until_the_server_frees_up() {
+    let mut handle = Server::start(ServeConfig {
+        max_inflight: 1,
+        // Bounce-only admission: every saturated attempt is an overload
+        // the retry policy must absorb.
+        max_queue: 0,
+        test_hooks: true,
+        ..ServeConfig::default()
+    })
+    .expect("starting server");
+    let addr = handle.addr();
+    let mut observer = ServeClient::connect(addr).unwrap();
+    let mut holder = ServeClient::connect(addr).unwrap();
+    holder.send_line("HOLD ms=300").unwrap();
+    wait_for(&mut observer, &["server", "inflight"], 1);
+
+    // The ~5ms hints sum far past the 300ms hold well within the attempt
+    // budget, so success is guaranteed, not probabilistic.
+    let policy = RetryPolicy {
+        max_attempts: 200,
+        ..RetryPolicy::default()
+    };
+    let mut client = ServeClient::connect(addr).unwrap();
+    let (response, attempts) = client.request_with_retry("HOLD ms=0", &policy).unwrap();
+    assert!(response.ok(), "{}", response.raw);
+    assert!(
+        attempts > 1,
+        "the saturated server must have forced at least one retry"
+    );
+    assert!(holder.read_response().unwrap().ok());
+    handle.shutdown();
+}

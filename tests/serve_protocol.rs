@@ -226,8 +226,63 @@ fn stats_exposes_the_admission_control_observables() {
     // Full layout sanity.
     assert_eq!(field(&["server", "sessions_active"]), 1);
     assert!(field(&["server", "max_inflight"]) >= 1);
+    // The queueing observables ride in the server object.
+    assert_eq!(field(&["server", "queue_depth"]), 0);
+    let _ = field(&["server", "queue_waits"]);
+    let _ = field(&["server", "deadline_expired"]);
+    let _ = field(&["server", "max_queue_wait_ns"]);
+    assert!(field(&["server", "max_queue"]) >= 1);
     let _ = field(&["cache", "resident_bytes"]);
+    let _ = field(&["cache", "corruptions"]);
     assert!(field(&["cache", "budget_bytes"]) > 0);
+}
+
+#[test]
+fn a_corrupt_binary_file_is_quarantined_with_a_typed_error() {
+    let fixture = default_fixture("corrupt");
+    let mut client = fixture.client();
+    // Damage the file on disk *after* conversion: flip one byte in the
+    // data sections so the header checksum no longer matches.
+    let mut bytes = std::fs::read(&fixture.bin).unwrap();
+    let last = bytes.len() - 1;
+    bytes[last] ^= 0xff;
+    std::fs::write(&fixture.bin, &bytes).unwrap();
+
+    // Admission verifies the section checksum: the damaged file is
+    // rejected with `corrupt` — not `io` (it decodes) and not `not-found`
+    // (it exists) — and counted.
+    let response = client
+        .request(&format!("LOAD path={}", fixture.bin.display()))
+        .unwrap();
+    assert_eq!(response.code(), Some("corrupt"), "{}", response.raw);
+    assert!(response.raw.contains("checksum"), "{}", response.raw);
+    let stats = client.request("STATS").unwrap();
+    assert_eq!(
+        stats
+            .json
+            .path(&["cache", "corruptions"])
+            .and_then(JsonValue::as_u64),
+        Some(1),
+        "{}",
+        stats.raw
+    );
+    // The corrupt graph was never admitted, and the failure is
+    // deterministic on retry — not cached as success, not flaky.
+    let again = client
+        .request(&format!(
+            "EXTRACT path={} algorithm=alg1",
+            fixture.bin.display()
+        ))
+        .unwrap();
+    assert_eq!(again.code(), Some("corrupt"), "{}", again.raw);
+
+    // Repairing the file re-admits it under its content hash.
+    bytes[last] ^= 0xff;
+    std::fs::write(&fixture.bin, &bytes).unwrap();
+    let healed = client
+        .request(&format!("LOAD path={}", fixture.bin.display()))
+        .unwrap();
+    assert!(healed.ok(), "{}", healed.raw);
 }
 
 #[test]

@@ -194,10 +194,13 @@ fn lru_eviction_under_a_tight_budget_is_observable_and_recoverable() {
 #[test]
 fn saturated_admission_control_answers_overload_and_recovers() {
     let workload = Workload::binary("overload", 1);
-    // One extraction permit, and the HOLD hook enabled so saturation is a
-    // deterministic state, not a race.
+    // One extraction permit and a zero-length queue (bounce-only
+    // admission, the pre-queueing semantics), with the HOLD hook enabled
+    // so saturation is a deterministic state, not a race. Queueing
+    // behaviour has its own suite (`serve_deadline.rs`).
     let mut handle = Server::start(ServeConfig {
         max_inflight: 1,
+        max_queue: 0,
         test_hooks: true,
         ..ServeConfig::default()
     })
