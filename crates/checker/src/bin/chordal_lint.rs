@@ -1,0 +1,40 @@
+//! chordal-lint: token-level static analysis of the workspace's
+//! concurrency invariants. See `chordal_checker::lint` for the rules.
+//!
+//! Usage: `chordal-lint [WORKSPACE_ROOT]` (defaults to the current
+//! directory). Prints `file:line: [rule] message` diagnostics and exits
+//! nonzero if any are found.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let root = std::env::args()
+        .nth(1)
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("."));
+    if !root.join("Cargo.toml").exists() {
+        eprintln!(
+            "chordal-lint: {} does not look like a workspace root (no Cargo.toml)",
+            root.display()
+        );
+        return ExitCode::from(2);
+    }
+    match chordal_checker::lint::lint_workspace(&root) {
+        Ok(diags) if diags.is_empty() => {
+            println!("chordal-lint: workspace clean");
+            ExitCode::SUCCESS
+        }
+        Ok(diags) => {
+            for d in &diags {
+                println!("{d}");
+            }
+            eprintln!("chordal-lint: {} violation(s)", diags.len());
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("chordal-lint: i/o error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,68 @@
+//! Vector clocks for the happens-before approximation used by the model
+//! runtime. Component `i` counts the visible operations thread `i` has
+//! performed; `a.dominates(b)` means everything `b` witnessed is also
+//! visible to `a`.
+
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub(crate) struct VClock {
+    ticks: Vec<u32>,
+}
+
+impl VClock {
+    pub(crate) fn new() -> Self {
+        VClock { ticks: Vec::new() }
+    }
+
+    pub(crate) fn get(&self, tid: usize) -> u32 {
+        self.ticks.get(tid).copied().unwrap_or(0)
+    }
+
+    fn grow(&mut self, tid: usize) {
+        if self.ticks.len() <= tid {
+            self.ticks.resize(tid + 1, 0);
+        }
+    }
+
+    /// Advance this thread's own component and return the new tick.
+    pub(crate) fn tick(&mut self, tid: usize) -> u32 {
+        self.grow(tid);
+        self.ticks[tid] += 1;
+        self.ticks[tid]
+    }
+
+    /// Pointwise maximum: absorb everything `other` has witnessed.
+    pub(crate) fn join(&mut self, other: &VClock) {
+        if other.ticks.len() > self.ticks.len() {
+            self.ticks.resize(other.ticks.len(), 0);
+        }
+        for (i, &t) in other.ticks.iter().enumerate() {
+            if t > self.ticks[i] {
+                self.ticks[i] = t;
+            }
+        }
+    }
+
+    /// True if the event stamped `(tid, tick)` is visible to this clock.
+    pub(crate) fn sees(&self, tid: usize, tick: u32) -> bool {
+        self.get(tid) >= tick
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::VClock;
+
+    #[test]
+    fn join_is_pointwise_max() {
+        let mut a = VClock::new();
+        let mut b = VClock::new();
+        a.tick(0);
+        a.tick(0);
+        b.tick(1);
+        a.join(&b);
+        assert!(a.sees(0, 2));
+        assert!(a.sees(1, 1));
+        assert!(!a.sees(1, 2));
+        assert!(!b.sees(0, 1));
+    }
+}

@@ -1,0 +1,30 @@
+//! chordal-checker — in-tree concurrency correctness toolkit.
+//!
+//! Two halves:
+//!
+//! - A **loom-style deterministic model checker** ([`model`], [`model_with`],
+//!   [`run`]): code compiled against [`sync`]/[`thread`]/[`time`] under
+//!   `cfg(chordal_model)` is explored over all bounded-preemption thread
+//!   interleavings *and* all weak-memory value choices; assertion failures,
+//!   deadlocks, lost wakeups and livelocks are reported with the exact
+//!   failing schedule, deterministically replayable.
+//! - A **token-level static lint** ([`lint`], shipped as the `chordal-lint`
+//!   binary) enforcing the workspace's unsafe/atomics invariants:
+//!   `// SAFETY:` comments, `Ordering::Relaxed` allowlisting, threading
+//!   primitives confined to the pool/serve layers, no wall-clock reads in
+//!   deterministic extraction paths, no `debug_assert!` in
+//!   ordering-sensitive files, and fault-injection code kept behind its
+//!   cfg gate.
+//!
+//! See `docs/concurrency.md` for the memory-model invariants this toolkit
+//! protects and how to extend it.
+
+mod clock;
+mod rt;
+
+pub mod lint;
+pub mod sync;
+pub mod thread;
+pub mod time;
+
+pub use rt::{model, model_with, run, Config, Failure, Mode, Outcome};

@@ -1,0 +1,368 @@
+//! Model-aware drop-in replacements for `std::sync` primitives.
+//!
+//! Code under test swaps its imports to this module under
+//! `cfg(chordal_model)`; every operation becomes a schedule point of the
+//! deterministic explorer in [`crate::rt`]. The API mirrors the subset of
+//! `std` the workspace actually uses.
+
+use crate::rt;
+use std::marker::PhantomData;
+use std::ops::{Deref, DerefMut};
+
+pub use std::sync::atomic::Ordering;
+
+// ---------------------------------------------------------------------------
+// Atomics
+// ---------------------------------------------------------------------------
+
+/// A SeqCst (or weaker, per the `Ordering` argument) memory fence.
+pub fn fence(ord: Ordering) {
+    rt::fence(ord);
+}
+
+macro_rules! int_atomic {
+    ($name:ident, $ty:ty, $label:literal, $to:expr, $from:expr) => {
+        pub struct $name {
+            loc: usize,
+        }
+
+        impl $name {
+            #[allow(clippy::new_without_default)]
+            pub fn new(v: $ty) -> Self {
+                #[allow(clippy::redundant_closure_call)]
+                $name {
+                    loc: rt::atomic_new(($to)(v)),
+                }
+            }
+
+            #[allow(clippy::redundant_closure_call)]
+            pub fn load(&self, ord: Ordering) -> $ty {
+                ($from)(rt::atomic_load(self.loc, ord, $label))
+            }
+
+            #[allow(clippy::redundant_closure_call)]
+            pub fn store(&self, v: $ty, ord: Ordering) {
+                rt::atomic_store(self.loc, ($to)(v), ord, $label)
+            }
+
+            #[allow(clippy::redundant_closure_call)]
+            pub fn swap(&self, v: $ty, ord: Ordering) -> $ty {
+                ($from)(rt::atomic_rmw(self.loc, ord, $label, |_| ($to)(v)))
+            }
+
+            #[allow(clippy::redundant_closure_call)]
+            pub fn compare_exchange(
+                &self,
+                current: $ty,
+                new: $ty,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<$ty, $ty> {
+                rt::atomic_cas(
+                    self.loc,
+                    ($to)(current),
+                    ($to)(new),
+                    success,
+                    failure,
+                    $label,
+                )
+                .map($from)
+                .map_err($from)
+            }
+
+            /// The model never fails spuriously, so `_weak` is `_strong`.
+            pub fn compare_exchange_weak(
+                &self,
+                current: $ty,
+                new: $ty,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<$ty, $ty> {
+                self.compare_exchange(current, new, success, failure)
+            }
+
+            #[allow(clippy::redundant_closure_call)]
+            pub fn fetch_add(&self, v: $ty, ord: Ordering) -> $ty {
+                ($from)(rt::atomic_rmw(self.loc, ord, $label, |old| {
+                    ($to)(($from)(old).wrapping_add(v))
+                }))
+            }
+
+            #[allow(clippy::redundant_closure_call)]
+            pub fn fetch_sub(&self, v: $ty, ord: Ordering) -> $ty {
+                ($from)(rt::atomic_rmw(self.loc, ord, $label, |old| {
+                    ($to)(($from)(old).wrapping_sub(v))
+                }))
+            }
+        }
+    };
+}
+
+int_atomic!(
+    AtomicUsize,
+    usize,
+    "usize",
+    |v: usize| v as u64,
+    |v: u64| v as usize
+);
+int_atomic!(
+    AtomicIsize,
+    isize,
+    "isize",
+    |v: isize| v as i64 as u64,
+    |v: u64| v as i64 as isize
+);
+int_atomic!(AtomicU64, u64, "u64", |v: u64| v, |v: u64| v);
+
+pub struct AtomicBool {
+    loc: usize,
+}
+
+impl AtomicBool {
+    pub fn new(v: bool) -> Self {
+        AtomicBool {
+            loc: rt::atomic_new(v as u64),
+        }
+    }
+
+    pub fn load(&self, ord: Ordering) -> bool {
+        rt::atomic_load(self.loc, ord, "bool") != 0
+    }
+
+    pub fn store(&self, v: bool, ord: Ordering) {
+        rt::atomic_store(self.loc, v as u64, ord, "bool")
+    }
+
+    pub fn swap(&self, v: bool, ord: Ordering) -> bool {
+        rt::atomic_rmw(self.loc, ord, "bool", |_| v as u64) != 0
+    }
+
+    pub fn compare_exchange(
+        &self,
+        current: bool,
+        new: bool,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<bool, bool> {
+        rt::atomic_cas(
+            self.loc,
+            current as u64,
+            new as u64,
+            success,
+            failure,
+            "bool",
+        )
+        .map(|v| v != 0)
+        .map_err(|v| v != 0)
+    }
+}
+
+pub struct AtomicPtr<T> {
+    loc: usize,
+    _marker: PhantomData<*mut T>,
+}
+
+// SAFETY: the pointer value lives in the model runtime as a plain integer;
+// `AtomicPtr` itself owns no `T` and all access is serialized by the model
+// scheduler, matching `std::sync::atomic::AtomicPtr`'s Send/Sync contract.
+unsafe impl<T> Send for AtomicPtr<T> {}
+// SAFETY: see the Send impl above; shared access only exchanges integers.
+unsafe impl<T> Sync for AtomicPtr<T> {}
+
+impl<T> AtomicPtr<T> {
+    pub fn new(p: *mut T) -> Self {
+        AtomicPtr {
+            loc: rt::atomic_new(p as usize as u64),
+            _marker: PhantomData,
+        }
+    }
+
+    pub fn load(&self, ord: Ordering) -> *mut T {
+        rt::atomic_load(self.loc, ord, "ptr") as usize as *mut T
+    }
+
+    pub fn store(&self, p: *mut T, ord: Ordering) {
+        rt::atomic_store(self.loc, p as usize as u64, ord, "ptr")
+    }
+
+    pub fn swap(&self, p: *mut T, ord: Ordering) -> *mut T {
+        rt::atomic_rmw(self.loc, ord, "ptr", |_| p as usize as u64) as usize as *mut T
+    }
+
+    pub fn compare_exchange(
+        &self,
+        current: *mut T,
+        new: *mut T,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<*mut T, *mut T> {
+        rt::atomic_cas(
+            self.loc,
+            current as usize as u64,
+            new as usize as u64,
+            success,
+            failure,
+            "ptr",
+        )
+        .map(|v| v as usize as *mut T)
+        .map_err(|v| v as usize as *mut T)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Mutex / Condvar
+// ---------------------------------------------------------------------------
+
+/// Poison placeholder so `lock().unwrap()` compiles like `std`; the model
+/// mutex never poisons (a panicking execution aborts as a model failure).
+pub struct PoisonError<T> {
+    _guard: PhantomData<T>,
+}
+
+// Manual impl: `std`'s `PoisonError<T>` is `Debug` for every `T`, and
+// `lock().expect(..)` on a mutex of a non-Debug type relies on that.
+impl<T> std::fmt::Debug for PoisonError<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("PoisonError { .. }")
+    }
+}
+
+pub type LockResult<T> = Result<T, PoisonError<T>>;
+
+/// Model-scheduled mutex. A real `std::sync::Mutex` still guards the data
+/// so that aborted (failing) executions tear down without data races; in
+/// healthy executions the model scheduler serializes access and the inner
+/// lock is always uncontended.
+pub struct Mutex<T> {
+    id: usize,
+    inner: std::sync::Mutex<T>,
+}
+
+pub struct MutexGuard<'a, T> {
+    lock: &'a Mutex<T>,
+    inner: Option<std::sync::MutexGuard<'a, T>>,
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Mutex").field("id", &self.id).finish()
+    }
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for MutexGuard<'_, T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        std::fmt::Debug::fmt(&**self, f)
+    }
+}
+
+impl<T> Mutex<T> {
+    pub fn new(value: T) -> Self {
+        Mutex {
+            id: rt::mutex_new(),
+            inner: std::sync::Mutex::new(value),
+        }
+    }
+
+    pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+        rt::mutex_lock(self.id);
+        let inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        Ok(MutexGuard {
+            lock: self,
+            inner: Some(inner),
+        })
+    }
+
+    pub fn into_inner(self) -> LockResult<T> {
+        Ok(self.inner.into_inner().unwrap_or_else(|e| e.into_inner()))
+    }
+}
+
+impl<T> Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard accessed during wait")
+    }
+}
+
+impl<T> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard accessed during wait")
+    }
+}
+
+impl<T> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        if self.inner.take().is_some() {
+            rt::mutex_unlock(self.lock.id);
+        }
+    }
+}
+
+#[derive(Debug)]
+pub struct WaitTimeoutResult {
+    timed_out: bool,
+}
+
+impl WaitTimeoutResult {
+    pub fn timed_out(&self) -> bool {
+        self.timed_out
+    }
+}
+
+/// Model-scheduled condition variable with FIFO wakeups, virtual-clock
+/// timeouts, and lost-wakeup detection (an untimed wait that can never be
+/// notified is reported as a deadlock with the failing schedule).
+pub struct Condvar {
+    id: usize,
+}
+
+impl Condvar {
+    #[allow(clippy::new_without_default)]
+    pub fn new() -> Self {
+        Condvar {
+            id: rt::condvar_new(),
+        }
+    }
+
+    pub fn wait<'a, T>(&self, mut guard: MutexGuard<'a, T>) -> LockResult<MutexGuard<'a, T>> {
+        let lock = guard.lock;
+        // Release the real lock; the model-level release + re-acquire is
+        // done inside condvar_wait, so skip the guard's Drop.
+        guard.inner.take();
+        std::mem::forget(guard);
+        let _ = rt::condvar_wait(self.id, lock.id, None);
+        let inner = lock.inner.lock().unwrap_or_else(|e| e.into_inner());
+        Ok(MutexGuard {
+            lock,
+            inner: Some(inner),
+        })
+    }
+
+    pub fn wait_timeout<'a, T>(
+        &self,
+        mut guard: MutexGuard<'a, T>,
+        timeout: std::time::Duration,
+    ) -> LockResult<(MutexGuard<'a, T>, WaitTimeoutResult)> {
+        let lock = guard.lock;
+        guard.inner.take();
+        std::mem::forget(guard);
+        let ns = u64::try_from(timeout.as_nanos()).unwrap_or(u64::MAX);
+        let timed_out = rt::condvar_wait(self.id, lock.id, Some(ns));
+        let inner = lock.inner.lock().unwrap_or_else(|e| e.into_inner());
+        Ok((
+            MutexGuard {
+                lock,
+                inner: Some(inner),
+            },
+            WaitTimeoutResult { timed_out },
+        ))
+    }
+
+    pub fn notify_one(&self) {
+        rt::condvar_notify(self.id, false);
+    }
+
+    pub fn notify_all(&self) {
+        rt::condvar_notify(self.id, true);
+    }
+}

@@ -1,0 +1,101 @@
+//! Model-aware replacement for the subset of `std::thread` the workspace
+//! uses. Spawned threads are real OS threads, but only ever run when the
+//! model scheduler grants them.
+
+use crate::rt;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Handle to a model thread (supports `unpark`, like `std::thread::Thread`).
+#[derive(Clone, Debug)]
+pub struct Thread {
+    tid: usize,
+}
+
+impl Thread {
+    pub fn unpark(&self) {
+        rt::unpark(self.tid);
+    }
+}
+
+pub fn current() -> Thread {
+    Thread {
+        tid: rt::current_tid(),
+    }
+}
+
+pub fn park() {
+    rt::park(None);
+}
+
+pub fn park_timeout(dur: Duration) {
+    rt::park(Some(u64::try_from(dur.as_nanos()).unwrap_or(u64::MAX)));
+}
+
+pub fn yield_now() {
+    rt::yield_now();
+}
+
+pub struct JoinHandle<T> {
+    tid: usize,
+    slot: Arc<Mutex<Option<T>>>,
+}
+
+impl<T> JoinHandle<T> {
+    pub fn join(self) -> Result<T, Box<dyn std::any::Any + Send + 'static>> {
+        rt::join(self.tid);
+        let value = self.slot.lock().unwrap_or_else(|e| e.into_inner()).take();
+        match value {
+            Some(v) => Ok(v),
+            None => Err(Box::new("model thread did not produce a value")),
+        }
+    }
+
+    pub fn thread(&self) -> Thread {
+        Thread { tid: self.tid }
+    }
+}
+
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    let slot = Arc::new(Mutex::new(None));
+    let slot2 = Arc::clone(&slot);
+    let tid = rt::spawn(Box::new(move || {
+        let v = f();
+        *slot2.lock().unwrap_or_else(|e| e.into_inner()) = Some(v);
+    }));
+    JoinHandle { tid, slot }
+}
+
+/// `std::thread::Builder` lookalike; the name is accepted and ignored
+/// (model threads are identified by their tid in schedules).
+#[derive(Default)]
+pub struct Builder {
+    _name: Option<String>,
+}
+
+impl Builder {
+    pub fn new() -> Self {
+        Builder { _name: None }
+    }
+
+    pub fn name(mut self, name: String) -> Self {
+        self._name = Some(name);
+        self
+    }
+
+    pub fn spawn<F, T>(self, f: F) -> std::io::Result<JoinHandle<T>>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        Ok(spawn(f))
+    }
+}
+
+pub fn available_parallelism() -> std::io::Result<std::num::NonZeroUsize> {
+    std::thread::available_parallelism()
+}

@@ -1,0 +1,66 @@
+//! Virtual clock for deterministic time under the model: `Instant::now`
+//! reads a per-execution nanosecond counter that only advances when a
+//! timed wait fires (i.e. when no thread can otherwise make progress).
+
+use std::ops::{Add, AddAssign, Sub};
+
+pub use std::time::Duration;
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Instant {
+    ns: u64,
+}
+
+impl Instant {
+    pub fn now() -> Instant {
+        Instant {
+            ns: crate::rt::now_ns(),
+        }
+    }
+
+    pub fn duration_since(&self, earlier: Instant) -> Duration {
+        Duration::from_nanos(self.ns.saturating_sub(earlier.ns))
+    }
+
+    pub fn saturating_duration_since(&self, earlier: Instant) -> Duration {
+        self.duration_since(earlier)
+    }
+
+    pub fn checked_duration_since(&self, earlier: Instant) -> Option<Duration> {
+        if self.ns >= earlier.ns {
+            Some(Duration::from_nanos(self.ns - earlier.ns))
+        } else {
+            None
+        }
+    }
+
+    pub fn elapsed(&self) -> Duration {
+        Instant::now().duration_since(*self)
+    }
+
+    pub fn checked_add(&self, d: Duration) -> Option<Instant> {
+        let ns = u64::try_from(d.as_nanos()).ok()?;
+        self.ns.checked_add(ns).map(|ns| Instant { ns })
+    }
+}
+
+impl Add<Duration> for Instant {
+    type Output = Instant;
+    fn add(self, d: Duration) -> Instant {
+        self.checked_add(d)
+            .expect("overflow when adding duration to instant")
+    }
+}
+
+impl AddAssign<Duration> for Instant {
+    fn add_assign(&mut self, d: Duration) {
+        *self = *self + d;
+    }
+}
+
+impl Sub<Instant> for Instant {
+    type Output = Duration;
+    fn sub(self, other: Instant) -> Duration {
+        self.duration_since(other)
+    }
+}

@@ -502,6 +502,9 @@ fn install_shutdown_signal_handlers() {
     }
     const SIGINT: i32 = 2;
     const SIGTERM: i32 = 15;
+    // SAFETY: `signal(2)` with a handler that only stores to an atomic —
+    // async-signal-safe — and function-pointer-to-usize casts matching the
+    // C prototype; installing a handler has no memory-safety preconditions.
     unsafe {
         signal(SIGINT, on_shutdown_signal as *const () as usize);
         signal(SIGTERM, on_shutdown_signal as *const () as usize);

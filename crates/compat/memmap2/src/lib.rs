@@ -35,9 +35,11 @@ enum Inner {
     Heap(Vec<u8>),
 }
 
-// The mapped region is immutable (PROT_READ, MAP_PRIVATE) and owned
-// exclusively by this value, so sharing references across threads is safe.
+// SAFETY: the mapped region is immutable (PROT_READ, MAP_PRIVATE) and owned
+// exclusively by this value, so it can move to another thread wholesale.
 unsafe impl Send for Mmap {}
+// SAFETY: with no interior mutability and a read-only mapping, concurrent
+// `&Mmap` access is concurrent reads of immutable bytes.
 unsafe impl Sync for Mmap {}
 
 #[cfg(unix)]
@@ -67,11 +69,11 @@ mod sys {
     /// refuses (e.g. the path is on a filesystem without mmap support), in
     /// which case the caller falls back to a heap read.
     pub(crate) fn map_readonly(file: &File, len: usize) -> Option<*const u8> {
-        // SAFETY: all-zero hint address, a length we just took from the
-        // file's metadata, and a file descriptor that outlives the call.
         // MAP_PRIVATE means later writes to the file cannot corrupt safety
         // invariants of the returned region (contents may still be loaded
         // lazily; callers treat the bytes as untrusted input regardless).
+        // SAFETY: all-zero hint address, a length we just took from the
+        // file's metadata, and a file descriptor that outlives the call.
         let ptr = unsafe {
             mmap(
                 std::ptr::null_mut(),
@@ -107,6 +109,8 @@ impl Mmap {
     /// truncated or rewritten while the map is alive; the operating system
     /// may deliver `SIGBUS` on access to pages past a shrunk file. Treat the
     /// bytes as untrusted input (validate, don't assume).
+    // SAFETY: contract is the `# Safety` section above — the caller keeps
+    // the file unmodified for the mapping's lifetime.
     pub unsafe fn map(file: &File) -> io::Result<Mmap> {
         let len = file.metadata()?.len();
         if len > usize::MAX as u64 {
@@ -213,6 +217,7 @@ mod tests {
             .write_all(payload)
             .unwrap();
         let file = std::fs::File::open(&path).unwrap();
+        // SAFETY: the test file is not truncated or rewritten while mapped.
         let map = unsafe { Mmap::map(&file) }.unwrap();
         assert_eq!(&map[..], payload);
         assert_eq!(map.len(), payload.len());
@@ -225,6 +230,7 @@ mod tests {
         let path = temp_path("empty");
         std::fs::File::create(&path).unwrap();
         let file = std::fs::File::open(&path).unwrap();
+        // SAFETY: the test file is not truncated or rewritten while mapped.
         let map = unsafe { Mmap::map(&file) }.unwrap();
         assert!(map.is_empty());
         assert_eq!(&map[..], b"");
@@ -240,6 +246,7 @@ mod tests {
             .write_all(b"x")
             .unwrap();
         let file = std::fs::File::open(&path).unwrap();
+        // SAFETY: the test file is not truncated or rewritten while mapped.
         let map = unsafe { Mmap::map(&file) }.unwrap();
         assert!(map.is_kernel_mapping());
         let _ = std::fs::remove_file(&path);
@@ -254,6 +261,7 @@ mod tests {
             .write_all(&payload)
             .unwrap();
         let file = std::fs::File::open(&path).unwrap();
+        // SAFETY: the test file is not truncated or rewritten while mapped.
         let map = unsafe { Mmap::map(&file) }.unwrap();
         assert_eq!(&map[..], &payload[..]);
         let _ = std::fs::remove_file(&path);

@@ -32,7 +32,50 @@
 //! protocol on `head`. No element is ever observed half-written and the
 //! queue is linearisable without any lock.
 
+// Under `cfg(chordal_model)` the atomics come from the chordal-checker
+// facade: every operation becomes a schedule point of the deterministic
+// interleaving explorer (see crates/checker and docs/concurrency.md).
+#[cfg(not(chordal_model))]
 use std::sync::atomic::{fence, AtomicIsize, AtomicPtr, AtomicUsize, Ordering};
+
+#[cfg(chordal_model)]
+use chordal_checker::sync::{fence, AtomicIsize, AtomicPtr, AtomicUsize, Ordering};
+
+/// Success ordering of the steal CAS on `top`. SeqCst is load-bearing: it
+/// places the steal in the single total order that `pop`'s fence reads, so
+/// an owner popping the last element either sees the steal or wins the CAS
+/// itself (model test `deque_two_stealers_last_elements`). The
+/// `chordal_mutate = "steal_cas"` cfg deliberately weakens it to Relaxed so
+/// the model checker can prove it detects the resulting double-take.
+#[inline]
+fn steal_cas_ordering() -> Ordering {
+    #[cfg(chordal_mutate = "steal_cas")]
+    {
+        Ordering::Relaxed
+    }
+    #[cfg(not(chordal_mutate = "steal_cas"))]
+    {
+        Ordering::SeqCst
+    }
+}
+
+/// Ordering of the injector's slot-sequence publish store. Release is
+/// load-bearing: it is the edge that makes the just-written `value` visible
+/// to the consumer that acquires the sequence (model test
+/// `injector_publish_is_release`). The `chordal_mutate = "injector_publish"`
+/// cfg weakens it to Relaxed so the checker can prove it detects the
+/// stale-value read.
+#[inline]
+fn injector_publish_ordering() -> Ordering {
+    #[cfg(chordal_mutate = "injector_publish")]
+    {
+        Ordering::Relaxed
+    }
+    #[cfg(not(chordal_mutate = "injector_publish"))]
+    {
+        Ordering::Release
+    }
+}
 
 /// Result of a steal attempt on a [`ChaseLev`] deque.
 #[derive(Debug, PartialEq, Eq)]
@@ -64,6 +107,8 @@ pub(crate) struct ChaseLev {
 // `push`/`pop` is a protocol requirement, not a memory-safety one (both are
 // plain atomic operations).
 unsafe impl Send for ChaseLev {}
+// SAFETY: shared access only performs atomic operations (see Send above);
+// the raw pointers stored in slots are opaque values, never dereferenced.
 unsafe impl Sync for ChaseLev {}
 
 impl ChaseLev {
@@ -100,13 +145,25 @@ impl ChaseLev {
     /// Pops the most recently pushed value. Owner only.
     pub(crate) fn pop(&self) -> Option<*mut ()> {
         let b = self.bottom.load(Ordering::Relaxed) - 1;
-        self.bottom.store(b, Ordering::Relaxed);
+        // Release, strengthened from the Relaxed store of Lê et al. (PPoPP
+        // 2013): under C++20 release-sequence rules (P0982) a thief whose
+        // acquire load of `bottom` reads *this* store does not synchronize
+        // with the earlier release store from `push`, so its slot read
+        // could be stale even though its top CAS succeeds. The model
+        // checker finds that schedule when this store is Relaxed (model
+        // test `deque_push_races_steal`); real hardware masks it, the
+        // formal model does not.
+        self.bottom.store(b, Ordering::Release);
         // The store above must be globally visible before the top load, or a
         // concurrent thief and this pop could both take the last element.
         fence(Ordering::SeqCst);
         let t = self.top.load(Ordering::Relaxed);
         if t > b {
-            // Deque was already empty; restore bottom.
+            // Deque was already empty; restore bottom. Relaxed suffices for
+            // the restore stores: by the time either is written, `top` has
+            // already reached `b + 1` (here) or been settled by the CAS
+            // below, so a thief that bases a steal on a restore value
+            // always loses its CAS and returns no slot value.
             self.bottom.store(b + 1, Ordering::Relaxed);
             return None;
         }
@@ -132,9 +189,11 @@ impl ChaseLev {
             return Steal::Empty;
         }
         let value = self.slots[(t & self.mask) as usize].load(Ordering::Relaxed);
+        // The SeqCst success ordering (via the mutation seam) keeps this CAS
+        // in the same total order as pop's fence; see `steal_cas_ordering`.
         if self
             .top
-            .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
+            .compare_exchange(t, t + 1, steal_cas_ordering(), Ordering::Relaxed)
             .is_ok()
         {
             Steal::Taken(value)
@@ -166,7 +225,11 @@ pub(crate) struct Injector {
     tail: AtomicUsize,
 }
 
+// SAFETY: all fields are atomics; values are opaque pointers moved by
+// value, never dereferenced by the queue itself.
 unsafe impl Send for Injector {}
+// SAFETY: the per-slot sequence protocol serializes all access to a slot's
+// value; concurrent callers only ever touch atomics (see Send above).
 unsafe impl Sync for Injector {}
 
 impl Injector {
@@ -206,7 +269,10 @@ impl Injector {
                 ) {
                     Ok(_) => {
                         slot.value.store(value, Ordering::Relaxed);
-                        slot.sequence.store(tail + 1, Ordering::Release);
+                        // Release publish (via the mutation seam): makes the
+                        // value store above visible to the consumer that
+                        // acquires this sequence number.
+                        slot.sequence.store(tail + 1, injector_publish_ordering());
                         return Ok(());
                     }
                     Err(current) => tail = current,
@@ -257,7 +323,7 @@ impl Injector {
     }
 }
 
-#[cfg(test)]
+#[cfg(all(test, not(chordal_model)))]
 mod tests {
     use super::*;
     use std::collections::HashSet;
@@ -267,9 +333,13 @@ mod tests {
         Box::into_raw(Box::new(v)) as *mut ()
     }
 
-    /// SAFETY: `p` must come from `boxed` and be consumed exactly once.
-    unsafe fn unbox(p: *mut ()) -> usize {
-        *Box::from_raw(p as *mut usize)
+    fn unbox(p: *mut ()) -> usize {
+        // Every pointer in these tests comes from `boxed`, and the queues
+        // surface each pushed pointer exactly once (that uniqueness is the
+        // very invariant the tests assert).
+        // SAFETY: unique surfacing (above) means the Box reconstruction
+        // never aliases.
+        unsafe { *Box::from_raw(p as *mut usize) }
     }
 
     #[test]
@@ -278,12 +348,12 @@ mod tests {
         for v in 0..3 {
             d.push(boxed(v)).unwrap();
         }
-        assert_eq!(unsafe { unbox(d.pop().unwrap()) }, 2, "owner pops LIFO");
+        assert_eq!(unbox(d.pop().unwrap()), 2, "owner pops LIFO");
         match d.steal() {
-            Steal::Taken(p) => assert_eq!(unsafe { unbox(p) }, 0, "thief takes FIFO"),
+            Steal::Taken(p) => assert_eq!(unbox(p), 0, "thief takes FIFO"),
             other => panic!("unexpected steal result {other:?}"),
         }
-        assert_eq!(unsafe { unbox(d.pop().unwrap()) }, 1);
+        assert_eq!(unbox(d.pop().unwrap()), 1);
         assert!(d.pop().is_none());
         assert_eq!(d.steal(), Steal::Empty);
         assert!(d.is_empty());
@@ -297,12 +367,12 @@ mod tests {
         }
         let extra = boxed(99);
         let rejected = d.push(extra).expect_err("full deque must reject");
-        assert_eq!(unsafe { unbox(rejected) }, 99);
+        assert_eq!(unbox(rejected), 99);
         // Popping one frees a slot again.
-        unsafe { unbox(d.pop().unwrap()) };
+        unbox(d.pop().unwrap());
         d.push(boxed(4)).unwrap();
         while let Some(p) = d.pop() {
-            unsafe { unbox(p) };
+            unbox(p);
         }
     }
 
@@ -323,7 +393,7 @@ mod tests {
                         let mut got = Vec::new();
                         while !done.load(Ordering::Acquire) {
                             match d.steal() {
-                                Steal::Taken(p) => got.push(unsafe { unbox(p) }),
+                                Steal::Taken(p) => got.push(unbox(p)),
                                 Steal::Retry => std::hint::spin_loop(),
                                 Steal::Empty => std::hint::spin_loop(),
                             }
@@ -331,7 +401,7 @@ mod tests {
                         // Drain whatever is left after the owner finished.
                         loop {
                             match d.steal() {
-                                Steal::Taken(p) => got.push(unsafe { unbox(p) }),
+                                Steal::Taken(p) => got.push(unbox(p)),
                                 Steal::Retry => continue,
                                 Steal::Empty => break,
                             }
@@ -351,10 +421,10 @@ mod tests {
                         if d.push(boxed(next)).is_ok() {
                             next += 1;
                         } else if let Some(p) = d.pop() {
-                            owner_got.push(unsafe { unbox(p) });
+                            owner_got.push(unbox(p));
                         }
                     } else if let Some(p) = d.pop() {
-                        owner_got.push(unsafe { unbox(p) });
+                        owner_got.push(unbox(p));
                     }
                 }
                 done.store(true, Ordering::Release);
@@ -380,15 +450,15 @@ mod tests {
         }
         let extra = boxed(42);
         let rejected = q.push(extra).expect_err("full injector must reject");
-        assert_eq!(unsafe { unbox(rejected) }, 42);
+        assert_eq!(unbox(rejected), 42);
         for v in 0..4 {
-            assert_eq!(unsafe { unbox(q.pop().unwrap()) }, v, "FIFO order");
+            assert_eq!(unbox(q.pop().unwrap()), v, "FIFO order");
         }
         assert!(q.pop().is_none());
         assert!(q.is_empty());
         // Wrap-around lap works.
         q.push(boxed(7)).unwrap();
-        assert_eq!(unsafe { unbox(q.pop().unwrap()) }, 7);
+        assert_eq!(unbox(q.pop().unwrap()), 7);
     }
 
     #[test]
@@ -406,9 +476,9 @@ mod tests {
                     let mut got = Vec::new();
                     loop {
                         match q.pop() {
-                            Some(p) => got.push(unsafe { unbox(p) }),
+                            Some(p) => got.push(unbox(p)),
                             None if done.load(Ordering::Acquire) => match q.pop() {
-                                Some(p) => got.push(unsafe { unbox(p) }),
+                                Some(p) => got.push(unbox(p)),
                                 None => break,
                             },
                             None => std::hint::spin_loop(),
@@ -451,5 +521,225 @@ mod tests {
             "duplicates or loss"
         );
         assert_eq!(unique.len(), PRODUCERS * PER_PRODUCER);
+    }
+}
+
+/// Deterministic model-checker tests; compiled only under
+/// `RUSTFLAGS="--cfg chordal_model"`, where the atomics above resolve to the
+/// chordal-checker facade. Values are tagged integers disguised as pointers
+/// (never dereferenced), so failing schedules leak nothing.
+#[cfg(all(test, chordal_model))]
+mod model_tests {
+    use super::*;
+    use chordal_checker::{model, run, thread, Config};
+    use std::sync::Arc;
+
+    fn tag(v: usize) -> *mut () {
+        (v + 1) as *mut ()
+    }
+
+    fn untag(p: *mut ()) -> usize {
+        assert!(!p.is_null(), "observed an unpublished (null) slot value");
+        p as usize - 1
+    }
+
+    /// Asserts that every value surfaced exactly once across `got`.
+    fn assert_exactly_once(mut got: Vec<usize>, expect: usize) {
+        got.sort_unstable();
+        let n = got.len();
+        got.dedup();
+        assert_eq!(got.len(), n, "a value surfaced twice: {got:?}");
+        assert_eq!(n, expect, "values lost: {got:?}");
+    }
+
+    /// The Chase–Lev needle: two stealers racing the owner for the last
+    /// elements. A weakened steal CAS lets a stale `top` read give the same
+    /// element to the owner and a thief (the classic double-take).
+    fn last_element_race() {
+        let d = Arc::new(ChaseLev::new(4));
+        d.push(tag(0)).unwrap();
+        d.push(tag(1)).unwrap();
+        let mut thieves = Vec::new();
+        for _ in 0..2 {
+            let d = Arc::clone(&d);
+            thieves.push(thread::spawn(move || match d.steal() {
+                Steal::Taken(p) => Some(untag(p)),
+                _ => None,
+            }));
+        }
+        let mut got = Vec::new();
+        while let Some(p) = d.pop() {
+            got.push(untag(p));
+        }
+        for h in thieves {
+            if let Some(v) = h.join().unwrap() {
+                got.push(v);
+            }
+        }
+        assert_exactly_once(got, 2);
+    }
+
+    /// Under the `steal_cas` mutant this test asserts the checker FINDS a
+    /// failing schedule (and reproduces it deterministically); on the real
+    /// orderings it asserts an exhaustive clean pass.
+    #[test]
+    fn deque_two_stealers_last_elements() {
+        let cfg = Config::dfs(2);
+        let outcome = run(cfg, last_element_race);
+        if cfg!(chordal_mutate = "steal_cas") {
+            let f = outcome
+                .failure
+                .expect("weakened steal CAS must yield a failing schedule");
+            assert!(f.schedule.contains("cas"), "schedule names the ops:\n{f:?}");
+            let again = run(cfg, last_element_race);
+            let g = again.failure.expect("rerun must fail too");
+            assert_eq!(f.execution, g.execution, "deterministic reproduction");
+            assert_eq!(f.trail, g.trail, "identical decision trail");
+        } else if let Some(f) = outcome.failure {
+            panic!("correct orderings must pass exhaustively:\n{}", f.report());
+        } else {
+            assert!(outcome.executions > 1, "explorer must branch");
+        }
+    }
+
+    /// Concurrent push/steal: the push-side Release on `bottom` publishes
+    /// the slot store; a thief never reads an unwritten slot and every
+    /// value surfaces exactly once.
+    #[test]
+    fn deque_push_races_steal() {
+        model(|| {
+            let d = Arc::new(ChaseLev::new(2));
+            let d2 = Arc::clone(&d);
+            let h = thread::spawn(move || {
+                let mut got = Vec::new();
+                for _ in 0..2 {
+                    if let Steal::Taken(p) = d2.steal() {
+                        got.push(untag(p));
+                    }
+                }
+                got
+            });
+            d.push(tag(0)).unwrap();
+            d.push(tag(1)).unwrap();
+            let mut got = Vec::new();
+            while let Some(p) = d.pop() {
+                got.push(untag(p));
+            }
+            got.extend(h.join().unwrap());
+            assert_exactly_once(got, 2);
+        });
+    }
+
+    /// Full/empty edges of the deque under the model facade.
+    #[test]
+    fn deque_full_and_empty_edges() {
+        model(|| {
+            let d = ChaseLev::new(2);
+            d.push(tag(0)).unwrap();
+            d.push(tag(1)).unwrap();
+            assert_eq!(untag(d.push(tag(9)).unwrap_err()), 9, "full rejects");
+            assert_eq!(untag(d.pop().unwrap()), 1, "LIFO");
+            assert_eq!(untag(d.pop().unwrap()), 0);
+            assert!(d.pop().is_none());
+            assert_eq!(d.steal(), Steal::Empty);
+        });
+    }
+
+    /// The injector publish edge: a consumer that acquires the published
+    /// sequence must see the value store, never the initial null.
+    fn injector_publish_race() {
+        let q = Arc::new(Injector::new(2));
+        let q2 = Arc::clone(&q);
+        let h = thread::spawn(move || {
+            if let Some(p) = q2.pop() {
+                assert_eq!(untag(p), 7, "consumer saw the published value");
+            }
+        });
+        q.push(tag(7)).unwrap();
+        h.join().unwrap();
+        // Whatever the race outcome, the value is still exactly-once.
+        if let Some(p) = q.pop() {
+            assert_eq!(untag(p), 7);
+        }
+    }
+
+    /// Under the `injector_publish` mutant the checker must observe the
+    /// stale (null) slot value; on the real Release publish it must pass.
+    #[test]
+    fn injector_publish_is_release() {
+        let cfg = Config::dfs(2);
+        let outcome = run(cfg, injector_publish_race);
+        if cfg!(chordal_mutate = "injector_publish") {
+            let f = outcome
+                .failure
+                .expect("Relaxed publish must yield a failing schedule");
+            assert!(
+                f.message.contains("unpublished") || f.message.contains("published value"),
+                "{}",
+                f.message
+            );
+            let again = run(cfg, injector_publish_race);
+            assert_eq!(
+                f.execution,
+                again.failure.expect("rerun must fail too").execution,
+                "deterministic reproduction"
+            );
+        } else if let Some(f) = outcome.failure {
+            panic!("Release publish must pass exhaustively:\n{}", f.report());
+        }
+    }
+
+    /// Two producers race for slots while the consumer drains: MPMC
+    /// accounting stays exact and the full/empty laps stay consistent.
+    #[test]
+    fn injector_mpmc_accounting() {
+        fn mpmc_round_trip() {
+            let q = Arc::new(Injector::new(2));
+            let mut producers = Vec::new();
+            for v in 0..2 {
+                let q = Arc::clone(&q);
+                producers.push(thread::spawn(move || q.push(tag(v)).is_ok()));
+            }
+            let mut got = Vec::new();
+            if let Some(p) = q.pop() {
+                got.push(untag(p));
+            }
+            for h in producers {
+                assert!(h.join().unwrap(), "capacity 2 never rejects 2 pushes");
+            }
+            while let Some(p) = q.pop() {
+                got.push(untag(p));
+            }
+            assert_exactly_once(got, 2);
+        }
+        let outcome = run(Config::default(), mpmc_round_trip);
+        if cfg!(chordal_mutate = "injector_publish") {
+            // The weakened publish store also breaks MPMC accounting; the
+            // checker must surface it here too, not just in the targeted
+            // `injector_publish_is_release` test.
+            assert!(
+                outcome.failure.is_some(),
+                "weakened injector publish must fail MPMC accounting"
+            );
+        } else if let Some(f) = outcome.failure {
+            panic!("correct orderings must pass exhaustively:\n{}", f.report());
+        }
+    }
+
+    /// Sequence laps: a slot is reusable after pop releases it, and a
+    /// full queue rejects the producer without corrupting the ring.
+    #[test]
+    fn injector_lap_reuse() {
+        model(|| {
+            let q = Injector::new(2);
+            q.push(tag(0)).unwrap();
+            q.push(tag(1)).unwrap();
+            assert_eq!(untag(q.push(tag(9)).unwrap_err()), 9, "full rejects");
+            assert_eq!(untag(q.pop().unwrap()), 0, "FIFO");
+            q.push(tag(2)).unwrap();
+            assert_eq!(untag(q.pop().unwrap()), 1);
+            assert_eq!(untag(q.pop().unwrap()), 2);
+            assert!(q.pop().is_none());
+        });
     }
 }

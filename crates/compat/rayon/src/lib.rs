@@ -700,7 +700,10 @@ pub mod prelude {
     }
 }
 
-#[cfg(test)]
+// Gated out under `chordal_model`: these tests drive the real pool (whose
+// workers loop forever), which the finite model exploration cannot host;
+// the model suites live in `deque::model_tests` and `pool::model_tests`.
+#[cfg(all(test, not(chordal_model)))]
 mod tests {
     use super::prelude::*;
     use super::*;

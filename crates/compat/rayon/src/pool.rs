@@ -58,10 +58,27 @@ use crate::deque::{ChaseLev, Injector, Steal};
 use std::cell::Cell;
 use std::ops::Range;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::{fence, AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
-use std::thread::Thread;
+use std::sync::{Arc, OnceLock};
 use std::time::Duration;
+
+// Under `cfg(chordal_model)` the atomics, mutex and thread handles come
+// from the chordal-checker facade so the model tests below can explore the
+// region join protocol deterministically (see docs/concurrency.md).
+#[cfg(not(chordal_model))]
+use std::sync::atomic::{fence, AtomicBool, AtomicU64, AtomicUsize, Ordering};
+#[cfg(not(chordal_model))]
+use std::sync::Mutex;
+#[cfg(not(chordal_model))]
+use std::thread;
+#[cfg(not(chordal_model))]
+use std::thread::Thread;
+
+#[cfg(chordal_model)]
+use chordal_checker::sync::{fence, AtomicBool, AtomicU64, AtomicUsize, Mutex, Ordering};
+#[cfg(chordal_model)]
+use chordal_checker::thread;
+#[cfg(chordal_model)]
+use chordal_checker::thread::Thread;
 
 /// Capacity of each worker's Chase–Lev deque (tickets, not chunks).
 const DEQUE_CAPACITY: usize = 256;
@@ -70,7 +87,12 @@ const DEQUE_CAPACITY: usize = 256;
 const INJECTOR_CAPACITY: usize = 1024;
 
 /// Spin iterations before a joining thread parks.
+#[cfg(not(chordal_model))]
 const JOIN_SPINS: u32 = 128;
+/// Under the model checker every spin iteration is a schedule point, so the
+/// joiner parks almost immediately to keep the state space tractable.
+#[cfg(chordal_model)]
+const JOIN_SPINS: u32 = 1;
 
 /// Backstop park timeout for idle workers; wake-ups normally arrive via
 /// `unpark` from the push path, this only bounds the cost of a lost race.
@@ -125,11 +147,15 @@ struct Region {
 /// A lifetime-erased `&dyn Fn(Range<usize>)` region body, stored raw.
 struct FuncPtr(*const (dyn Fn(Range<usize>) + Sync));
 
-// SAFETY: the pointee is `Sync`, and `Pool::run_region` guarantees every
-// dereference happens before the caller's borrow ends (see module docs);
-// after that the pointer may dangle inside stale tickets but is never
-// dereferenced again (the `pending == 0` claim guard).
+// `Pool::run_region` guarantees every dereference happens before the
+// caller's borrow ends (see module docs); after that the pointer may
+// dangle inside stale tickets but is never dereferenced again (the
+// `pending == 0` claim guard).
+// SAFETY: the pointee is `Sync` and the liveness argument above bounds
+// every cross-thread dereference inside the caller's borrow.
 unsafe impl Send for FuncPtr {}
+// SAFETY: shared access is read-only (the pointer is only ever read and
+// dereferenced to a `Sync` pointee); see the liveness argument on Send.
 unsafe impl Sync for FuncPtr {}
 
 impl Region {
@@ -251,11 +277,14 @@ impl Shared {
     }
 
     /// Recovers a ticket from its queue representation.
-    ///
-    /// SAFETY: `raw` must come from [`Shared::into_raw`] and be consumed
-    /// exactly once.
+    //
+    // SAFETY: callers must pass a pointer produced by `Shared::into_raw`
+    // and consume it exactly once (the queues surface each ticket once).
     unsafe fn from_raw(raw: *mut ()) -> Arc<Region> {
-        Arc::from_raw(raw as *const Region)
+        // SAFETY: per this function's contract, `raw` was produced by
+        // `Shared::into_raw` (so it is a live `Arc<Region>` pointer) and is
+        // consumed exactly once.
+        unsafe { Arc::from_raw(raw as *const Region) }
     }
 
     /// Publishes one ticket and wakes a worker. Returns `false` when every
@@ -347,7 +376,7 @@ impl Shared {
     fn worker_loop(&self, index: usize) {
         WORKER_INDEX.with(|cell| cell.set(index));
         let me = &self.workers[index];
-        let _ = me.handle.set(std::thread::current());
+        let _ = me.handle.set(thread::current());
         loop {
             if let Some(region) = self.take(index) {
                 region.help();
@@ -362,7 +391,7 @@ impl Shared {
                 me.sleeping.store(false, Ordering::SeqCst);
                 continue;
             }
-            std::thread::park_timeout(WORKER_PARK);
+            thread::park_timeout(WORKER_PARK);
             me.sleeping.store(false, Ordering::SeqCst);
         }
     }
@@ -393,7 +422,7 @@ impl Pool {
         for index in 0..workers {
             let shared = Arc::clone(&shared);
             shared.spawned.fetch_add(1, Ordering::Relaxed);
-            std::thread::Builder::new()
+            thread::Builder::new()
                 .name(format!("chordal-pool-{index}"))
                 .spawn(move || shared.worker_loop(index))
                 .expect("failed to spawn pool worker");
@@ -431,12 +460,12 @@ impl Pool {
             return;
         }
         let body: &(dyn Fn(Range<usize>) + Sync) = &f;
-        // SAFETY: lifetime erasure to a raw wide pointer (same layout).
-        // This function does not return until the region quiesces (pending
+        // Lifetime erasure to a raw wide pointer (same layout). This
+        // function does not return until the region quiesces (pending
         // invitations cancelled, no thread active in the region), so the
-        // pointer outlives every dereference; cancelled tickets may keep
-        // it around longer, but they never dereference it (see
-        // `Region::help`).
+        // pointer outlives every dereference; cancelled tickets may keep it
+        // around longer, but they never dereference it (`Region::help`).
+        // SAFETY: same-layout transmute; liveness argument above.
         let body: *const (dyn Fn(Range<usize>) + Sync) = unsafe { std::mem::transmute(body) };
         let region = Arc::new(Region {
             cursor: AtomicUsize::new(0),
@@ -448,7 +477,7 @@ impl Pool {
             // The submitter counts as active from the start, so helpers'
             // quiescence checks cannot fire before it has joined.
             active: AtomicUsize::new(1),
-            joiner: std::thread::current(),
+            joiner: thread::current(),
             panic: Mutex::new(None),
         });
         self.shared.regions.fetch_add(1, Ordering::Relaxed);
@@ -474,7 +503,7 @@ impl Pool {
                 spins += 1;
                 std::hint::spin_loop();
             } else {
-                std::thread::park_timeout(JOIN_PARK);
+                thread::park_timeout(JOIN_PARK);
             }
         }
         if region.aborted.load(Ordering::Relaxed) {
@@ -594,14 +623,14 @@ pub(crate) fn configured_size() -> usize {
             .and_then(|v| v.parse::<usize>().ok())
             .filter(|&n| n > 0)
             .unwrap_or_else(|| {
-                std::thread::available_parallelism()
+                thread::available_parallelism()
                     .map(|n| n.get())
                     .unwrap_or(1)
             })
     })
 }
 
-#[cfg(test)]
+#[cfg(all(test, not(chordal_model)))]
 mod tests {
     use super::*;
 
@@ -816,5 +845,139 @@ mod tests {
             sum.fetch_add(r.len(), Ordering::Relaxed);
         });
         assert_eq!(sum.into_inner(), 100);
+    }
+}
+
+/// Model-checker tests for the region join protocol; compiled only under
+/// `RUSTFLAGS="--cfg chordal_model"`. They construct `Region` directly (the
+/// full `Pool` spawns forever-looping workers, which a finite exploration cannot
+/// model) and exhaustively explore the claim/cancel/quiesce handshake.
+#[cfg(all(test, chordal_model))]
+mod model_tests {
+    use super::*;
+    use chordal_checker::model;
+
+    /// Runs the submitter side of `run_region`'s join: cancel unclaimed
+    /// invitations, retire, and wait for in-flight helpers.
+    fn join(region: &Region) {
+        region.pending.swap(0, Ordering::SeqCst);
+        region.active.fetch_sub(1, Ordering::SeqCst);
+        let mut spins = 0u32;
+        while region.active.load(Ordering::SeqCst) > 0 {
+            if spins < JOIN_SPINS {
+                spins += 1;
+                std::hint::spin_loop();
+            } else {
+                thread::park_timeout(JOIN_PARK);
+            }
+        }
+    }
+
+    fn make_region(len: usize, pending: usize, body: &(dyn Fn(Range<usize>) + Sync)) -> Region {
+        // SAFETY: same lifetime erasure as `run_region`; each test joins the
+        // region (and its helper thread) before `body` goes out of scope.
+        let body: *const (dyn Fn(Range<usize>) + Sync) = unsafe { std::mem::transmute(body) };
+        Region {
+            cursor: AtomicUsize::new(0),
+            len,
+            grain: 1,
+            aborted: AtomicBool::new(false),
+            func: FuncPtr(body),
+            pending: AtomicUsize::new(pending),
+            active: AtomicUsize::new(1),
+            joiner: thread::current(),
+            panic: Mutex::new(None),
+        }
+    }
+
+    /// The load-bearing claim order (`active` up *before* the `pending`
+    /// claim, both SeqCst): once the joiner has cancelled `pending` and
+    /// observed `active == 0`, no helper may still be about to dereference
+    /// the body. The body asserts it never runs after quiescence, and the
+    /// chunk accounting must be exact in every interleaving.
+    #[test]
+    fn region_join_quiesces_exactly() {
+        model(|| {
+            let hits = Arc::new(AtomicUsize::new(0));
+            let retired = Arc::new(AtomicBool::new(false));
+            let (h2, r2) = (Arc::clone(&hits), Arc::clone(&retired));
+            let body = move |r: Range<usize>| {
+                assert!(
+                    !r2.load(Ordering::SeqCst),
+                    "chunk body ran after the joiner observed quiescence"
+                );
+                h2.fetch_add(r.len(), Ordering::SeqCst);
+            };
+            let region = Arc::new(make_region(2, 1, &body));
+            let helper = {
+                let region = Arc::clone(&region);
+                thread::spawn(move || region.help())
+            };
+            region.execute_chunks();
+            join(&region);
+            retired.store(true, Ordering::SeqCst);
+            assert_eq!(hits.load(Ordering::SeqCst), 2, "every chunk exactly once");
+            helper.join().unwrap();
+        });
+    }
+
+    /// A panicking chunk must still retire its participation (the
+    /// permit-release-on-panic invariant): the joiner never deadlocks, the
+    /// region aborts, and the payload is captured for rethrow.
+    #[test]
+    fn region_panic_still_quiesces() {
+        model(|| {
+            let body = |r: Range<usize>| {
+                if r.start == 0 {
+                    panic!("chunk boom");
+                }
+            };
+            let region = Arc::new(make_region(2, 1, &body));
+            let helper = {
+                let region = Arc::clone(&region);
+                thread::spawn(move || region.help())
+            };
+            region.execute_chunks();
+            join(&region);
+            helper.join().unwrap();
+            assert!(
+                region.aborted.load(Ordering::SeqCst),
+                "a chunk panic must abort the region"
+            );
+            let payload = region.panic.lock().unwrap().take();
+            assert!(payload.is_some(), "the panic payload must be captured");
+        });
+    }
+
+    /// A stale ticket (region already cancelled) is a strict no-op: the
+    /// helper must not run the body and must not disturb the accounting.
+    #[test]
+    fn stale_ticket_is_a_noop() {
+        model(|| {
+            let body = |_: Range<usize>| {
+                panic!("a cancelled region's body must never run");
+            };
+            let region = Arc::new(make_region(2, 1, &body));
+            // The submitter cancels before helping at all (as when its own
+            // drain raced ahead); mark the cursor drained so execute_chunks
+            // is not needed.
+            region.cursor.store(2, Ordering::SeqCst);
+            region.pending.swap(0, Ordering::SeqCst);
+            let helper = {
+                let region = Arc::clone(&region);
+                thread::spawn(move || region.help())
+            };
+            region.active.fetch_sub(1, Ordering::SeqCst);
+            let mut spins = 0u32;
+            while region.active.load(Ordering::SeqCst) > 0 {
+                if spins < JOIN_SPINS {
+                    spins += 1;
+                } else {
+                    thread::park_timeout(JOIN_PARK);
+                }
+            }
+            helper.join().unwrap();
+            assert_eq!(region.active.load(Ordering::SeqCst), 0);
+        });
     }
 }

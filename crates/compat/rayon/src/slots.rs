@@ -141,8 +141,12 @@ impl<T> ItemSlots<T> {
     /// Each index must be taken by at most one thread (regions guarantee
     /// this by handing out disjoint ranges); concurrent takes of the *same*
     /// index are a data race.
+    // SAFETY: contract is the `# Safety` section above.
     pub unsafe fn take(&self, index: usize) -> Option<T> {
-        (*self.slots[index].get()).take()
+        // SAFETY: the caller guarantees exclusive access to this index (the
+        // region protocol hands out disjoint ranges), so the UnsafeCell
+        // dereference cannot race.
+        unsafe { (*self.slots[index].get()).take() }
     }
 }
 

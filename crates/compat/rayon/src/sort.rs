@@ -26,7 +26,11 @@ impl<T> SendPtr<T> {
     }
 }
 
+// SAFETY: only the owning region moves the pointer across threads, and the
+// index math below hands each task a disjoint subrange (see module docs).
 unsafe impl<T: Send> Send for SendPtr<T> {}
+// SAFETY: shared tasks only read the pointer value; disjointness of the
+// ranges they dereference is the Send argument above.
 unsafe impl<T: Send> Sync for SendPtr<T> {}
 
 /// Sorts `slice` in parallel (unstable), falling back to the sequential

@@ -97,10 +97,11 @@ impl MmapCsrGraph {
     /// Opens an already-open file as a memory-mapped graph. See
     /// [`MmapCsrGraph::open`].
     pub fn from_file(file: &File) -> Result<Self, GraphError> {
+        // All byte accesses made through this type are bounds-checked
+        // against the mapping length captured here, and the parsed
+        // contents are treated as untrusted input.
         // SAFETY: the standard mmap caveat — the caller must not truncate
-        // the file while the map is alive. All byte accesses made through
-        // this type are bounds-checked against the mapping length captured
-        // here, and the parsed contents are treated as untrusted input.
+        // the file while the map is alive.
         let map = unsafe { Mmap::map(file) }?;
         let backing = Self::normalize(map)?;
         let header = Header::parse(backing.bytes())?;
@@ -139,6 +140,9 @@ impl MmapCsrGraph {
             let header = Header::parse(&map)?;
             let mut owned = AlignedBytes::from_slice(&map);
             let len = owned.len;
+            // u64 -> u8 reinterpretation of `owned`'s initialised buffer,
+            // same as `as_bytes`, but mutable.
+            // SAFETY: `owned` is uniquely held, so nothing aliases it.
             let bytes =
                 unsafe { std::slice::from_raw_parts_mut(owned.buf.as_mut_ptr() as *mut u8, len) };
             let adj_start = HEADER_LEN + header.offsets_len();

@@ -32,8 +32,21 @@
 //! user code, so `std` mutex poisoning is unreachable here.)
 
 use std::collections::VecDeque;
+
+// Under `--cfg chordal_model` the queue compiles against the checker's
+// deterministic facade: the same `Mutex`/`Condvar` API backed by the
+// model scheduler, and a virtual `Instant` clock that only advances when
+// a timed wait is the sole way forward. See crates/checker/src/sync.rs
+// and docs/concurrency.md.
+#[cfg(not(chordal_model))]
 use std::sync::{Condvar, Mutex};
+#[cfg(not(chordal_model))]
 use std::time::{Duration, Instant};
+
+#[cfg(chordal_model)]
+use chordal_checker::sync::{Condvar, Mutex};
+#[cfg(chordal_model)]
+use chordal_checker::time::{Duration, Instant};
 
 /// Why [`AdmissionQueue::acquire`] did not grant a permit.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -193,7 +206,10 @@ impl AdmissionQueue {
     /// watcher, which shares the condvar).
     pub fn release(&self) {
         let mut state = self.state.lock().expect("admission queue lock");
-        debug_assert!(state.inflight > 0, "release without a matching acquire");
+        // A hard assert (not debug_assert): an unmatched release means the
+        // permit accounting is corrupt, and the saturating_sub below would
+        // silently mask it in release builds — over-admitting forever after.
+        assert!(state.inflight > 0, "release without a matching acquire");
         state.inflight = state.inflight.saturating_sub(1);
         drop(state);
         self.cond.notify_all();
@@ -246,7 +262,10 @@ impl AdmissionQueue {
     }
 }
 
-#[cfg(test)]
+// These tests drive real OS threads and wall-clock sleeps; the model
+// variants below (`model_tests`) explore the same protocol exhaustively
+// under the deterministic scheduler.
+#[cfg(all(test, not(chordal_model)))]
 mod tests {
     use super::*;
     use std::sync::atomic::{AtomicUsize, Ordering};
@@ -388,5 +407,239 @@ mod tests {
         });
         let stats = q.stats();
         assert_eq!((stats.inflight, stats.queue_depth), (0, 0));
+    }
+}
+
+/// Deterministic model checks of the admission protocol: every test runs
+/// under the checker's scheduler (`--cfg chordal_model`), so a lost
+/// wakeup or deadlock in any interleaving is reported as a concrete,
+/// replayable schedule rather than a flaky hang.
+#[cfg(all(test, chordal_model))]
+mod model_tests {
+    use super::*;
+    use chordal_checker::{model, run, thread, Config};
+    use std::sync::Arc;
+
+    /// A freed permit must wake the parked FIFO front: if `release`'s
+    /// notify can be lost in any interleaving, the waiter parks forever
+    /// and the checker reports the deadlocked schedule.
+    #[test]
+    fn queue_release_wakes_parked_waiter() {
+        model(|| {
+            let q = Arc::new(AdmissionQueue::new(1, 4));
+            assert_eq!(q.acquire(None), Ok(0), "first acquire is uncontended");
+            let w = {
+                let q = Arc::clone(&q);
+                thread::spawn(move || {
+                    q.acquire(None).expect("waiter must be granted");
+                    q.release();
+                })
+            };
+            q.release();
+            w.join().unwrap();
+            let stats = q.stats();
+            assert_eq!((stats.inflight, stats.queue_depth), (0, 0));
+        });
+    }
+
+    /// At most `max_inflight` permits are ever held at once, and every
+    /// admitted request completes (no grant is dropped on the floor).
+    #[test]
+    fn queue_permits_are_mutually_exclusive() {
+        model(|| {
+            let q = Arc::new(AdmissionQueue::new(1, 4));
+            let held = Arc::new(Mutex::new(0usize));
+            let mut handles = Vec::new();
+            for _ in 0..2 {
+                let q = Arc::clone(&q);
+                let held = Arc::clone(&held);
+                handles.push(thread::spawn(move || {
+                    q.acquire(None).expect("bounded queue admits both");
+                    {
+                        let mut h = held.lock().unwrap();
+                        *h += 1;
+                        assert_eq!(*h, 1, "two permits held concurrently");
+                    }
+                    *held.lock().unwrap() -= 1;
+                    q.release();
+                }));
+            }
+            for h in handles {
+                h.join().unwrap();
+            }
+            assert_eq!(q.stats().inflight, 0);
+        });
+    }
+
+    /// A parked waiter's deadline fires on the virtual clock: with the
+    /// only permit held and never released, the waiter must come back
+    /// with `DeadlineExceeded` (not hang, not get a phantom grant).
+    #[test]
+    fn queue_deadline_expires_under_virtual_clock() {
+        model(|| {
+            let q = Arc::new(AdmissionQueue::new(1, 2));
+            assert_eq!(q.acquire(None), Ok(0));
+            let w = {
+                let q = Arc::clone(&q);
+                thread::spawn(move || {
+                    let err = q
+                        .acquire(Some(Instant::now() + Duration::from_millis(5)))
+                        .expect_err("held permit must expire the waiter");
+                    match err {
+                        AcquireError::DeadlineExceeded { waited_ns } => {
+                            assert!(waited_ns >= 5_000_000, "virtual wait {waited_ns}ns");
+                        }
+                        other => panic!("expected DeadlineExceeded, got {other:?}"),
+                    }
+                })
+            };
+            w.join().unwrap();
+            let stats = q.stats();
+            assert_eq!(stats.deadline_expired, 1);
+            assert_eq!(stats.queue_depth, 0, "expired waiters leave the queue");
+            q.release();
+            assert_eq!(q.acquire(None), Ok(0), "freed permit grants again");
+            q.release();
+        });
+    }
+
+    /// `halt` must answer every parked waiter with `ShuttingDown` in every
+    /// interleaving — a waiter that misses the halt wakeup parks forever.
+    #[test]
+    fn queue_halt_wakes_parked_waiters() {
+        model(|| {
+            let q = Arc::new(AdmissionQueue::new(1, 4));
+            assert_eq!(q.acquire(None), Ok(0));
+            let w = {
+                let q = Arc::clone(&q);
+                thread::spawn(move || q.acquire(None))
+            };
+            q.halt();
+            match w.join().unwrap() {
+                Err(AcquireError::ShuttingDown { .. }) => {}
+                other => panic!("expected ShuttingDown, got {other:?}"),
+            }
+            assert!(matches!(
+                q.acquire(None),
+                Err(AcquireError::ShuttingDown { waited_ns: 0 })
+            ));
+            q.release();
+        });
+    }
+
+    /// Permit release is panic-safe: a handler that unwinds through its
+    /// RAII guard still frees the permit, so a parked waiter behind a
+    /// panicking request is granted, not deadlocked.
+    #[test]
+    fn queue_release_on_panic_unblocks_waiter() {
+        struct Guard<'a>(&'a AdmissionQueue);
+        impl Drop for Guard<'_> {
+            fn drop(&mut self) {
+                self.0.release();
+            }
+        }
+        model(|| {
+            let q = Arc::new(AdmissionQueue::new(1, 4));
+            let w = {
+                let q = Arc::clone(&q);
+                thread::spawn(move || {
+                    q.acquire(None).expect("waiter behind the panic is granted");
+                    q.release();
+                })
+            };
+            let unwound = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                q.acquire(None).expect("bounded queue admits the handler");
+                let _permit = Guard(&q);
+                panic!("handler panicked while holding a permit");
+            }));
+            assert!(unwound.is_err(), "the handler body must have unwound");
+            w.join().unwrap();
+            assert_eq!(q.stats().inflight, 0, "unwinding released the permit");
+        });
+    }
+
+    /// `drain` must observe an in-flight release in every interleaving
+    /// (the drain watcher shares the condvar with waiters).
+    #[test]
+    fn queue_drain_observes_release() {
+        model(|| {
+            let q = Arc::new(AdmissionQueue::new(1, 4));
+            assert_eq!(q.acquire(None), Ok(0));
+            let w = {
+                let q = Arc::clone(&q);
+                thread::spawn(move || q.release())
+            };
+            assert!(
+                q.drain(Duration::from_millis(200)),
+                "drain must see the handler finish"
+            );
+            w.join().unwrap();
+            let stats = q.stats();
+            assert_eq!((stats.inflight, stats.queue_depth), (0, 0));
+        });
+    }
+
+    /// FIFO grants: when the enqueue order is observed (first waiter
+    /// parked before the second arrives), the grants must come back in
+    /// ticket order. Random-walk schedules realise the observation often
+    /// enough to exercise the ordered path; schedules that don't simply
+    /// skip the order assertion (the liveness half still runs).
+    #[test]
+    fn queue_grants_follow_ticket_order() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        static ORDER_CHECKED: AtomicUsize = AtomicUsize::new(0);
+
+        fn waiter(
+            q: &Arc<AdmissionQueue>,
+            id: u8,
+            log: &Arc<Mutex<Vec<u8>>>,
+        ) -> thread::JoinHandle<()> {
+            let q = Arc::clone(q);
+            let log = Arc::clone(log);
+            thread::spawn(move || {
+                q.acquire(None).expect("queued acquire");
+                log.lock().unwrap().push(id);
+                q.release();
+            })
+        }
+
+        /// Bounded wait for `q` to report `depth` parked waiters; returns
+        /// whether the depth was observed (bounded, so never a livelock).
+        fn saw_depth(q: &AdmissionQueue, depth: usize) -> bool {
+            for _ in 0..24 {
+                if q.stats().queue_depth == depth {
+                    return true;
+                }
+                thread::yield_now();
+            }
+            false
+        }
+
+        ORDER_CHECKED.store(0, Ordering::SeqCst);
+        let outcome = run(Config::random(0x5EED_F1F0, 160), || {
+            let q = Arc::new(AdmissionQueue::new(1, 8));
+            assert_eq!(q.acquire(None), Ok(0), "occupy the only permit");
+            let log = Arc::new(Mutex::new(Vec::new()));
+            let w1 = waiter(&q, 1, &log);
+            let serialized = saw_depth(&q, 1);
+            let w2 = waiter(&q, 2, &log);
+            let serialized = serialized && saw_depth(&q, 2);
+            q.release();
+            w1.join().unwrap();
+            w2.join().unwrap();
+            if serialized {
+                assert_eq!(*log.lock().unwrap(), vec![1, 2], "grants in ticket order");
+                ORDER_CHECKED.fetch_add(1, Ordering::SeqCst);
+            }
+            assert_eq!(log.lock().unwrap().len(), 2, "both waiters granted");
+            assert_eq!(q.stats().inflight, 0);
+        });
+        if let Some(f) = outcome.failure {
+            panic!("admission protocol failed:\n{}", f.report());
+        }
+        assert!(
+            ORDER_CHECKED.load(Ordering::SeqCst) > 0,
+            "no schedule realised the serialized enqueue; FIFO never checked"
+        );
     }
 }

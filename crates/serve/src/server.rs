@@ -40,7 +40,16 @@ use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
-use std::time::{Duration, Instant};
+use std::time::Duration;
+
+// The queue's deadline parameter is the cfg-selected `Instant` (virtual
+// under `--cfg chordal_model`); everything else here is wall-clock and
+// never runs under the model.
+#[cfg(not(chordal_model))]
+use std::time::Instant;
+
+#[cfg(chordal_model)]
+use chordal_checker::time::Instant;
 
 /// How long blocked reads wait before re-checking the shutdown flag.
 const POLL_INTERVAL: Duration = Duration::from_millis(50);
