@@ -6,33 +6,55 @@
 //! clustering and hubs have low clustering (assortative, module-structured),
 //! whereas the synthetic graphs show no such pattern.
 
+use chordal_core::kernels::intersect_count;
 use chordal_graph::{CsrGraph, VertexId};
 use rayon::prelude::*;
+
+/// Triangles incident on `v`, counting each once per later-neighbour pair.
+///
+/// On sorted adjacency every pair test collapses into one adaptive sorted
+/// intersection per neighbour (`N(v)[i+1..] ∩ N(a)` — both ascending and
+/// duplicate-free, so `a != b` is implicit); an unsorted graph keeps the
+/// exact pairwise `has_edge` scan, which tolerates any ordering.
+fn triangles_at(graph: &CsrGraph, v: VertexId, sorted: bool) -> usize {
+    let neigh = graph.neighbors(v);
+    if sorted {
+        neigh
+            .iter()
+            .enumerate()
+            .map(|(i, &a)| intersect_count(&neigh[i + 1..], graph.neighbors(a)))
+            .sum()
+    } else {
+        let mut t = 0usize;
+        for (i, &a) in neigh.iter().enumerate() {
+            for &b in &neigh[i + 1..] {
+                if a != b && graph.has_edge(a, b) {
+                    t += 1;
+                }
+            }
+        }
+        t
+    }
+}
 
 /// Local clustering coefficient of every vertex: the fraction of pairs of
 /// neighbours that are themselves adjacent. Vertices of degree < 2 have
 /// coefficient 0.
 ///
-/// Requires sorted adjacency for the edge-membership tests; an unsorted
-/// graph is handled correctly but more slowly.
+/// Sorted adjacency gets the branch-light intersection kernels of
+/// [`chordal_core::kernels`]; an unsorted graph is handled correctly but
+/// more slowly.
 pub fn local_clustering_coefficients(graph: &CsrGraph) -> Vec<f64> {
+    let sorted = graph.is_sorted();
     (0..graph.num_vertices())
         .into_par_iter()
         .map(|v| {
             let v = v as VertexId;
-            let neigh = graph.neighbors(v);
-            let d = neigh.len();
+            let d = graph.degree(v);
             if d < 2 {
                 return 0.0;
             }
-            let mut triangles = 0usize;
-            for (i, &a) in neigh.iter().enumerate() {
-                for &b in &neigh[i + 1..] {
-                    if a != b && graph.has_edge(a, b) {
-                        triangles += 1;
-                    }
-                }
-            }
+            let triangles = triangles_at(graph, v, sorted);
             2.0 * triangles as f64 / (d * (d - 1)) as f64
         })
         .collect()
@@ -82,21 +104,10 @@ pub fn average_clustering_by_degree(graph: &CsrGraph) -> Vec<DegreeClustering> {
 
 /// Total number of triangles in the graph.
 pub fn triangle_count(graph: &CsrGraph) -> usize {
+    let sorted = graph.is_sorted();
     let per_vertex: usize = (0..graph.num_vertices())
         .into_par_iter()
-        .map(|v| {
-            let v = v as VertexId;
-            let neigh = graph.neighbors(v);
-            let mut t = 0usize;
-            for (i, &a) in neigh.iter().enumerate() {
-                for &b in &neigh[i + 1..] {
-                    if a != b && graph.has_edge(a, b) {
-                        t += 1;
-                    }
-                }
-            }
-            t
-        })
+        .map(|v| triangles_at(graph, v as VertexId, sorted))
         .sum();
     // Every triangle is counted once at each of its three corners.
     per_vertex / 3
@@ -155,6 +166,28 @@ mod tests {
         assert_eq!(rows[1].count, 2);
         assert!((rows[1].average_clustering - 1.0).abs() < 1e-12);
         assert_eq!(rows[2].degree, 3);
+    }
+
+    #[test]
+    fn sorted_kernel_path_agrees_with_pairwise_fallback() {
+        // The same graph with scrambled adjacency takes the pairwise
+        // `has_edge` path; both paths must agree exactly.
+        let g = structured::complete(7);
+        let scrambled = g.with_scrambled_adjacency(42);
+        assert!(!scrambled.is_sorted());
+        assert_eq!(triangle_count(&g), triangle_count(&scrambled));
+        assert_eq!(
+            local_clustering_coefficients(&g),
+            local_clustering_coefficients(&scrambled)
+        );
+        let mixed = graph_from_edges(
+            6,
+            vec![(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (2, 4), (4, 5)],
+        );
+        assert_eq!(
+            triangle_count(&mixed),
+            triangle_count(&mixed.with_scrambled_adjacency(7))
+        );
     }
 
     #[test]

@@ -18,6 +18,7 @@
 //!   scheduler         Batch-scheduling policy ablation (pool counters)
 //!   repair            Maximality-repair strategy ablation (incremental vs scratch)
 //!   storage           Cold-start ablation: text re-parse vs binary mmap reload
+//!   kernels           Intersection-kernel ablation: merge/gallop/adaptive x skew x layout
 //!   serving           Closed-loop load against the resident extraction service
 //!   all               Run everything above in order
 //!
@@ -31,8 +32,8 @@
 //! ```
 
 use chordal_bench::experiments::{
-    chordal_fraction, figure2, figure3, figure7, maximality_gap, repair, scaling, scheduler,
-    serving, storage, table1, table2, HarnessOptions,
+    chordal_fraction, figure2, figure3, figure7, kernels, maximality_gap, repair, scaling,
+    scheduler, serving, storage, table1, table2, HarnessOptions,
 };
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -88,6 +89,9 @@ fn main() -> ExitCode {
         "storage" => {
             storage::run_and_print(&options);
         }
+        "kernels" => {
+            kernels::run_and_print(&options);
+        }
         "serving" => {
             serving::run_and_print(&options);
         }
@@ -118,6 +122,8 @@ fn main() -> ExitCode {
             println!();
             storage::run_and_print(&options);
             println!();
+            kernels::run_and_print(&options);
+            println!();
             serving::run_and_print(&options);
         }
         "help" | "--help" | "-h" => {
@@ -134,7 +140,7 @@ fn main() -> ExitCode {
 
 fn print_usage() {
     println!(
-        "usage: experiments <table1|figure2|figure3|figure4|figure5|figure6|figure7|table2|chordal-fraction|maximality-gap|scheduler|repair|storage|serving|all> \
+        "usage: experiments <table1|figure2|figure3|figure4|figure5|figure6|figure7|table2|chordal-fraction|maximality-gap|scheduler|repair|storage|kernels|serving|all> \
          [--scale N] [--genes N] [--threads N] [--repeats N] [--out PATH] [--quick]"
     );
 }

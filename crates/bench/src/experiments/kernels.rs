@@ -1,0 +1,310 @@
+//! Per-kernel intersection ablation: merge vs gallop vs adaptive across
+//! degree-skew families, and compact vs wide offsets on a graph sweep.
+//!
+//! The extraction stack's hot predicates (triangle tests, subset checks,
+//! separator searches — see [`chordal_core::kernels`]) all reduce to
+//! intersections of sorted neighbor lists, and the right algorithm depends
+//! on the *size ratio* of the two lists: linear merging is optimal for
+//! comparable sizes, galloping (exponential probe + binary search) wins
+//! once one side dwarfs the other, and the adaptive entry point switches
+//! between them at [`chordal_core::kernels::GALLOP_RATIO`]. This
+//! experiment measures all three variants on synthetic sorted-list
+//! families spanning the skew spectrum (uniform, 16×, 256×, needle), plus
+//! the end-to-end effect of the hot/cold CSR layout: the same triangle
+//! sweep over one R-MAT graph with compact (`u32`) and wide (`usize`)
+//! offset arrays.
+//!
+//! Each [`KernelPoint`] records `ns_per_edge` (nanoseconds per input
+//! element) and a `bytes_touched` estimate, so the ablation JSON shows
+//! both the time and the traffic story. The `matches` checksum is asserted
+//! identical across variants and layouts of the same family — the
+//! ablation never trades correctness.
+
+use super::HarnessOptions;
+use crate::records::KernelPoint;
+use chordal_core::kernels::{
+    intersect_count, intersect_count_gallop, intersect_count_merge, GALLOP_RATIO,
+};
+use chordal_generators::rmat::{RmatKind, RmatParams};
+use chordal_graph::{CsrGraph, VertexId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeSet;
+
+/// One synthetic input family: `pairs` pairs of ascending duplicate-free
+/// lists with the given lengths drawn from a shared universe.
+struct Family {
+    name: &'static str,
+    len_small: usize,
+    len_large: usize,
+}
+
+fn families(quick: bool) -> Vec<Family> {
+    let l = if quick { 4_096 } else { 65_536 };
+    vec![
+        Family {
+            name: "uniform",
+            len_small: l,
+            len_large: l,
+        },
+        Family {
+            name: "skewed-16x",
+            len_small: l / 16,
+            len_large: l,
+        },
+        Family {
+            name: "skewed-256x",
+            len_small: l / 256,
+            len_large: l,
+        },
+        Family {
+            name: "needle",
+            len_small: 4,
+            len_large: l,
+        },
+    ]
+}
+
+/// Draws an ascending duplicate-free list of `len` ids below `universe`.
+fn sorted_ids(rng: &mut StdRng, len: usize, universe: u32) -> Vec<VertexId> {
+    let mut set = BTreeSet::new();
+    while set.len() < len {
+        set.insert(rng.gen_range(0..universe));
+    }
+    set.into_iter().collect()
+}
+
+/// Estimated bytes one intersection reads: merge scans both lists, gallop
+/// touches the small list plus `O(log |large|)` probes per element (capped
+/// at the merge cost — galloping never reads more than a full scan).
+fn bytes_estimate(variant: &str, len_small: usize, len_large: usize) -> u64 {
+    let merge = 4 * (len_small + len_large) as u64;
+    let log_large = (usize::BITS - len_large.max(1).leading_zeros()) as u64;
+    let gallop = (4 * len_small as u64 * (log_large + 2)).min(merge);
+    match variant {
+        "merge" => merge,
+        "gallop" => gallop,
+        _ => {
+            if len_large / len_small.max(1) >= GALLOP_RATIO {
+                gallop
+            } else {
+                merge
+            }
+        }
+    }
+}
+
+/// An intersection-count kernel under test.
+type CountKernel = fn(&[VertexId], &[VertexId]) -> usize;
+
+/// Runs the ablation and returns one point per (family, variant) plus one
+/// per offset layout.
+pub fn run(options: &HarnessOptions) -> Vec<KernelPoint> {
+    let repeats = options.repeats.max(1);
+    let pairs = if options.quick { 8 } else { 32 };
+    let mut points = Vec::new();
+
+    for family in families(options.quick) {
+        // Deterministic inputs shared by every variant of the family.
+        let mut rng = StdRng::seed_from_u64(0x5EED ^ family.len_small as u64);
+        let universe = (family.len_large * 4) as u32;
+        let inputs: Vec<(Vec<VertexId>, Vec<VertexId>)> = (0..pairs)
+            .map(|_| {
+                (
+                    sorted_ids(&mut rng, family.len_small, universe),
+                    sorted_ids(&mut rng, family.len_large, universe),
+                )
+            })
+            .collect();
+        let elements = (pairs * (family.len_small + family.len_large)) as u64;
+
+        let variants: [(&str, CountKernel); 3] = [
+            ("merge", intersect_count_merge),
+            ("gallop", intersect_count_gallop),
+            ("adaptive", intersect_count),
+        ];
+        for (variant, kernel) in variants {
+            let mut best = f64::MAX;
+            let mut matches = 0u64;
+            for _ in 0..repeats {
+                let start = std::time::Instant::now();
+                let mut total = 0usize;
+                for (a, b) in &inputs {
+                    total += kernel(a, b);
+                }
+                best = best.min(start.elapsed().as_secs_f64());
+                matches = total as u64;
+            }
+            points.push(KernelPoint {
+                experiment: "kernels".to_string(),
+                family: family.name.to_string(),
+                variant: variant.to_string(),
+                layout: "flat".to_string(),
+                len_small: family.len_small,
+                len_large: family.len_large,
+                pairs,
+                elements,
+                seconds: best,
+                ns_per_edge: best * 1e9 / elements as f64,
+                bytes_touched: pairs as u64
+                    * bytes_estimate(variant, family.len_small, family.len_large),
+                matches,
+            });
+        }
+    }
+
+    // Compact vs wide offsets, measured end to end: the adaptive kernel
+    // inside a full triangle sweep, where every neighbor-slice lookup goes
+    // through the offset array whose width is under test.
+    let scale = if options.quick {
+        options.rmat_scale.min(9)
+    } else {
+        options.rmat_scale.min(14)
+    };
+    let compact = RmatParams::preset(RmatKind::B, scale, crate::workloads::SUITE_SEED).generate();
+    let wide = compact.with_wide_offsets();
+    let graph_layouts: [(&str, &CsrGraph); 2] = [("compact", &compact), ("wide", &wide)];
+    for (layout, graph) in graph_layouts {
+        let mut best = f64::MAX;
+        let mut matches = 0u64;
+        let mut elements = 0u64;
+        for _ in 0..repeats {
+            let start = std::time::Instant::now();
+            let mut total = 0usize;
+            let mut touched = 0u64;
+            for v in 0..graph.num_vertices() {
+                let neigh = graph.neighbors(v as VertexId);
+                for (i, &a) in neigh.iter().enumerate() {
+                    let rest = &neigh[i + 1..];
+                    let other = graph.neighbors(a);
+                    total += intersect_count(rest, other);
+                    touched += (rest.len() + other.len()) as u64;
+                }
+            }
+            best = best.min(start.elapsed().as_secs_f64());
+            matches = total as u64;
+            elements = touched;
+        }
+        points.push(KernelPoint {
+            experiment: "kernels".to_string(),
+            family: format!("rmat-b({scale})"),
+            variant: "adaptive".to_string(),
+            layout: layout.to_string(),
+            len_small: 0,
+            len_large: 0,
+            pairs: graph.num_vertices(),
+            elements,
+            seconds: best,
+            ns_per_edge: best * 1e9 / elements.max(1) as f64,
+            bytes_touched: elements * 4,
+            matches,
+        });
+    }
+
+    // Checksum locks: every variant of a family, and both layouts of the
+    // graph sweep, must count the same intersections.
+    for family in points
+        .iter()
+        .map(|p| p.family.clone())
+        .collect::<BTreeSet<_>>()
+    {
+        let in_family: Vec<&KernelPoint> = points.iter().filter(|p| p.family == family).collect();
+        for p in &in_family[1..] {
+            assert_eq!(
+                p.matches, in_family[0].matches,
+                "{family}: {}/{} disagrees with {}/{}",
+                p.variant, p.layout, in_family[0].variant, in_family[0].layout
+            );
+        }
+    }
+    points
+}
+
+/// Runs the ablation with printing and record output.
+pub fn run_and_print(options: &HarnessOptions) -> Vec<KernelPoint> {
+    println!("Intersection kernels: merge vs gallop vs adaptive; compact vs wide offsets");
+    let points = run(options);
+    println!(
+        "  {:<14} {:>8} {:>8} {:>9} {:>9} {:>12} {:>10} {:>14}",
+        "family", "variant", "layout", "small", "large", "ns/edge", "matches", "bytes-touched"
+    );
+    for p in &points {
+        println!(
+            "  {:<14} {:>8} {:>8} {:>9} {:>9} {:>12.3} {:>10} {:>14}",
+            p.family,
+            p.variant,
+            p.layout,
+            p.len_small,
+            p.len_large,
+            p.ns_per_edge,
+            p.matches,
+            p.bytes_touched
+        );
+    }
+    for family in ["skewed-256x", "needle"] {
+        let find = |variant: &str| {
+            points
+                .iter()
+                .find(|p| p.family == family && p.variant == variant)
+        };
+        if let (Some(merge), Some(gallop)) = (find("merge"), find("gallop")) {
+            println!(
+                "  {family}: gallop {:.1}x vs merge (ns/edge {:.3} vs {:.3})",
+                merge.ns_per_edge / gallop.ns_per_edge.max(1e-9),
+                gallop.ns_per_edge,
+                merge.ns_per_edge
+            );
+        }
+    }
+    options.write_records(&points);
+    points
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::ToJson;
+
+    #[test]
+    fn ablation_covers_every_family_variant_and_layout() {
+        let options = HarnessOptions::tiny();
+        let points = run(&options);
+        // 4 synthetic families x 3 variants + 2 graph layouts.
+        assert_eq!(points.len(), 14);
+        for family in ["uniform", "skewed-16x", "skewed-256x", "needle"] {
+            let of_family: Vec<_> = points.iter().filter(|p| p.family == family).collect();
+            assert_eq!(of_family.len(), 3, "{family}");
+            // The checksum is the correctness lock across variants.
+            assert!(of_family.windows(2).all(|w| w[0].matches == w[1].matches));
+            for p in &of_family {
+                assert!(p.seconds >= 0.0 && p.ns_per_edge >= 0.0);
+                assert!(p.elements > 0 && p.bytes_touched > 0);
+                assert!(p.to_json().contains("\"experiment\":\"kernels\""));
+            }
+        }
+        let layouts: Vec<_> = points.iter().filter(|p| p.layout != "flat").collect();
+        assert_eq!(layouts.len(), 2);
+        assert_eq!(layouts[0].matches, layouts[1].matches);
+        assert!(layouts.iter().any(|p| p.layout == "compact"));
+        assert!(layouts.iter().any(|p| p.layout == "wide"));
+    }
+
+    #[test]
+    fn gallop_touches_fewer_bytes_on_skewed_families() {
+        // The traffic model, independent of timing noise: on a 256x skew
+        // the gallop estimate must be far below the merge estimate.
+        let merge = bytes_estimate("merge", 256, 65_536);
+        let gallop = bytes_estimate("gallop", 256, 65_536);
+        assert!(gallop * 10 < merge, "gallop {gallop} vs merge {merge}");
+        // Adaptive picks merge below the crossover, gallop above it.
+        assert_eq!(bytes_estimate("adaptive", 4_096, 4_096), merge_of(4_096));
+        assert_eq!(
+            bytes_estimate("adaptive", 256, 65_536),
+            bytes_estimate("gallop", 256, 65_536)
+        );
+    }
+
+    fn merge_of(l: usize) -> u64 {
+        bytes_estimate("merge", l, l)
+    }
+}

@@ -4,8 +4,9 @@
 //! (Table I, Figures 2–7, Table II), to one quantitative claim made in the
 //! text (chordal edge fractions, near-maximality of the output), or to one
 //! implementation ablation beyond the paper (the `scheduler` batch-policy
-//! sweep, the `repair` strategy ablation, and the `storage` cold-start
-//! comparison of text re-parse vs binary mmap reload). The `experiments`
+//! sweep, the `repair` strategy ablation, the `storage` cold-start
+//! comparison of text re-parse vs binary mmap reload, and the `kernels`
+//! intersection-variant × offset-layout sweep). The `experiments`
 //! binary
 //! dispatches to these based on its subcommand; the modules are also
 //! exercised directly by the integration tests at reduced sizes.
@@ -14,6 +15,7 @@ pub mod chordal_fraction;
 pub mod figure2;
 pub mod figure3;
 pub mod figure7;
+pub mod kernels;
 pub mod maximality_gap;
 pub mod options;
 pub mod repair;

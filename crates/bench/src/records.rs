@@ -215,6 +215,61 @@ impl_to_json!(StoragePoint {
     chordal_edges,
 });
 
+/// One point of the `kernels` ablation: one intersection variant timed on
+/// one input family (synthetic skewed sorted lists, or a triangle sweep
+/// over a graph in one offset layout).
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelPoint {
+    /// Experiment id (`"kernels"`).
+    pub experiment: String,
+    /// Input family (`"uniform"`, `"skewed-16x"`, `"skewed-256x"`,
+    /// `"needle"` for synthetic list pairs; `"rmat-b"` for the graph
+    /// triangle sweep).
+    pub family: String,
+    /// Intersection kernel (`"merge"`, `"gallop"`, `"adaptive"`).
+    pub variant: String,
+    /// Offset layout under test: `"flat"` for synthetic slices (no offsets
+    /// involved), `"compact"` / `"wide"` for the graph sweep.
+    pub layout: String,
+    /// Length of the smaller input list (synthetic families; 0 for graph
+    /// sweeps, where lengths vary per vertex).
+    pub len_small: usize,
+    /// Length of the larger input list (synthetic families; 0 for graph
+    /// sweeps).
+    pub len_large: usize,
+    /// Number of intersection calls in the timed sweep.
+    pub pairs: usize,
+    /// Total elements across both inputs of every pair — the `edge`
+    /// denominator of `ns_per_edge`.
+    pub elements: u64,
+    /// Best-of wall-clock seconds of the whole sweep.
+    pub seconds: f64,
+    /// Nanoseconds per input element (`seconds * 1e9 / elements`).
+    pub ns_per_edge: f64,
+    /// Estimated bytes the variant reads: merge touches both lists in
+    /// full, galloping touches the small list plus `O(log |large|)` probes
+    /// per element.
+    pub bytes_touched: u64,
+    /// Total intersection size across the sweep — a determinism checksum
+    /// that must agree across variants and layouts of the same family.
+    pub matches: u64,
+}
+
+impl_to_json!(KernelPoint {
+    experiment,
+    family,
+    variant,
+    layout,
+    len_small,
+    len_large,
+    pairs,
+    elements,
+    seconds,
+    ns_per_edge,
+    bytes_touched,
+    matches,
+});
+
 /// One point of the `serving` ablation: a closed-loop client population
 /// driving one server configuration.
 #[derive(Debug, Clone, PartialEq)]

@@ -25,6 +25,12 @@
 //!   outside its own file sits under `cfg(test)` or a cfg listing the
 //!   `fault-injection` feature, so FAULT-verb code can never ship in a
 //!   default release build.
+//! - **R7 index-width** — the raw `as u32` narrowing cast is banned in
+//!   `crates/graph/` outside the layout module
+//!   (`crates/graph/src/layout.rs`): graph-index narrowing must go through
+//!   `chordal_graph::layout::narrow_index`, which asserts the value fits
+//!   the compact layout. (`as VertexId` on structurally bounded vertex
+//!   loops is the sanctioned idiom and is not matched.)
 
 use std::fmt;
 use std::path::{Path, PathBuf};
@@ -97,6 +103,14 @@ const DEBUG_ASSERT_SENSITIVE: &[&str] = &[
 
 /// The fault-injection module: references outside this file must be gated.
 const FAULT_MODULE_FILE: &str = "crates/serve/src/fault.rs";
+
+/// The one file in `crates/graph/` allowed to spell the raw `as u32`
+/// narrowing cast (R7): the sealed index-width seam. Everything else in the
+/// crate routes narrowing through `layout::narrow_index`.
+const INDEX_WIDTH_MODULE_FILE: &str = "crates/graph/src/layout.rs";
+
+/// Path prefix where R7 confines `as u32` to the layout module.
+const INDEX_WIDTH_CHECKED_PREFIX: &str = "crates/graph/";
 
 // ---------------------------------------------------------------------------
 // Diagnostics
@@ -421,6 +435,17 @@ pub fn lint_source(path: &str, src: &str) -> (Vec<Diagnostic>, bool) {
         matches!(toks.get(i), Some((Tok::Punct(':'), _, _, _)))
             && matches!(toks.get(i + 1), Some((Tok::Punct(':'), _, _, _)))
     };
+    // The next identifier after position `i`, skipping whitespace tokens
+    // (the lexer emits them as `Punct`); stops at any other token.
+    let next_ident = |mut i: usize| -> Option<&str> {
+        while let Some((Tok::Punct(c), _, _, _)) = toks.get(i) {
+            if !c.is_whitespace() {
+                return None;
+            }
+            i += 1;
+        }
+        ident(i)
+    };
 
     for i in 0..toks.len() {
         let (tok, tline, test_gated, fault_gated) = &toks[i];
@@ -550,6 +575,26 @@ pub fn lint_source(path: &str, src: &str) -> (Vec<Diagnostic>, bool) {
                         message: "reference to the fault-injection module outside \
                                   `cfg(any(test, feature = \"fault-injection\"))`; FAULT-verb \
                                   code must not ship in default release builds"
+                            .to_string(),
+                    });
+                }
+            }
+            // R7: `as u32` narrowing confined to the layout module.
+            "as" => {
+                if next_ident(i + 1) == Some("u32")
+                    && path.starts_with(INDEX_WIDTH_CHECKED_PREFIX)
+                    && path != INDEX_WIDTH_MODULE_FILE
+                    && !test_gated
+                    && !in_tests_dir
+                {
+                    diags.push(Diagnostic {
+                        file: path.to_string(),
+                        line,
+                        rule: "index-width",
+                        message: "raw `as u32` narrowing outside the index-width seam \
+                                  (crates/graph/src/layout.rs); route graph-index narrowing \
+                                  through `layout::narrow_index` (or `as VertexId` for \
+                                  structurally bounded vertex loops)"
                             .to_string(),
                     });
                 }

@@ -163,6 +163,45 @@ fn fault_module_itself_passes() {
     assert!(diags.is_empty(), "{diags:?}");
 }
 
+// --- R7: index-width --------------------------------------------------------
+
+#[test]
+fn as_u32_in_graph_crate_fires() {
+    let src = "fn f(i: usize) -> u32 {\n    i as u32\n}\n";
+    let (diags, _) = lint_source("crates/graph/src/csr.rs", src);
+    assert_eq!(rules(&diags), vec!["index-width"]);
+    assert_eq!(diags[0].line, 2);
+    assert!(diags[0].message.contains("narrow_index"));
+}
+
+#[test]
+fn as_u32_in_layout_module_passes() {
+    let src = "pub fn narrow_index(value: usize) -> u32 {\n    value as u32\n}\n";
+    let (diags, _) = lint_source("crates/graph/src/layout.rs", src);
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn as_u32_outside_graph_crate_passes() {
+    let src = "fn f(i: usize) -> u32 {\n    i as u32\n}\n";
+    let (diags, _) = lint_source("crates/core/src/x.rs", src);
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn as_u32_in_graph_test_module_passes() {
+    let src = "#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { let _ = 7usize as u32; }\n}\n";
+    let (diags, _) = lint_source("crates/graph/src/csr.rs", src);
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn widening_and_vertex_id_casts_pass() {
+    let src = "fn f(i: u32, n: usize) -> (u64, u32) {\n    (i as u64, n as VertexId)\n}\n";
+    let (diags, _) = lint_source("crates/graph/src/csr.rs", src);
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
 // --- diagnostics format -----------------------------------------------------
 
 #[test]

@@ -593,6 +593,21 @@ fn cmd_analyze(flags: &Flags) -> Result<(), ExtractError> {
     let components = chordal_graph::traversal::connected_components(&graph);
     println!("connected components:           {}", components.count);
     println!("already chordal:                {}", is_chordal(&graph));
+    let memory = graph.memory_breakdown();
+    println!("memory:");
+    println!("  index width:                  {}", memory.width.label());
+    println!(
+        "  hot bytes:                    {} (offsets {}, neighbors {}, flags {})",
+        memory.hot_bytes(),
+        memory.offsets_bytes,
+        memory.neighbors_bytes,
+        memory.flags_bytes
+    );
+    println!("  cold bytes (materialized):    {}", memory.cold_bytes);
+    println!(
+        "  projected savings vs wide:    {}",
+        memory.projected_savings()
+    );
     Ok(())
 }
 

@@ -1,0 +1,566 @@
+//! Branch-light set kernels over sorted neighbor lists.
+//!
+//! Every hot inner loop of the extraction stack reduces to one of three
+//! primitives over ascending, duplicate-free `u32` slices (the hot CSR
+//! arrays of [`chordal_graph::layout`], or the chordal-neighbor arenas the
+//! extractors maintain in the same shape):
+//!
+//! * **intersection** — the triangle checks of the partitioned baseline and
+//!   the clustering analysis ([`intersect_count`], [`intersect_any`]);
+//! * **subset** — Algorithm 1's `C[w] ⊆ C[v]` acceptance test
+//!   ([`sorted_subset`], [`sorted_subset_by`]);
+//! * **blocked frontier expansion** — the separator form of the chordal
+//!   edge-insertion test used by verification and repair
+//!   ([`SeparatorSearch`]).
+//!
+//! Centralising them here gives each one a single tuned implementation
+//! instead of five ad-hoc copies, and gives the benchmark suite one place
+//! to ablate (`experiments kernels`).
+//!
+//! # Branch-light merging, galloping, and the adaptive crossover
+//!
+//! The merge kernels advance both cursors with *arithmetic* on comparison
+//! results (`i += (x <= y) as usize`) rather than three-way `match`
+//! branches: neighbor values are effectively random at this granularity,
+//! so a conditional branch per element mispredicts constantly while a
+//! flag-to-integer conversion costs one cycle, branch-free.
+//!
+//! Merging is linear in `|a| + |b|`, which wastes work when one side is
+//! much smaller: a 4-element list intersected against a 10⁵-element hub
+//! list should *search*, not scan. The galloping kernels walk the small
+//! side and locate each element in the large side by exponential probing
+//! from a moving base (doubling steps, then a binary search over the last
+//! gap), costing `O(|small| · log |large|)`. The adaptive entry points
+//! ([`intersect_count`], [`intersect_any`]) switch between the two on the
+//! size ratio [`GALLOP_RATIO`] — merge for comparable sizes, gallop for
+//! skewed ones — which is the standard crossover for sorted-set
+//! intersection and what the `BENCH_kernels.json` ablation measures across
+//! degree-skew families.
+//!
+//! All kernels are pure functions of their slice contents: results do not
+//! depend on layout width (compact vs wide offsets), storage (heap vs
+//! mmap), or thread count, which is what keeps the extractors byte-identical
+//! across the whole configuration matrix.
+
+use chordal_graph::VertexId;
+
+/// Size ratio (`|large| / |small|`) beyond which the adaptive intersection
+/// kernels switch from linear merging to galloping. At ratios below this,
+/// the merge's sequential memory access beats the gallop's scattered
+/// probes; above it, skipping most of the large list wins.
+pub const GALLOP_RATIO: usize = 16;
+
+/// Number of common elements of two ascending, duplicate-free slices,
+/// by branch-light two-pointer merge. Linear in `|a| + |b|`.
+#[inline]
+pub fn intersect_count_merge(a: &[VertexId], b: &[VertexId]) -> usize {
+    let (mut i, mut j, mut count) = (0usize, 0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        let (x, y) = (a[i], b[j]);
+        count += (x == y) as usize;
+        i += (x <= y) as usize;
+        j += (y <= x) as usize;
+    }
+    count
+}
+
+/// Number of common elements of two ascending, duplicate-free slices, by
+/// galloping the smaller slice through the larger one. `O(|small| · log
+/// |large|)`; call through [`intersect_count`] unless ablating.
+#[inline]
+pub fn intersect_count_gallop(a: &[VertexId], b: &[VertexId]) -> usize {
+    let (small, large) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    let mut base = 0usize;
+    let mut count = 0usize;
+    for &x in small {
+        let (found, next) = gallop(large, base, x);
+        count += found as usize;
+        base = next;
+        if base >= large.len() {
+            break;
+        }
+    }
+    count
+}
+
+/// Adaptive intersection count: merge for comparable sizes, gallop when
+/// the size ratio reaches [`GALLOP_RATIO`]. Both inputs ascending and
+/// duplicate-free.
+#[inline]
+pub fn intersect_count(a: &[VertexId], b: &[VertexId]) -> usize {
+    let (small, large) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    if small.is_empty() {
+        return 0;
+    }
+    if large.len() / small.len() >= GALLOP_RATIO {
+        intersect_count_gallop(small, large)
+    } else {
+        intersect_count_merge(small, large)
+    }
+}
+
+/// Whether two ascending, duplicate-free slices share an element, with an
+/// early exit on the first match. Merge variant.
+#[inline]
+pub fn intersect_any_merge(a: &[VertexId], b: &[VertexId]) -> bool {
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        let (x, y) = (a[i], b[j]);
+        if x == y {
+            return true;
+        }
+        i += (x < y) as usize;
+        j += (y < x) as usize;
+    }
+    false
+}
+
+/// Whether two ascending, duplicate-free slices share an element, galloping
+/// the smaller through the larger with an early exit on the first match.
+#[inline]
+pub fn intersect_any_gallop(a: &[VertexId], b: &[VertexId]) -> bool {
+    let (small, large) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    let mut base = 0usize;
+    for &x in small {
+        let (found, next) = gallop(large, base, x);
+        if found {
+            return true;
+        }
+        base = next;
+        if base >= large.len() {
+            return false;
+        }
+    }
+    false
+}
+
+/// Adaptive emptiness test for the intersection of two ascending,
+/// duplicate-free slices: the triangle-existence primitive.
+#[inline]
+pub fn intersect_any(a: &[VertexId], b: &[VertexId]) -> bool {
+    let (small, large) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    if small.is_empty() {
+        return false;
+    }
+    if large.len() / small.len() >= GALLOP_RATIO {
+        intersect_any_gallop(small, large)
+    } else {
+        intersect_any_merge(small, large)
+    }
+}
+
+/// Locates `x` in the ascending slice `hay[base..]` by exponential probing
+/// followed by a binary search of the final gap. Returns whether `x` was
+/// found and the position of the first element `>= x` (the base for the
+/// next, larger probe — callers walk ascending keys).
+#[inline]
+fn gallop(hay: &[VertexId], base: usize, x: VertexId) -> (bool, usize) {
+    let mut lo = base;
+    let mut step = 1usize;
+    // Exponential probe: find a window [lo, hi) whose end passes x.
+    let mut hi = loop {
+        let probe = lo + step;
+        match hay.get(probe) {
+            Some(&v) if v < x => {
+                lo = probe + 1;
+                step <<= 1;
+            }
+            _ => break (lo + step).min(hay.len()),
+        }
+    };
+    if lo < hay.len() && hay[lo] < x {
+        lo += 1;
+    }
+    // Binary search of the remaining gap for the first element >= x.
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        if hay[mid] < x {
+            lo = mid + 1;
+        } else {
+            hi = mid;
+        }
+    }
+    (
+        hay.get(lo) == Some(&x),
+        lo + (hay.get(lo) == Some(&x)) as usize,
+    )
+}
+
+/// Tests whether sorted slice `a` is a subset of sorted slice `b`
+/// (both ascending, duplicate-free). Linear in `|a| + |b|` with
+/// branch-light cursor advancement; the "efficient, linear in terms of the
+/// size of the smallest set" test of the paper's Section V.
+#[inline]
+pub fn sorted_subset(a: &[VertexId], b: &[VertexId]) -> bool {
+    if a.len() > b.len() {
+        return false;
+    }
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < a.len() {
+        // a ⊆ b needs at least a.len() - i elements of b left to match.
+        if a.len() - i > b.len() - j {
+            return false;
+        }
+        let (x, y) = (a[i], b[j]);
+        if y > x {
+            return false;
+        }
+        i += (x == y) as usize;
+        j += 1;
+    }
+    true
+}
+
+/// [`sorted_subset`] over *indexed accessors* instead of slices, for sets
+/// that live in non-slice storage — the atomic chordal-neighbor arena of
+/// the parallel extractor reads each element with an atomic load, so it
+/// cannot hand out a `&[u32]`. Semantically identical to materialising
+/// both sequences and calling [`sorted_subset`].
+#[inline]
+pub fn sorted_subset_by<A, B>(len_a: usize, a: A, len_b: usize, b: B) -> bool
+where
+    A: Fn(usize) -> VertexId,
+    B: Fn(usize) -> VertexId,
+{
+    if len_a > len_b {
+        return false;
+    }
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < len_a {
+        if len_a - i > len_b - j {
+            return false;
+        }
+        let (x, y) = (a(i), b(j));
+        if y > x {
+            return false;
+        }
+        i += (x == y) as usize;
+        j += 1;
+    }
+    true
+}
+
+/// The blocked-frontier kernel behind the chordal edge-insertion test:
+/// reusable epoch-stamped scratch answering "does `N(u) ∩ N(v)` separate
+/// `u` from `v`?" over any adjacency exposed as a neighbor-slice lookup.
+///
+/// The search is bidirectional — each round expands the side with the
+/// smaller open frontier — so a positive answer (the pair *is* separated)
+/// costs about the smaller piece the separator cuts off rather than the
+/// whole component. Epoch stamps make consecutive queries allocation-free:
+/// buffers are never cleared between candidates, only re-stamped.
+///
+/// Callers: the maximality checker ([`crate::verify`]) over the chordal
+/// subgraph's hot CSR arrays, and the repair maintainer
+/// ([`crate::repair::incremental`]) over its incrementally updated
+/// adjacency lists.
+#[derive(Debug, Default)]
+pub struct SeparatorSearch {
+    /// Odd epoch marks `N(u)`; upgraded even epoch marks the blocked
+    /// common neighborhood `N(u) ∩ N(v)`.
+    stamp: Vec<u32>,
+    /// Vertices reached from `u` (current epoch).
+    visited_a: Vec<u32>,
+    /// Vertices reached from `v` (current epoch).
+    visited_b: Vec<u32>,
+    queue_a: Vec<VertexId>,
+    queue_b: Vec<VertexId>,
+    epoch: u32,
+}
+
+impl SeparatorSearch {
+    /// Scratch sized for graphs of `n` vertices.
+    pub fn new(n: usize) -> Self {
+        let mut s = Self::default();
+        s.resize(n);
+        s
+    }
+
+    /// Grows (never shrinks) the scratch to cover `n` vertices, preserving
+    /// current stamps. Returns whether a buffer had to grow.
+    pub fn resize(&mut self, n: usize) -> bool {
+        let grew = self.stamp.len() < n;
+        if grew {
+            self.stamp.resize(n, 0);
+            self.visited_a.resize(n, 0);
+            self.visited_b.resize(n, 0);
+        }
+        grew
+    }
+
+    /// Resets all stamps (logically forgetting every previous query).
+    pub fn reset(&mut self) {
+        self.stamp.fill(0);
+        self.visited_a.fill(0);
+        self.visited_b.fill(0);
+        self.epoch = 0;
+    }
+
+    /// Heap bytes retained by the scratch buffers.
+    pub fn allocated_bytes(&self) -> usize {
+        use std::mem::size_of;
+        (self.stamp.capacity() + self.visited_a.capacity() + self.visited_b.capacity())
+            * size_of::<u32>()
+            + (self.queue_a.capacity() + self.queue_b.capacity()) * size_of::<VertexId>()
+    }
+
+    /// Whether `N(u) ∩ N(v)` separates `u` from `v` in the graph whose
+    /// adjacency `neighbors` exposes — i.e. whether adding the (absent)
+    /// edge `uv` to that chordal graph keeps it chordal.
+    ///
+    /// `known_connected` enables the empty-separator short-circuit: when
+    /// the caller has already established that `u` and `v` share a
+    /// component (e.g. via union-find, as the repair maintainer does), an
+    /// empty common neighborhood cannot separate them and the search is
+    /// skipped outright. Without that knowledge the full search still
+    /// returns the right answer — a cross-component pair is vacuously
+    /// separated — it just cannot take the shortcut.
+    pub fn separates<'g, N>(
+        &mut self,
+        neighbors: N,
+        u: VertexId,
+        v: VertexId,
+        known_connected: bool,
+    ) -> bool
+    where
+        N: Fn(VertexId) -> &'g [VertexId],
+    {
+        self.epoch = match self.epoch.checked_add(2) {
+            Some(e) => e,
+            None => {
+                self.reset();
+                2
+            }
+        };
+        let epoch = self.epoch;
+        for &w in neighbors(u) {
+            self.stamp[w as usize] = epoch - 1;
+        }
+        // Upgrading the common neighborhood to the blocked stamp keeps both
+        // searches from ever entering it.
+        let mut common_empty = true;
+        for &w in neighbors(v) {
+            if self.stamp[w as usize] == epoch - 1 {
+                self.stamp[w as usize] = epoch;
+                common_empty = false;
+            }
+        }
+        if known_connected && common_empty {
+            // Same component, nothing blocked: the empty set separates
+            // nothing.
+            return false;
+        }
+        self.queue_a.clear();
+        self.queue_a.push(u);
+        self.visited_a[u as usize] = epoch;
+        self.queue_b.clear();
+        self.queue_b.push(v);
+        self.visited_b[v as usize] = epoch;
+        let (mut head_a, mut head_b) = (0usize, 0usize);
+        loop {
+            let open_a = self.queue_a.len() - head_a;
+            let open_b = self.queue_b.len() - head_b;
+            if open_a == 0 || open_b == 0 {
+                // One side exhausted its frontier without meeting the
+                // other: the common neighborhood separates the pair.
+                return true;
+            }
+            // Expand the smaller open frontier.
+            if open_a <= open_b {
+                let w = self.queue_a[head_a];
+                head_a += 1;
+                for &x in neighbors(w) {
+                    let xi = x as usize;
+                    if self.stamp[xi] == epoch {
+                        continue; // blocked: inside N(u) ∩ N(v)
+                    }
+                    if self.visited_b[xi] == epoch {
+                        return false; // the searches met: still connected
+                    }
+                    if self.visited_a[xi] != epoch {
+                        self.visited_a[xi] = epoch;
+                        self.queue_a.push(x);
+                    }
+                }
+            } else {
+                let w = self.queue_b[head_b];
+                head_b += 1;
+                for &x in neighbors(w) {
+                    let xi = x as usize;
+                    if self.stamp[xi] == epoch {
+                        continue;
+                    }
+                    if self.visited_a[xi] == epoch {
+                        return false;
+                    }
+                    if self.visited_b[xi] != epoch {
+                        self.visited_b[xi] = epoch;
+                        self.queue_b.push(x);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use std::collections::BTreeSet;
+
+    /// Naive scalar reference: hash-set intersection.
+    fn naive_intersect(a: &[VertexId], b: &[VertexId]) -> Vec<VertexId> {
+        let sb: BTreeSet<_> = b.iter().copied().collect();
+        a.iter().copied().filter(|x| sb.contains(x)).collect()
+    }
+
+    fn naive_subset(a: &[VertexId], b: &[VertexId]) -> bool {
+        let sb: BTreeSet<_> = b.iter().copied().collect();
+        a.iter().all(|x| sb.contains(x))
+    }
+
+    /// Draws an ascending duplicate-free list of `len` ids below `max`.
+    fn sorted_ids(rng: &mut StdRng, len: usize, max: u32) -> Vec<VertexId> {
+        let mut set = BTreeSet::new();
+        while set.len() < len.min(max as usize) {
+            set.insert(rng.gen_range(0..max));
+        }
+        set.into_iter().collect()
+    }
+
+    /// The seeded family matrix of the property suite: (len_a, len_b,
+    /// value range) per skew family. Exercises empty, disjoint-prone,
+    /// identical-prone, mildly and heavily skewed shapes.
+    fn families() -> Vec<(usize, usize, u32)> {
+        vec![
+            (0, 0, 10),
+            (0, 50, 100),
+            (5, 5, 10),        // dense overlap
+            (40, 40, 5_000),   // sparse, likely disjoint
+            (8, 128, 1_000),   // 16x skew: the gallop crossover
+            (4, 1024, 10_000), // 256x skew
+            (1, 300, 400),     // needle
+        ]
+    }
+
+    #[test]
+    fn intersection_variants_match_naive_reference() {
+        let mut rng = StdRng::seed_from_u64(0xC0FFEE);
+        for (la, lb, max) in families() {
+            for _ in 0..20 {
+                let a = sorted_ids(&mut rng, la, max);
+                let b = sorted_ids(&mut rng, lb, max);
+                let expected = naive_intersect(&a, &b).len();
+                assert_eq!(intersect_count_merge(&a, &b), expected, "merge {la}/{lb}");
+                assert_eq!(intersect_count_merge(&b, &a), expected);
+                assert_eq!(intersect_count_gallop(&a, &b), expected, "gallop {la}/{lb}");
+                assert_eq!(intersect_count_gallop(&b, &a), expected);
+                assert_eq!(intersect_count(&a, &b), expected, "adaptive {la}/{lb}");
+                assert_eq!(intersect_any_merge(&a, &b), expected > 0);
+                assert_eq!(intersect_any_gallop(&a, &b), expected > 0);
+                assert_eq!(intersect_any(&a, &b), expected > 0);
+                assert_eq!(intersect_any(&b, &a), expected > 0);
+            }
+        }
+    }
+
+    #[test]
+    fn subset_variants_match_naive_reference() {
+        let mut rng = StdRng::seed_from_u64(0xBEEF);
+        for (la, lb, max) in families() {
+            for round in 0..20 {
+                let b = sorted_ids(&mut rng, lb.max(la), max);
+                // Alternate genuine subsets with random (likely non-subset)
+                // draws so both outcomes are exercised.
+                let a: Vec<VertexId> = if round % 2 == 0 {
+                    b.iter().copied().step_by(2).take(la).collect()
+                } else {
+                    sorted_ids(&mut rng, la, max)
+                };
+                let expected = naive_subset(&a, &b);
+                assert_eq!(sorted_subset(&a, &b), expected, "{a:?} ⊆ {b:?}");
+                assert_eq!(
+                    sorted_subset_by(a.len(), |i| a[i], b.len(), |j| b[j]),
+                    expected
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn kernels_handle_u32_boundary_values() {
+        let hi = u32::MAX;
+        let a = vec![0, 1, hi - 1, hi];
+        let b = vec![hi - 1, hi];
+        assert_eq!(intersect_count_merge(&a, &b), 2);
+        assert_eq!(intersect_count_gallop(&a, &b), 2);
+        assert_eq!(intersect_count(&a, &b), 2);
+        assert!(intersect_any(&a, &[hi]));
+        assert!(!intersect_any(&[0, 2, 4], &[1, 3, 5]));
+        assert!(sorted_subset(&b, &a));
+        assert!(!sorted_subset(&a, &b));
+        assert!(sorted_subset(&[hi], &[hi]));
+        // Empty cases.
+        assert_eq!(intersect_count(&[], &a), 0);
+        assert!(!intersect_any(&[], &a));
+        assert!(sorted_subset(&[], &[]));
+    }
+
+    #[test]
+    fn gallop_skips_are_consistent_with_moving_base() {
+        // Ascending probes across a long haystack: every element found,
+        // none double-counted, bases strictly advance.
+        let hay: Vec<VertexId> = (0..10_000u32).map(|i| i * 3).collect();
+        let needles: Vec<VertexId> = (0..500u32).map(|i| i * 60).collect();
+        assert_eq!(intersect_count_gallop(&needles, &hay), 500);
+        let missing: Vec<VertexId> = (0..500u32).map(|i| i * 60 + 1).collect();
+        assert_eq!(intersect_count_gallop(&missing, &hay), 0);
+    }
+
+    #[test]
+    fn separator_search_matches_direct_definition() {
+        // Path 0-1-2-3: N(0) ∩ N(3) = ∅ and 0,3 share a component, so the
+        // empty set does not separate them... but removing nothing leaves
+        // them connected: separates = false. Adding the chord set: in the
+        // diamond 0-1-2 + 0-2-3, N(1) ∩ N(3) = {0, 2}? adj: 0:{1,2}, 1:{0,2},
+        // 2:{0,1,3}, 3:{2}. N(1) ∩ N(3) = {2}, removing 2 disconnects 1
+        // from 3: separates = true (triangle 1-3-2 would be chordal).
+        let adj: Vec<Vec<VertexId>> = vec![vec![1, 2], vec![0, 2], vec![0, 1, 3], vec![2]];
+        let mut s = SeparatorSearch::new(4);
+        let n = |v: VertexId| adj[v as usize].as_slice();
+        assert!(s.separates(n, 1, 3, true));
+        // Chordless 4-cycle 0-1-2-3-0 minus edge (0,3): path 0-1-2-3,
+        // N(0) ∩ N(3) = ∅ (0:{1}, 3:{2}) yet connected → not separated.
+        let path: Vec<Vec<VertexId>> = vec![vec![1], vec![0, 2], vec![1, 3], vec![2]];
+        let mut s = SeparatorSearch::new(4);
+        let n = |v: VertexId| path[v as usize].as_slice();
+        assert!(!s.separates(n, 0, 3, true));
+        assert!(
+            !s.separates(n, 0, 3, false),
+            "shortcut must not change the answer"
+        );
+        // Different components: vacuously separated (without the
+        // known_connected shortcut the search must still say true).
+        let two: Vec<Vec<VertexId>> = vec![vec![1], vec![0], vec![3], vec![2]];
+        let mut s = SeparatorSearch::new(4);
+        let n = |v: VertexId| two[v as usize].as_slice();
+        assert!(s.separates(n, 0, 2, false));
+    }
+
+    #[test]
+    fn separator_search_reuses_buffers_across_epoch_wrap() {
+        let adj: Vec<Vec<VertexId>> = vec![vec![1], vec![0, 2], vec![1, 3], vec![2]];
+        let mut s = SeparatorSearch::new(4);
+        // Force an epoch wrap by driving the counter near u32::MAX.
+        s.epoch = u32::MAX - 1;
+        let n = |v: VertexId| adj[v as usize].as_slice();
+        assert!(!s.separates(n, 0, 3, true));
+        assert!(!s.separates(n, 0, 3, true), "post-wrap query must agree");
+        let bytes = s.allocated_bytes();
+        assert!(bytes > 0);
+        assert!(!s.resize(2), "shrinking is a no-op");
+        assert!(s.resize(8), "growing reports the growth");
+    }
+}

@@ -32,6 +32,9 @@
 //!   rejects for multithreaded use; included for comparison.
 //! * [`verify`] — chordality (MCS + perfect elimination ordering) and
 //!   maximality checkers.
+//! * [`kernels`] — the branch-light sorted-set primitives (adaptive
+//!   merge/gallop intersection, subset, blocked-frontier separator search)
+//!   the extractors, checkers and repair pass share.
 //! * [`connect`] — the component-stitching post-pass described alongside
 //!   Theorem 2.
 //!
@@ -118,6 +121,7 @@ pub mod connect;
 pub mod dearing;
 pub mod error;
 pub mod extractor;
+pub mod kernels;
 pub mod parallel;
 pub mod parent;
 pub mod partitioned;

@@ -300,32 +300,17 @@ impl<'a> SharedState<'a> {
 
     /// Ordered-merge subset test `C[a][..len_a] ⊆ C[b][..len_b]`. Both sets
     /// are sorted ascending because parents are accepted in increasing-id
-    /// order.
+    /// order; elements live in the atomic arena, so the shared kernel is
+    /// used through its accessor form with relaxed per-element loads.
     fn subset(&self, a: usize, len_a: usize, b: usize, len_b: usize) -> bool {
-        if len_a > len_b {
-            return false;
-        }
         let base_a = self.offsets[a];
         let base_b = self.offsets[b];
-        let mut j = 0usize;
-        for i in 0..len_a {
-            let x = self.cdata[base_a + i].load(Ordering::Relaxed);
-            loop {
-                if j >= len_b {
-                    return false;
-                }
-                let y = self.cdata[base_b + j].load(Ordering::Relaxed);
-                match y.cmp(&x) {
-                    std::cmp::Ordering::Less => j += 1,
-                    std::cmp::Ordering::Equal => {
-                        j += 1;
-                        break;
-                    }
-                    std::cmp::Ordering::Greater => return false,
-                }
-            }
-        }
-        true
+        crate::kernels::sorted_subset_by(
+            len_a,
+            |i| self.cdata[base_a + i].load(Ordering::Relaxed),
+            len_b,
+            |j| self.cdata[base_b + j].load(Ordering::Relaxed),
+        )
     }
 }
 

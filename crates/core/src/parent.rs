@@ -66,32 +66,13 @@ pub fn next_parent_scan(graph: GraphRef<'_>, v: VertexId, current: VertexId) -> 
 }
 
 /// Tests whether sorted slice `a` is a subset of sorted slice `b`
-/// (ascending, duplicate-free). Linear in `|a| + |b|`, which is the
-/// "efficient, linear in terms of the size of the smallest set" test the
-/// paper describes (Section V) — both chordal-neighbour sets are built in
-/// ascending order by construction.
+/// (ascending, duplicate-free) — the paper's `C[w] ⊆ C[v]` acceptance test;
+/// both chordal-neighbour sets are built in ascending order by
+/// construction. Re-exported from [`crate::kernels::sorted_subset`], the
+/// branch-light shared implementation.
 #[inline]
 pub fn sorted_subset(a: &[VertexId], b: &[VertexId]) -> bool {
-    if a.len() > b.len() {
-        return false;
-    }
-    let mut j = 0usize;
-    for &x in a {
-        loop {
-            if j >= b.len() {
-                return false;
-            }
-            match b[j].cmp(&x) {
-                std::cmp::Ordering::Less => j += 1,
-                std::cmp::Ordering::Equal => {
-                    j += 1;
-                    break;
-                }
-                std::cmp::Ordering::Greater => return false,
-            }
-        }
-    }
-    true
+    crate::kernels::sorted_subset(a, b)
 }
 
 #[cfg(test)]

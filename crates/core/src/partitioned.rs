@@ -202,11 +202,23 @@ fn extract_partitioned_with(
     }
     let chordal_set: HashSet<Edge> = edges.iter().copied().collect();
 
-    // Adjacency of the current chordal set, for the triangle test.
-    let mut chordal_adj: Vec<HashSet<VertexId>> = vec![HashSet::new(); n];
+    // Adjacency of the current chordal set as sorted neighbour lists, so
+    // the triangle test below is a branch-light sorted intersection
+    // ([`crate::kernels::intersect_any`]) instead of per-element hash
+    // probes. Border acceptances are rare relative to tests, so the
+    // occasional binary-search insert is the cheap side of the trade.
+    let mut chordal_adj: Vec<Vec<VertexId>> = vec![Vec::new(); n];
     for &(u, v) in &edges {
-        chordal_adj[u as usize].insert(v);
-        chordal_adj[v as usize].insert(u);
+        chordal_adj[u as usize].push(v);
+        chordal_adj[v as usize].push(u);
+    }
+    for list in &mut chordal_adj {
+        list.sort_unstable();
+    }
+    fn insert_sorted(list: &mut Vec<VertexId>, x: VertexId) {
+        if let Err(pos) = list.binary_search(&x) {
+            list.insert(pos, x);
+        }
     }
 
     // Border edges: endpoints in different partitions. Added when they close
@@ -221,18 +233,12 @@ fn extract_partitioned_with(
         if chordal_set.contains(&(u, v)) {
             continue;
         }
-        let (small, large) = if chordal_adj[u as usize].len() <= chordal_adj[v as usize].len() {
-            (u, v)
-        } else {
-            (v, u)
-        };
-        let forms_triangle = chordal_adj[small as usize]
-            .iter()
-            .any(|&x| chordal_adj[large as usize].contains(&x));
+        let forms_triangle =
+            crate::kernels::intersect_any(&chordal_adj[u as usize], &chordal_adj[v as usize]);
         if forms_triangle {
             edges.push(if u < v { (u, v) } else { (v, u) });
-            chordal_adj[u as usize].insert(v);
-            chordal_adj[v as usize].insert(u);
+            insert_sorted(&mut chordal_adj[u as usize], v);
+            insert_sorted(&mut chordal_adj[v as usize], u);
             border_added += 1;
         }
     }

@@ -96,27 +96,17 @@ impl RepairMarks {
 }
 
 /// The maintained representation of the current chordal subgraph: adjacency
-/// lists updated in place on accepted edges, epoch-stamped scratch for the
-/// separator search, and a union-find over the subgraph's components.
+/// lists updated in place on accepted edges, the shared blocked-frontier
+/// search kernel ([`crate::kernels::SeparatorSearch`]), and a union-find
+/// over the subgraph's components.
 #[derive(Debug, Default)]
 pub(crate) struct IncrementalState {
     /// Adjacency of the current chordal subgraph.
     adj: Vec<Vec<VertexId>>,
-    /// Epoch stamps marking `N(u)` (odd epoch) and, upgraded, the common
-    /// neighbourhood `N(u) ∩ N(v)` that the search must avoid (even epoch).
-    stamp: Vec<u32>,
-    /// Epoch stamps marking vertices reached from `u`.
-    visited: Vec<u32>,
-    /// Epoch stamps marking vertices reached from `v`.
-    visited_from_v: Vec<u32>,
-    /// Breadth-first queue of the `u`-side search.
-    queue: Vec<VertexId>,
-    /// Breadth-first queue of the `v`-side search.
-    queue_from_v: Vec<VertexId>,
+    /// Epoch-stamped bidirectional separator search scratch.
+    search: crate::kernels::SeparatorSearch,
     /// Union-find parents over the subgraph's connected components.
     comp: Vec<VertexId>,
-    /// Current stamp epoch; bumped twice per tested candidate.
-    epoch: u32,
 }
 
 impl IncrementalState {
@@ -124,13 +114,9 @@ impl IncrementalState {
     /// Adjacency lists are cleared but keep their capacity. Returns whether
     /// a per-vertex buffer had to grow.
     pub(crate) fn prepare(&mut self, n: usize) -> bool {
-        let mut grew = self.stamp.capacity() < n || self.comp.capacity() < n;
-        self.stamp.clear();
-        self.stamp.resize(n, 0);
-        self.visited.clear();
-        self.visited.resize(n, 0);
-        self.visited_from_v.clear();
-        self.visited_from_v.resize(n, 0);
+        let search_grew = self.search.resize(n);
+        self.search.reset();
+        let mut grew = search_grew || self.comp.capacity() < n;
         self.comp.clear();
         self.comp.extend(0..n as VertexId);
         if self.adj.len() < n {
@@ -140,9 +126,6 @@ impl IncrementalState {
         for list in &mut self.adj[..n] {
             list.clear();
         }
-        self.queue.clear();
-        self.queue_from_v.clear();
-        self.epoch = 0;
         grew
     }
 
@@ -154,11 +137,7 @@ impl IncrementalState {
                 .iter()
                 .map(|l| l.capacity() * size_of::<VertexId>())
                 .sum::<usize>()
-            + self.stamp.capacity() * size_of::<u32>()
-            + self.visited.capacity() * size_of::<u32>()
-            + self.visited_from_v.capacity() * size_of::<u32>()
-            + self.queue.capacity() * size_of::<VertexId>()
-            + self.queue_from_v.capacity() * size_of::<VertexId>()
+            + self.search.allocated_bytes()
             + self.comp.capacity() * size_of::<VertexId>()
     }
 }
@@ -254,100 +233,14 @@ impl<'ws> IncrementalChordal<'ws> {
     /// The separator test of the module docs for a same-component pair:
     /// does removing `N(u) ∩ N(v)` disconnect `u` from `v`?
     ///
-    /// Two short-circuits keep the common cases cheap: an *empty* common
-    /// neighbourhood can never separate a same-component pair (`O(deg u +
-    /// deg v)` rejection — the dominant case on sparse subgraphs), and the
-    /// search itself is bidirectional (always expanding the side with the
-    /// smaller open frontier), so a *successful* insertion costs about the
-    /// size of the smaller piece the separator cuts off rather than the
-    /// whole component.
+    /// Delegates to the shared bidirectional blocked-frontier kernel with
+    /// the connectivity shortcut enabled (the union-find in
+    /// [`IncrementalChordal::can_insert`] has already certified the pair
+    /// shares a component, so an empty common neighbourhood is an `O(deg u
+    /// + deg v)` rejection — the dominant case on sparse subgraphs).
     fn separator_disconnects(&mut self, u: VertexId, v: VertexId) -> bool {
-        let state = &mut *self.state;
-        // Two epochs per candidate: the odd one marks N(u), the even one
-        // upgrades the intersection with N(v) to "blocked".
-        state.epoch = match state.epoch.checked_add(2) {
-            Some(e) => e,
-            None => {
-                state.stamp.fill(0);
-                state.visited.fill(0);
-                state.visited_from_v.fill(0);
-                2
-            }
-        };
-        let IncrementalState {
-            adj,
-            stamp,
-            visited,
-            visited_from_v,
-            queue,
-            queue_from_v,
-            epoch,
-            ..
-        } = state;
-        let epoch = *epoch;
-        for &w in &adj[u as usize] {
-            stamp[w as usize] = epoch - 1;
-        }
-        let mut common_empty = true;
-        for &w in &adj[v as usize] {
-            if stamp[w as usize] == epoch - 1 {
-                stamp[w as usize] = epoch;
-                common_empty = false;
-            }
-        }
-        if common_empty {
-            // u and v share a component; the empty set separates nothing.
-            return false;
-        }
-        queue.clear();
-        queue.push(u);
-        visited[u as usize] = epoch;
-        queue_from_v.clear();
-        queue_from_v.push(v);
-        visited_from_v[v as usize] = epoch;
-        let (mut head_u, mut head_v) = (0usize, 0usize);
-        loop {
-            let open_u = queue.len() - head_u;
-            let open_v = queue_from_v.len() - head_v;
-            if open_u == 0 || open_v == 0 {
-                // One side ran out of frontier without meeting the other:
-                // the common neighbourhood separates the pair.
-                return true;
-            }
-            if open_u <= open_v {
-                let w = queue[head_u];
-                head_u += 1;
-                for &x in &adj[w as usize] {
-                    let xi = x as usize;
-                    if stamp[xi] == epoch {
-                        continue; // blocked: inside N(u) ∩ N(v)
-                    }
-                    if visited_from_v[xi] == epoch {
-                        return false; // the searches met: still connected
-                    }
-                    if visited[xi] != epoch {
-                        visited[xi] = epoch;
-                        queue.push(x);
-                    }
-                }
-            } else {
-                let w = queue_from_v[head_v];
-                head_v += 1;
-                for &x in &adj[w as usize] {
-                    let xi = x as usize;
-                    if stamp[xi] == epoch {
-                        continue;
-                    }
-                    if visited[xi] == epoch {
-                        return false;
-                    }
-                    if visited_from_v[xi] != epoch {
-                        visited_from_v[xi] = epoch;
-                        queue_from_v.push(x);
-                    }
-                }
-            }
-        }
+        let IncrementalState { adj, search, .. } = &mut *self.state;
+        search.separates(|w| adj[w as usize].as_slice(), u, v, true)
     }
 
     fn find(&mut self, mut x: usize) -> usize {

@@ -248,79 +248,37 @@ pub fn is_maximal_chordal_subgraph(graph: &CsrGraph, chordal_edges: &[Edge]) -> 
 /// not one of its edges; callers certify both (as
 /// [`check_maximality`] does).
 ///
-/// This is deliberately a *simple, unidirectional* implementation — the
-/// independent oracle the test-suite holds the optimised maintained one
-/// ([`crate::repair::incremental::IncrementalChordal`]) against. One-shot
+/// The search itself is the shared bidirectional blocked-frontier kernel
+/// ([`crate::kernels::SeparatorSearch`]), the same one the repair
+/// maintainer ([`crate::repair::incremental::IncrementalChordal`]) embeds —
+/// only the adjacency source differs (a CSR graph here, maintained lists
+/// there), which is exactly what the differential suites compare. One-shot
 /// convenience wrapper; loops over many candidates should reuse a
 /// [`SeparatorScratch`] the way [`check_maximality`] does.
 pub fn addition_preserves_chordality(chordal: &CsrGraph, u: VertexId, v: VertexId) -> bool {
     SeparatorScratch::new(chordal.num_vertices()).separates(chordal, u, v)
 }
 
-/// Reusable epoch-stamped buffers of the separator test, so a loop over
-/// many candidate edges (as in [`check_maximality`]) allocates once instead
-/// of per candidate.
+/// Reusable separator-test scratch for loops over many candidate edges (as
+/// in [`check_maximality`]): a thin adapter binding the generic
+/// [`crate::kernels::SeparatorSearch`] frontier kernel to a [`CsrGraph`]'s
+/// sorted hot adjacency array.
 struct SeparatorScratch {
-    /// `epoch - 1` marks `N(u)`, `epoch` marks the blocked common
-    /// neighbourhood `N(u) ∩ N(v)`.
-    stamp: Vec<u32>,
-    /// `epoch` marks vertices reached from `u`.
-    visited: Vec<u32>,
-    queue: Vec<VertexId>,
-    epoch: u32,
+    search: crate::kernels::SeparatorSearch,
 }
 
 impl SeparatorScratch {
     fn new(n: usize) -> Self {
         Self {
-            stamp: vec![0; n],
-            visited: vec![0; n],
-            queue: Vec::new(),
-            epoch: 0,
+            search: crate::kernels::SeparatorSearch::new(n),
         }
     }
 
     /// Whether `N(u) ∩ N(v)` separates `u` from `v` in `chordal` — i.e.
-    /// whether `chordal + uv` stays chordal.
+    /// whether `chordal + uv` stays chordal. No component information is
+    /// assumed, so the kernel's connectivity shortcut stays off.
     fn separates(&mut self, chordal: &CsrGraph, u: VertexId, v: VertexId) -> bool {
-        self.epoch = match self.epoch.checked_add(2) {
-            Some(e) => e,
-            None => {
-                self.stamp.fill(0);
-                self.visited.fill(0);
-                2
-            }
-        };
-        let epoch = self.epoch;
-        for &w in chordal.neighbors(u) {
-            self.stamp[w as usize] = epoch - 1;
-        }
-        // Upgrading the common neighbourhood to the blocked stamp keeps the
-        // search from ever entering it.
-        for &w in chordal.neighbors(v) {
-            if self.stamp[w as usize] == epoch - 1 {
-                self.stamp[w as usize] = epoch;
-            }
-        }
-        self.queue.clear();
-        self.queue.push(u);
-        self.visited[u as usize] = epoch;
-        let mut head = 0;
-        while head < self.queue.len() {
-            let w = self.queue[head];
-            head += 1;
-            for &x in chordal.neighbors(w) {
-                if x == v {
-                    return false;
-                }
-                let xi = x as usize;
-                if self.stamp[xi] != epoch && self.visited[xi] != epoch {
-                    self.visited[xi] = epoch;
-                    self.queue.push(x);
-                }
-            }
-        }
-        true
+        self.search.separates(|w| chordal.neighbors(w), u, v, false)
     }
 }
 

@@ -160,6 +160,7 @@ impl Workspace {
     /// vertices and `directed_edges` directed edges. Lowest parents start at
     /// [`NO_VERTEX`], cursors and chordal-set lengths at zero; the arena is
     /// left untouched (its live prefix is defined by `clen`).
+    #[cfg(test)]
     pub(crate) fn prepare_atomic(&mut self, n: usize, directed_edges: usize, offsets: &[usize]) {
         self.prepare_atomic_arrays(n, directed_edges);
         self.offsets.clear();
@@ -170,14 +171,12 @@ impl Workspace {
         self.prepare_flags(n);
     }
 
-    /// [`Workspace::prepare_atomic`] driven directly by a [`GraphRef`]. A
-    /// heap CSR hands over its offsets slice wholesale; an mmap-backed
-    /// graph fills the copy through [`GraphRef::adjacency_start`], so it
-    /// never materialises a `Vec<usize>` of its own.
+    /// [`Workspace::prepare_atomic`] driven directly by a [`GraphRef`].
+    /// Both heap and mmap-backed graphs fill the copy through
+    /// [`GraphRef::adjacency_start`] — heap graphs store offsets at the
+    /// compact width ([`chordal_graph::layout`]), so neither representation
+    /// has a `&[usize]` slice to hand over wholesale.
     pub(crate) fn prepare_atomic_from(&mut self, graph: GraphRef<'_>) {
-        if let GraphRef::Heap(g) = graph {
-            return self.prepare_atomic(g.num_vertices(), g.num_directed_edges(), g.offsets());
-        }
         let n = graph.num_vertices();
         self.prepare_atomic_arrays(n, graph.num_directed_edges());
         self.offsets.clear();

@@ -1,5 +1,6 @@
 //! Compressed-sparse-row adjacency structure.
 
+use crate::layout::{ColdCsr, EdgeFlags, HotCsr, IndexWidth, MemoryBreakdown};
 use crate::{EdgeList, GraphError, VertexId};
 use rayon::prelude::*;
 use std::sync::OnceLock;
@@ -11,12 +12,19 @@ use std::sync::OnceLock;
 /// adjacency list is sorted ascending; the "Opt" variant of the paper's
 /// algorithm requires sorted adjacency while the "Unopt" variant operates on
 /// generator-ordered lists.
+///
+/// Storage follows the hot/cold split of [`crate::layout`]: the traversal
+/// arrays ([`HotCsr`]: offsets at the narrowest sound index width, `u32`
+/// neighbor ids, packed per-edge flags) are separated from lazily
+/// materialized cold metadata ([`ColdCsr`]), so kernels touch only the
+/// bytes they need.
 #[derive(Debug, Clone)]
 pub struct CsrGraph {
     num_vertices: usize,
-    /// `offsets[v]..offsets[v + 1]` indexes `neighbors` for vertex `v`.
-    offsets: Vec<usize>,
-    neighbors: Vec<VertexId>,
+    /// The hot traversal arrays (offsets, neighbors, per-edge flags).
+    hot: HotCsr,
+    /// Lazily materialized cold companion arrays; excluded from equality.
+    cold: ColdCsr,
     sorted: bool,
     /// Lazily computed cache of [`CsrGraph::num_canonical_edges`]. No
     /// method changes the stored edge multiset after construction
@@ -27,10 +35,11 @@ pub struct CsrGraph {
 
 impl PartialEq for CsrGraph {
     fn eq(&self, other: &Self) -> bool {
-        // The canonical-edge cache is derived data, deliberately ignored.
+        // The canonical-edge cache and the cold arrays are derived data,
+        // deliberately ignored. Offset comparison is width-agnostic, so a
+        // deliberately widened copy equals the graph it mirrors.
         self.num_vertices == other.num_vertices
-            && self.offsets == other.offsets
-            && self.neighbors == other.neighbors
+            && self.hot == other.hot
             && self.sorted == other.sorted
     }
 }
@@ -73,8 +82,8 @@ impl CsrGraph {
         }
         let mut graph = Self {
             num_vertices,
-            offsets,
-            neighbors,
+            hot: HotCsr::new(offsets, neighbors),
+            cold: ColdCsr::default(),
             sorted: false,
             canonical_edges: OnceLock::new(),
         };
@@ -132,8 +141,8 @@ impl CsrGraph {
         });
         Ok(Self {
             num_vertices,
-            offsets,
-            neighbors,
+            hot: HotCsr::new(offsets, neighbors),
+            cold: ColdCsr::default(),
             sorted,
             canonical_edges: OnceLock::new(),
         })
@@ -143,8 +152,8 @@ impl CsrGraph {
     pub fn empty(num_vertices: usize) -> Self {
         Self {
             num_vertices,
-            offsets: vec![0; num_vertices + 1],
-            neighbors: Vec::new(),
+            hot: HotCsr::new(vec![0; num_vertices + 1], Vec::new()),
+            cold: ColdCsr::default(),
             sorted: true,
             canonical_edges: OnceLock::new(),
         }
@@ -168,7 +177,7 @@ impl CsrGraph {
     /// use [`CsrGraph::num_canonical_edges`] instead.
     #[inline]
     pub fn num_edges(&self) -> usize {
-        self.neighbors.len() / 2
+        self.hot.neighbors().len() / 2
     }
 
     /// Number of *distinct* undirected, non-loop edges — the canonical edge
@@ -222,33 +231,81 @@ impl CsrGraph {
     /// Number of directed adjacency entries (twice the edge count).
     #[inline]
     pub fn num_directed_edges(&self) -> usize {
-        self.neighbors.len()
+        self.hot.neighbors().len()
     }
 
     /// Degree of vertex `v`.
     #[inline]
     pub fn degree(&self, v: VertexId) -> usize {
-        let v = v as usize;
-        self.offsets[v + 1] - self.offsets[v]
+        let range = self.hot.offsets().range(v as usize);
+        range.end - range.start
     }
 
     /// Neighbours of `v` as a slice.
     #[inline]
     pub fn neighbors(&self, v: VertexId) -> &[VertexId] {
-        let v = v as usize;
-        &self.neighbors[self.offsets[v]..self.offsets[v + 1]]
+        self.hot.neighbors_of(v)
     }
 
-    /// The raw offset array (length `num_vertices + 1`).
+    /// Start of vertex `i`'s adjacency range (`i` may be `num_vertices`,
+    /// yielding the directed edge count) — the heap-side mirror of
+    /// [`crate::storage::MmapCsrGraph::adjacency_start`].
     #[inline]
-    pub fn offsets(&self) -> &[usize] {
-        &self.offsets
+    pub fn adjacency_start(&self, i: usize) -> usize {
+        self.hot.offsets().get(i)
+    }
+
+    /// The chosen offset index width of the hot layout.
+    #[inline]
+    pub fn offset_width(&self) -> IndexWidth {
+        self.hot.offsets().width()
+    }
+
+    /// The packed per-edge flags of the hot layout (canonical-orientation
+    /// bits).
+    #[inline]
+    pub fn edge_flags(&self) -> &EdgeFlags {
+        self.hot.flags()
+    }
+
+    /// The lazily materialized cold companion arrays.
+    #[inline]
+    pub fn cold(&self) -> &ColdCsr {
+        &self.cold
+    }
+
+    /// Byte accounting of the in-memory layout: chosen width, hot/cold
+    /// array bytes, and the projected wide-layout comparison.
+    pub fn memory_breakdown(&self) -> MemoryBreakdown {
+        let offsets = self.hot.offsets();
+        MemoryBreakdown {
+            width: offsets.width(),
+            offsets_bytes: offsets.bytes(),
+            neighbors_bytes: std::mem::size_of_val(self.hot.neighbors()),
+            flags_bytes: self.hot.flags().bytes(),
+            cold_bytes: self.cold.bytes(),
+            wide_offsets_bytes: offsets.len() * std::mem::size_of::<usize>(),
+        }
+    }
+
+    /// A copy of this graph with forcibly wide (`usize`) offsets — the
+    /// ablation baseline the compact layout is measured against. Compares
+    /// equal to `self` (offset equality is width-agnostic).
+    pub fn with_wide_offsets(&self) -> Self {
+        let offsets: Vec<usize> = self.hot.offsets().iter().collect();
+        Self {
+            num_vertices: self.num_vertices,
+            hot: HotCsr::new_wide(offsets, self.hot.neighbors().to_vec()),
+            cold: ColdCsr::default(),
+            sorted: self.sorted,
+            canonical_edges: OnceLock::new(),
+        }
     }
 
     /// The raw adjacency array.
     #[inline]
     pub fn adjacency(&self) -> &[VertexId] {
-        &self.neighbors
+        self.hot.neighbors()
     }
 
     /// Whether every adjacency list is sorted ascending.
@@ -260,20 +317,25 @@ impl CsrGraph {
     /// Sorts every adjacency list ascending (in parallel). Afterwards
     /// [`CsrGraph::is_sorted`] returns `true`.
     pub fn sort_adjacency(&mut self) {
-        let offsets = &self.offsets;
+        let num_vertices = self.num_vertices;
+        let (offsets, neighbors) = self.hot.parts_mut();
         // Split the adjacency into per-vertex chunks without aliasing.
-        let mut slices: Vec<&mut [VertexId]> = Vec::with_capacity(self.num_vertices);
-        let mut rest: &mut [VertexId] = &mut self.neighbors;
+        let mut slices: Vec<&mut [VertexId]> = Vec::with_capacity(num_vertices);
+        let mut rest: &mut [VertexId] = neighbors;
         let mut consumed = 0usize;
-        for v in 0..self.num_vertices {
-            let len = offsets[v + 1] - offsets[v];
+        for v in 0..num_vertices {
+            let range = offsets.range(v);
+            let len = range.end - range.start;
             let (head, tail) = rest.split_at_mut(len);
             slices.push(head);
             rest = tail;
             consumed += len;
         }
-        debug_assert_eq!(consumed, offsets[self.num_vertices]);
+        debug_assert_eq!(consumed, offsets.get(num_vertices));
         slices.par_iter_mut().for_each(|s| s.sort_unstable());
+        // In-list permutation moves slots, so the per-edge flag bits must
+        // follow.
+        self.hot.rebuild_flags();
         self.sorted = true;
     }
 
@@ -283,10 +345,9 @@ impl CsrGraph {
     /// order rather than ascending order.
     pub fn with_scrambled_adjacency(&self, seed: u64) -> Self {
         let mut clone = self.clone();
+        let (offsets, neighbors) = clone.hot.parts_mut();
         for v in 0..self.num_vertices {
-            let start = clone.offsets[v];
-            let end = clone.offsets[v + 1];
-            let slice = &mut clone.neighbors[start..end];
+            let slice = &mut neighbors[offsets.range(v)];
             // Deterministic Fisher-Yates driven by a splitmix64 stream.
             let mut state = seed ^ (v as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
             let mut next = || {
@@ -301,6 +362,7 @@ impl CsrGraph {
                 slice.swap(i, j);
             }
         }
+        clone.hot.rebuild_flags();
         clone.sorted = clone.check_sorted();
         clone
     }
@@ -334,22 +396,32 @@ impl CsrGraph {
 
     /// Maximum degree over all vertices (0 for an empty graph).
     pub fn max_degree(&self) -> usize {
+        let offsets = self.hot.offsets();
         (0..self.num_vertices)
             .into_par_iter()
-            .map(|v| self.offsets[v + 1] - self.offsets[v])
+            .map(|v| {
+                let range = offsets.range(v);
+                range.end - range.start
+            })
             .max()
             .unwrap_or(0)
     }
 
     /// Iterates over every undirected edge once, in canonical orientation
-    /// `(u, v)` with `u < v`.
+    /// `(u, v)` with `u < v` — driven by the packed per-edge orientation
+    /// bits of the hot layout rather than re-comparing endpoint ids.
     pub fn edges(&self) -> impl Iterator<Item = (VertexId, VertexId)> + '_ {
+        let offsets = self.hot.offsets();
+        let flags = self.hot.flags();
         (0..self.num_vertices as VertexId).flat_map(move |u| {
-            self.neighbors(u)
+            let range = offsets.range(u as usize);
+            let base = range.start;
+            self.hot.neighbors()[range]
                 .iter()
                 .copied()
-                .filter(move |&v| u < v)
-                .map(move |v| (u, v))
+                .enumerate()
+                .filter(move |&(i, _)| flags.get(base + i))
+                .map(move |(_, v)| (u, v))
         })
     }
 
@@ -382,7 +454,7 @@ impl CsrGraph {
 
     /// Sum of all degrees (equals `2 * num_edges`).
     pub fn total_degree(&self) -> usize {
-        self.neighbors.len()
+        self.hot.neighbors().len()
     }
 }
 

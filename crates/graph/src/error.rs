@@ -30,6 +30,19 @@ pub enum GraphError {
     /// A malformed or unsupported binary graph file (bad magic, unknown
     /// version, truncation, checksum mismatch, …).
     Format(String),
+    /// A binary graph file whose header claims sorted adjacency
+    /// (`FLAG_SORTED`) but whose neighbor lists are not sorted ascending.
+    /// Distinct from [`GraphError::Format`] so callers (cache admission,
+    /// `convert --verify`) can report the lying flag precisely: the file is
+    /// structurally sound, but trusting the flag would corrupt every
+    /// binary-search-based lookup.
+    SortedFlagViolation {
+        /// The first vertex whose neighbor list is out of order.
+        vertex: u64,
+        /// Index within that vertex's neighbor list where order breaks
+        /// (the entry at `position` is smaller than the one before it).
+        position: usize,
+    },
 }
 
 impl fmt::Display for GraphError {
@@ -55,6 +68,11 @@ impl fmt::Display for GraphError {
                 )
             }
             GraphError::Format(msg) => write!(f, "binary graph format error: {msg}"),
+            GraphError::SortedFlagViolation { vertex, position } => write!(
+                f,
+                "header claims sorted adjacency but vertex {vertex}'s neighbor list is out \
+                 of order at position {position}"
+            ),
         }
     }
 }
@@ -100,6 +118,13 @@ mod tests {
 
         let e = GraphError::Format("bad magic".into());
         assert!(e.to_string().contains("bad magic"));
+
+        let e = GraphError::SortedFlagViolation {
+            vertex: 7,
+            position: 2,
+        };
+        assert!(e.to_string().contains("vertex 7"), "{e}");
+        assert!(e.to_string().contains("position 2"), "{e}");
     }
 
     #[test]

@@ -119,7 +119,7 @@ impl<'a> GraphRef<'a> {
     #[inline]
     pub fn adjacency_start(self, i: usize) -> usize {
         match self {
-            GraphRef::Heap(g) => g.offsets()[i],
+            GraphRef::Heap(g) => g.adjacency_start(i),
             GraphRef::Mapped(g) => g.adjacency_start(i),
         }
     }

@@ -30,6 +30,7 @@ pub mod edgelist;
 pub mod error;
 pub mod graphref;
 pub mod io;
+pub mod layout;
 pub mod permute;
 pub mod stats;
 pub mod storage;
@@ -41,6 +42,7 @@ pub use csr::CsrGraph;
 pub use edgelist::EdgeList;
 pub use error::GraphError;
 pub use graphref::GraphRef;
+pub use layout::{IndexWidth, MemoryBreakdown};
 pub use stats::GraphStats;
 pub use storage::MmapCsrGraph;
 

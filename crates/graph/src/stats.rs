@@ -2,7 +2,7 @@
 //! vertex count, edge count, average degree, maximum degree, degree variance
 //! and edges-per-vertex ratio.
 
-use crate::CsrGraph;
+use crate::{CsrGraph, VertexId};
 use rayon::prelude::*;
 
 /// Structural summary of a graph (one row of Table I).
@@ -39,7 +39,7 @@ impl GraphStats {
         }
         let degrees: Vec<usize> = (0..n)
             .into_par_iter()
-            .map(|v| graph.degree(v as u32))
+            .map(|v| graph.degree(v as VertexId))
             .collect();
         let max_degree = degrees.par_iter().copied().max().unwrap_or(0);
         let sum: usize = degrees.par_iter().sum();
@@ -69,7 +69,7 @@ pub fn degree_histogram(graph: &CsrGraph) -> Vec<usize> {
     let max_deg = graph.max_degree();
     let mut hist = vec![0usize; max_deg + 1];
     for v in 0..graph.num_vertices() {
-        hist[graph.degree(v as u32)] += 1;
+        hist[graph.degree(v as VertexId)] += 1;
     }
     hist
 }
@@ -77,7 +77,7 @@ pub fn degree_histogram(graph: &CsrGraph) -> Vec<usize> {
 /// The degree sequence of the graph (unsorted, indexed by vertex).
 pub fn degree_sequence(graph: &CsrGraph) -> Vec<usize> {
     (0..graph.num_vertices())
-        .map(|v| graph.degree(v as u32))
+        .map(|v| graph.degree(v as VertexId))
         .collect()
 }
 

@@ -1,14 +1,15 @@
 //! The `CHRDLCSR` on-disk binary CSR format.
 //!
-//! # Format specification (version 1)
+//! # Format specification (version 2)
 //!
-//! A binary graph file is three consecutive sections, all little-endian:
+//! A binary graph file is a fixed 48-byte header, a section table, and the
+//! section payloads, all little-endian:
 //!
 //! ```text
 //! offset  size  field
 //! ------  ----  ----------------------------------------------------------
 //!      0     8  magic: the ASCII bytes "CHRDLCSR"
-//!      8     4  version: u32, currently 1
+//!      8     4  version: u32, currently 2 (readers also accept 1)
 //!     12     4  flags: u32 bitset
 //!                 bit 0 — every adjacency list is sorted ascending
 //!                 bit 1 — the offsets section uses u64 entries (else u32)
@@ -17,10 +18,35 @@
 //!     24     8  num_directed_edges: u64 (adjacency entries; 2x edge count)
 //!     32     8  num_canonical_edges: u64 (distinct undirected edges)
 //!     40     8  checksum: u64, FNV-1a 64 over the offsets and adjacency
-//!               sections exactly as stored on disk
-//!     48     —  offsets section: num_vertices + 1 entries, u32 or u64 LE
-//!      …     —  adjacency section: num_directed_edges entries, u32 LE
+//!               section payloads exactly as stored on disk (the section
+//!               table is NOT covered — see "Checksum stability" below)
+//!     48     4  section_count: u32 (≥ 2)
+//!     52     4  reserved padding, must be zero
+//!     56     —  section table: section_count entries of 24 bytes each
+//!               { id: u64, offset: u64 from file start, len: u64 bytes }
+//!      …     —  section payloads
 //! ```
+//!
+//! Two section ids are defined and mandatory:
+//!
+//! * [`SECTION_OFFSETS`] (1) — `num_vertices + 1` entries, u32 or u64 LE
+//!   per the index-width rule; `len` must equal the implied byte length.
+//! * [`SECTION_ADJACENCY`] (2) — `num_directed_edges` u32 LE entries; the
+//!   payload offset must be 4-aligned.
+//!
+//! Entries with unknown ids are *ignored* (skipped over), reserving the
+//! table for forward-compatible cold-data extensions (weights, labels,
+//! provenance — the on-disk side of [`crate::layout::ColdCsr`]) that old
+//! readers can safely not understand. Unknown *flag* bits are still
+//! rejected: flags change the meaning of the mandatory sections.
+//!
+//! ## Version 1 (read compatibility)
+//!
+//! Version 1 files have no section table: the offsets section starts
+//! immediately at byte 48 and the adjacency section follows it. Readers
+//! accept both versions ([`Header::parse`] records which one it saw and
+//! [`SectionLayout::locate`] resolves the payload positions either way);
+//! writers always emit version 2.
 //!
 //! **Index-width rule.** Vertex ids are `u32` workspace-wide (graphs are
 //! capped at `u32::MAX - 1` vertices), so adjacency entries are always
@@ -28,38 +54,72 @@
 //! directed edge count exceeds `u32::MAX` (a `u32` offset could not address
 //! past the end of the adjacency array), `u32` otherwise. The choice is a
 //! pure function of the edge count ([`offsets_width`]), so writers are
-//! deterministic and readers never guess.
+//! deterministic and readers never guess. The same rule chooses the
+//! in-memory width of a heap graph's offsets ([`crate::layout`]), so a
+//! mapped file and its decoded copy agree on compactness.
 //!
-//! **Alignment.** The header is 48 bytes. `48 ≡ 0 (mod 8)`, the offsets
-//! section is `4·(nv+1)` or `8·(nv+1)` bytes, and both leave the adjacency
-//! section 4-aligned relative to the start of the file — so a page-aligned
-//! mmap can reinterpret either section as a typed slice without copying.
+//! **Alignment.** The header is 48 bytes and the canonical two-section
+//! table ends at byte 104; both are 8-aligned. The offsets section is
+//! `4·(nv+1)` or `8·(nv+1)` bytes, so the adjacency payload stays 4-aligned
+//! relative to the start of the file in both versions — a page-aligned mmap
+//! can reinterpret either section as a typed slice without copying.
+//!
+//! **Checksum stability.** The checksum covers exactly the offsets and
+//! adjacency payload bytes — not the header, not the section table. A graph
+//! therefore has the *same* checksum in a v1 and a v2 file, which keeps
+//! [`content_hash`] (vertex count, directed edge count, checksum) stable
+//! across the version bump: serve-tier cache keys derived from v1 files
+//! remain valid for their v2 conversions.
 //!
 //! **Versioning policy.** The version field is bumped on any
 //! layout-incompatible change; readers reject versions they do not know
-//! (no silent best-effort parsing). Unknown flag bits are likewise
-//! rejected, reserving them for forward-compatible extensions that old
-//! readers must not ignore (e.g. a different adjacency encoding).
+//! (no silent best-effort parsing). Within version 2, unknown section ids
+//! are the sanctioned extension point; unknown flag bits remain rejected.
 //!
 //! **Integrity.** Loading performs cheap structural validation (magic,
-//! version, flags, section sizes derived from the header vs the actual file
-//! length, offsets monotone and consistent with the edge count). The full
-//! FNV-1a checksum over both sections is *not* verified on load — that
-//! would fault in every page and defeat lazy mapping — but is available via
-//! [`MmapCsrGraph::verify_checksum`](super::MmapCsrGraph::verify_checksum).
+//! version, flags, section table bounds, section sizes derived from the
+//! header vs the actual file length, offsets monotone and consistent with
+//! the edge count). The full FNV-1a checksum over both sections is *not*
+//! verified on load — that would fault in every page and defeat lazy
+//! mapping — but is available via
+//! [`MmapCsrGraph::verify_checksum`](super::MmapCsrGraph::verify_checksum),
+//! which also validates the [`FLAG_SORTED`] claim against the actual
+//! neighbor order.
+//!
+//! The in-memory hot/cold layout this format feeds is documented in
+//! `docs/layout.md` at the repository root.
 
-use crate::{CsrGraph, GraphError, GraphRef};
+use crate::layout::narrow_index;
+use crate::{CsrGraph, GraphError, GraphRef, VertexId};
 use std::io::Write;
 use std::path::Path;
 
 /// Magic bytes identifying a binary CSR graph file.
 pub const MAGIC: [u8; 8] = *b"CHRDLCSR";
 
-/// Current (and only) format version.
-pub const FORMAT_VERSION: u32 = 1;
+/// Current format version, the one writers emit.
+pub const FORMAT_VERSION: u32 = 2;
 
-/// Size of the fixed header in bytes.
+/// The legacy sectionless version readers still accept.
+pub const FORMAT_VERSION_V1: u32 = 1;
+
+/// Size of the fixed header in bytes (identical in both versions).
 pub const HEADER_LEN: usize = 48;
+
+/// Section id of the mandatory offsets section (version 2).
+pub const SECTION_OFFSETS: u64 = 1;
+
+/// Section id of the mandatory adjacency section (version 2).
+pub const SECTION_ADJACENCY: u64 = 2;
+
+/// Byte length of one section-table entry (version 2).
+pub const SECTION_ENTRY_LEN: usize = 24;
+
+/// File offset of the section count field (version 2).
+const SECTION_COUNT_POS: usize = HEADER_LEN;
+
+/// File offset of the first section-table entry (version 2).
+const SECTION_TABLE_POS: usize = HEADER_LEN + 8;
 
 /// Flag bit: every adjacency list is sorted ascending.
 pub const FLAG_SORTED: u32 = 1 << 0;
@@ -133,10 +193,25 @@ impl Header {
         self.num_directed_edges as usize * 4
     }
 
-    /// Total file length implied by this header.
+    /// Byte length of everything before the first section payload: the
+    /// 48-byte header alone for version 1, header + section count +
+    /// canonical two-entry section table for version 2.
+    #[inline]
+    pub fn prologue_len(&self) -> usize {
+        if self.version == FORMAT_VERSION_V1 {
+            HEADER_LEN
+        } else {
+            SECTION_TABLE_POS + 2 * SECTION_ENTRY_LEN
+        }
+    }
+
+    /// Total file length implied by this header for the canonical writer
+    /// layout (the two mandatory sections, in order, nothing else). Files
+    /// with additional sections are longer; [`SectionLayout::locate`] is
+    /// the authoritative bounds check.
     #[inline]
     pub fn file_len(&self) -> usize {
-        HEADER_LEN + self.offsets_len() + self.adjacency_len()
+        self.prologue_len() + self.offsets_len() + self.adjacency_len()
     }
 
     /// Serialises the header into its 48-byte on-disk form.
@@ -178,9 +253,10 @@ impl Header {
             ));
         }
         let version = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
-        if version != FORMAT_VERSION {
+        if version != FORMAT_VERSION && version != FORMAT_VERSION_V1 {
             return Err(GraphError::Format(format!(
-                "unsupported format version {version} (this reader supports {FORMAT_VERSION})"
+                "unsupported format version {version} (this reader supports \
+                 {FORMAT_VERSION_V1} and {FORMAT_VERSION})"
             )));
         }
         let flags = u32::from_le_bytes(bytes[12..16].try_into().unwrap());
@@ -209,11 +285,16 @@ impl Header {
         }
         // Guard the usize arithmetic in the section-length accessors on
         // 32-bit hosts; 64-bit hosts cannot overflow here.
+        let prologue = if version == FORMAT_VERSION_V1 {
+            HEADER_LEN
+        } else {
+            SECTION_TABLE_POS + 2 * SECTION_ENTRY_LEN
+        };
         let implied = (num_vertices + 1)
             .checked_mul(width.bytes() as u64)
             .and_then(|o| num_directed_edges.checked_mul(4).map(|a| (o, a)))
             .and_then(|(o, a)| o.checked_add(a))
-            .and_then(|s| s.checked_add(HEADER_LEN as u64));
+            .and_then(|s| s.checked_add(prologue as u64));
         match implied {
             Some(total) if total <= usize::MAX as u64 => {}
             _ => {
@@ -230,6 +311,142 @@ impl Header {
             num_directed_edges,
             num_canonical_edges,
             checksum,
+        })
+    }
+}
+
+/// Resolved byte positions of the mandatory section payloads within a
+/// binary CSR file — the version seam between the sectionless v1 layout and
+/// the v2 section table. Readers ([`read_binary`],
+/// [`MmapCsrGraph`](super::MmapCsrGraph)) locate sections through this type
+/// and never hardcode payload positions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SectionLayout {
+    /// File offset of the offsets payload.
+    pub offsets_pos: usize,
+    /// File offset of the adjacency payload (4-aligned).
+    pub adjacency_pos: usize,
+    /// Total file length implied by every declared section (v2) or the
+    /// two implicit sections (v1); must equal the actual file length.
+    pub file_len: usize,
+}
+
+impl SectionLayout {
+    /// Resolves the section payload positions for a parsed header against
+    /// the full file bytes.
+    ///
+    /// Version 1 files place the offsets payload at byte 48 with the
+    /// adjacency payload immediately after. Version 2 files are resolved
+    /// through the section table: the two mandatory sections must be
+    /// present with exactly the byte lengths the header implies, the
+    /// adjacency payload must be 4-aligned, every declared section (known
+    /// or not) must lie within the file, and the file must end where its
+    /// last section does. Unknown section ids are skipped — they are the
+    /// format's forward-compatible extension point.
+    pub fn locate(header: &Header, bytes: &[u8]) -> Result<SectionLayout, GraphError> {
+        if header.version == FORMAT_VERSION_V1 {
+            let layout = SectionLayout {
+                offsets_pos: HEADER_LEN,
+                adjacency_pos: HEADER_LEN + header.offsets_len(),
+                file_len: HEADER_LEN + header.offsets_len() + header.adjacency_len(),
+            };
+            if bytes.len() != layout.file_len {
+                return Err(GraphError::Format(format!(
+                    "file length {} does not match the {} bytes implied by the v1 header \
+                     (truncated or trailing garbage)",
+                    bytes.len(),
+                    layout.file_len
+                )));
+            }
+            return Ok(layout);
+        }
+        if bytes.len() < SECTION_TABLE_POS {
+            return Err(GraphError::Format(format!(
+                "file too short for a v2 section table: {} bytes",
+                bytes.len()
+            )));
+        }
+        let count = u32::from_le_bytes(
+            bytes[SECTION_COUNT_POS..SECTION_COUNT_POS + 4]
+                .try_into()
+                .unwrap(),
+        ) as usize;
+        let table_end = SECTION_TABLE_POS
+            .checked_add(count.checked_mul(SECTION_ENTRY_LEN).ok_or_else(|| {
+                GraphError::Format(format!("section count {count} overflows the table size"))
+            })?)
+            .filter(|&end| end <= bytes.len())
+            .ok_or_else(|| {
+                GraphError::Format(format!(
+                    "section table ({count} entries) extends past the end of the file"
+                ))
+            })?;
+        let mut offsets_pos = None;
+        let mut adjacency_pos = None;
+        let mut file_len = table_end;
+        for entry in bytes[SECTION_TABLE_POS..table_end].chunks_exact(SECTION_ENTRY_LEN) {
+            let id = u64::from_le_bytes(entry[0..8].try_into().unwrap());
+            let pos = u64::from_le_bytes(entry[8..16].try_into().unwrap());
+            let len = u64::from_le_bytes(entry[16..24].try_into().unwrap());
+            let end = pos
+                .checked_add(len)
+                .filter(|&end| end <= bytes.len() as u64)
+                .ok_or_else(|| {
+                    GraphError::Format(format!(
+                        "section {id} ({pos}+{len} bytes) extends past the end of the file"
+                    ))
+                })?;
+            if (pos as usize) < table_end {
+                return Err(GraphError::Format(format!(
+                    "section {id} payload at {pos} overlaps the section table"
+                )));
+            }
+            file_len = file_len.max(end as usize);
+            match id {
+                SECTION_OFFSETS => {
+                    if len as usize != header.offsets_len() {
+                        return Err(GraphError::Format(format!(
+                            "offsets section is {len} bytes, header implies {}",
+                            header.offsets_len()
+                        )));
+                    }
+                    offsets_pos = Some(pos as usize);
+                }
+                SECTION_ADJACENCY => {
+                    if len as usize != header.adjacency_len() {
+                        return Err(GraphError::Format(format!(
+                            "adjacency section is {len} bytes, header implies {}",
+                            header.adjacency_len()
+                        )));
+                    }
+                    if pos % 4 != 0 {
+                        return Err(GraphError::Format(format!(
+                            "adjacency section at {pos} is not 4-aligned"
+                        )));
+                    }
+                    adjacency_pos = Some(pos as usize);
+                }
+                // Unknown ids are the forward-compatible extension point.
+                _ => {}
+            }
+        }
+        let offsets_pos = offsets_pos.ok_or_else(|| {
+            GraphError::Format("section table is missing the offsets section".to_string())
+        })?;
+        let adjacency_pos = adjacency_pos.ok_or_else(|| {
+            GraphError::Format("section table is missing the adjacency section".to_string())
+        })?;
+        if bytes.len() != file_len {
+            return Err(GraphError::Format(format!(
+                "file length {} does not match the {file_len} bytes implied by the section \
+                 table (truncated or trailing garbage)",
+                bytes.len()
+            )));
+        }
+        Ok(SectionLayout {
+            offsets_pos,
+            adjacency_pos,
+            file_len,
         })
     }
 }
@@ -325,7 +542,7 @@ fn checksum_sections<'a>(graph: GraphRef<'a>, width: OffsetsWidth) -> u64 {
     match width {
         OffsetsWidth::U32 => {
             for i in 0..=n {
-                hasher.update(&(graph.adjacency_start(i) as u32).to_le_bytes());
+                hasher.update(&narrow_index(graph.adjacency_start(i)).to_le_bytes());
             }
         }
         OffsetsWidth::U64 => {
@@ -335,16 +552,42 @@ fn checksum_sections<'a>(graph: GraphRef<'a>, width: OffsetsWidth) -> u64 {
         }
     }
     for v in 0..n {
-        for &w in graph.neighbors(v as u32) {
+        for &w in graph.neighbors(v as VertexId) {
             hasher.update(&w.to_le_bytes());
         }
     }
     hasher.finish()
 }
 
-/// Writes a graph in the binary CSR format. Two passes over the graph: one
-/// to compute the checksum (which lives in the header, before the data it
-/// covers), one to stream the sections.
+/// Serialises the canonical v2 section table for a header: the two
+/// mandatory sections, offsets first, packed immediately after the table.
+/// Shared by [`write_binary`] and the streaming converter so both emit
+/// byte-identical prologues.
+pub(crate) fn section_table_bytes(header: &Header) -> Vec<u8> {
+    let prologue = SECTION_TABLE_POS + 2 * SECTION_ENTRY_LEN;
+    let offsets_pos = prologue as u64;
+    let adjacency_pos = offsets_pos + header.offsets_len() as u64;
+    let mut buf = Vec::with_capacity(prologue - HEADER_LEN);
+    buf.extend_from_slice(&2u32.to_le_bytes());
+    buf.extend_from_slice(&0u32.to_le_bytes());
+    for (id, pos, len) in [
+        (SECTION_OFFSETS, offsets_pos, header.offsets_len() as u64),
+        (
+            SECTION_ADJACENCY,
+            adjacency_pos,
+            header.adjacency_len() as u64,
+        ),
+    ] {
+        buf.extend_from_slice(&id.to_le_bytes());
+        buf.extend_from_slice(&pos.to_le_bytes());
+        buf.extend_from_slice(&len.to_le_bytes());
+    }
+    buf
+}
+
+/// Writes a graph in the binary CSR format (version 2). Two passes over the
+/// graph: one to compute the checksum (which lives in the header, before
+/// the data it covers), one to stream the sections.
 pub fn write_binary<'a, W: Write>(
     graph: impl Into<GraphRef<'a>>,
     writer: W,
@@ -362,11 +605,12 @@ pub fn write_binary<'a, W: Write>(
     };
     let mut w = std::io::BufWriter::new(writer);
     w.write_all(&header.to_bytes())?;
+    w.write_all(&section_table_bytes(&header))?;
     let n = graph.num_vertices();
     match width {
         OffsetsWidth::U32 => {
             for i in 0..=n {
-                w.write_all(&(graph.adjacency_start(i) as u32).to_le_bytes())?;
+                w.write_all(&narrow_index(graph.adjacency_start(i)).to_le_bytes())?;
             }
         }
         OffsetsWidth::U64 => {
@@ -376,7 +620,7 @@ pub fn write_binary<'a, W: Write>(
         }
     }
     for v in 0..n {
-        for &nb in graph.neighbors(v as u32) {
+        for &nb in graph.neighbors(v as VertexId) {
             w.write_all(&nb.to_le_bytes())?;
         }
     }
@@ -398,16 +642,9 @@ pub fn write_binary_file<'a, P: AsRef<Path>>(
 /// on a `&[u8]` without a backing file); the checksum is verified in full.
 pub fn read_binary(bytes: &[u8]) -> Result<CsrGraph, GraphError> {
     let header = Header::parse(bytes)?;
-    if bytes.len() != header.file_len() {
-        return Err(GraphError::Format(format!(
-            "file length {} does not match the {} bytes implied by the header \
-             (truncated or trailing garbage)",
-            bytes.len(),
-            header.file_len()
-        )));
-    }
-    let offsets_bytes = &bytes[HEADER_LEN..HEADER_LEN + header.offsets_len()];
-    let adj_bytes = &bytes[HEADER_LEN + header.offsets_len()..];
+    let layout = SectionLayout::locate(&header, bytes)?;
+    let offsets_bytes = &bytes[layout.offsets_pos..layout.offsets_pos + header.offsets_len()];
+    let adj_bytes = &bytes[layout.adjacency_pos..layout.adjacency_pos + header.adjacency_len()];
     let mut hasher = Fnv1a::new();
     hasher.update(offsets_bytes);
     hasher.update(adj_bytes);
@@ -458,6 +695,22 @@ mod tests {
         CsrGraph::from_canonical_edges(5, &[(0, 1), (0, 2), (1, 2), (2, 3), (3, 4)])
     }
 
+    /// Canonical prologue length of a v2 file with the two mandatory
+    /// sections: header + section count + padding + two table entries.
+    const V2_PROLOGUE: usize = HEADER_LEN + 8 + 2 * SECTION_ENTRY_LEN;
+
+    /// Re-encodes a canonical v2 buffer as the equivalent legacy v1 file:
+    /// same header with version 1 stamped, section table dropped, payloads
+    /// immediately after the header. The checksum field is untouched — it
+    /// covers only the payload bytes, which are identical in both versions.
+    fn downgrade_to_v1(v2: &[u8]) -> Vec<u8> {
+        let mut v1 = Vec::with_capacity(v2.len() - (V2_PROLOGUE - HEADER_LEN));
+        v1.extend_from_slice(&v2[..HEADER_LEN]);
+        v1[8..12].copy_from_slice(&FORMAT_VERSION_V1.to_le_bytes());
+        v1.extend_from_slice(&v2[V2_PROLOGUE..]);
+        v1
+    }
+
     #[test]
     fn width_rule_boundary() {
         assert_eq!(offsets_width(0), OffsetsWidth::U32);
@@ -472,10 +725,132 @@ mod tests {
         let g = sample();
         let mut buf = Vec::new();
         write_binary(&g, &mut buf).unwrap();
-        assert_eq!(buf.len(), HEADER_LEN + 4 * 6 + 4 * g.num_directed_edges());
+        assert_eq!(buf.len(), V2_PROLOGUE + 4 * 6 + 4 * g.num_directed_edges());
         let g2 = read_binary(&buf).unwrap();
         assert_eq!(g, g2);
         assert_eq!(g2.num_canonical_edges(), g.num_canonical_edges());
+    }
+
+    #[test]
+    fn v1_files_still_load() {
+        let g = sample();
+        let mut v2 = Vec::new();
+        write_binary(&g, &mut v2).unwrap();
+        let v1 = downgrade_to_v1(&v2);
+        let h = Header::parse(&v1).unwrap();
+        assert_eq!(h.version, FORMAT_VERSION_V1);
+        assert_eq!(h.prologue_len(), HEADER_LEN);
+        assert_eq!(h.file_len(), v1.len());
+        let layout = SectionLayout::locate(&h, &v1).unwrap();
+        assert_eq!(layout.offsets_pos, HEADER_LEN);
+        assert_eq!(layout.adjacency_pos, HEADER_LEN + h.offsets_len());
+        assert_eq!(read_binary(&v1).unwrap(), g);
+        // A truncated v1 file is still rejected.
+        assert!(read_binary(&v1[..v1.len() - 2]).is_err());
+    }
+
+    #[test]
+    fn checksum_and_content_hash_stable_across_versions() {
+        let g = sample();
+        let mut v2 = Vec::new();
+        write_binary(&g, &mut v2).unwrap();
+        let v1 = downgrade_to_v1(&v2);
+        let h1 = Header::parse(&v1).unwrap();
+        let h2 = Header::parse(&v2).unwrap();
+        // The checksum covers only the payload bytes, so the version bump
+        // does not move serve-tier cache keys.
+        assert_eq!(h1.checksum, h2.checksum);
+        assert_eq!(content_hash_from_header(&h1), content_hash_from_header(&h2));
+        assert_eq!(content_hash(&g), content_hash_from_header(&h1));
+    }
+
+    #[test]
+    fn unknown_sections_are_ignored() {
+        let g = sample();
+        let mut buf = Vec::new();
+        write_binary(&g, &mut buf).unwrap();
+        // Append an unknown cold-extension section and register it in the
+        // table: count 2 -> 3, one more entry, payloads shifted by 24.
+        let shift = SECTION_ENTRY_LEN as u64;
+        let mut extended = Vec::new();
+        extended.extend_from_slice(&buf[..HEADER_LEN]);
+        extended.extend_from_slice(&3u32.to_le_bytes());
+        extended.extend_from_slice(&0u32.to_le_bytes());
+        let h = Header::parse(&buf).unwrap();
+        let payload_len = h.offsets_len() + h.adjacency_len();
+        let cold = [0xabu8; 8];
+        for (id, pos, len) in [
+            (
+                SECTION_OFFSETS,
+                V2_PROLOGUE as u64 + shift,
+                h.offsets_len() as u64,
+            ),
+            (
+                SECTION_ADJACENCY,
+                V2_PROLOGUE as u64 + shift + h.offsets_len() as u64,
+                h.adjacency_len() as u64,
+            ),
+            (
+                0xdead_beef,
+                V2_PROLOGUE as u64 + shift + payload_len as u64,
+                cold.len() as u64,
+            ),
+        ] {
+            extended.extend_from_slice(&id.to_le_bytes());
+            extended.extend_from_slice(&pos.to_le_bytes());
+            extended.extend_from_slice(&len.to_le_bytes());
+        }
+        extended.extend_from_slice(&buf[V2_PROLOGUE..]);
+        extended.extend_from_slice(&cold);
+        assert_eq!(read_binary(&extended).unwrap(), g);
+    }
+
+    #[test]
+    fn rejects_missing_mandatory_section() {
+        let g = sample();
+        let mut buf = Vec::new();
+        write_binary(&g, &mut buf).unwrap();
+        // Rename the adjacency section to an unknown id: the table is still
+        // well-formed, but the mandatory section is gone.
+        let entry = SECTION_TABLE_POS + SECTION_ENTRY_LEN;
+        buf[entry..entry + 8].copy_from_slice(&0x7777u64.to_le_bytes());
+        let err = read_binary(&buf).unwrap_err();
+        assert!(err.to_string().contains("missing the adjacency"), "{err}");
+    }
+
+    #[test]
+    fn rejects_bad_section_table() {
+        let g = sample();
+        let base = {
+            let mut buf = Vec::new();
+            write_binary(&g, &mut buf).unwrap();
+            buf
+        };
+        // Section count far past the end of the file.
+        let mut buf = base.clone();
+        buf[SECTION_COUNT_POS..SECTION_COUNT_POS + 4].copy_from_slice(&1000u32.to_le_bytes());
+        assert!(read_binary(&buf)
+            .unwrap_err()
+            .to_string()
+            .contains("section table"));
+        // Offsets section length that contradicts the header.
+        let mut buf = base.clone();
+        buf[SECTION_TABLE_POS + 16..SECTION_TABLE_POS + 24].copy_from_slice(&3u64.to_le_bytes());
+        assert!(read_binary(&buf).is_err());
+        // Section payload overlapping the table.
+        let mut buf = base.clone();
+        buf[SECTION_TABLE_POS + 8..SECTION_TABLE_POS + 16].copy_from_slice(&8u64.to_le_bytes());
+        assert!(read_binary(&buf)
+            .unwrap_err()
+            .to_string()
+            .contains("overlaps"));
+        // Misaligned adjacency payload (also breaks the length check order:
+        // keep len correct, move pos by 2).
+        let mut buf = base.clone();
+        let entry = SECTION_TABLE_POS + SECTION_ENTRY_LEN;
+        let pos = u64::from_le_bytes(buf[entry + 8..entry + 16].try_into().unwrap());
+        buf[entry + 8..entry + 16].copy_from_slice(&(pos + 2).to_le_bytes());
+        assert!(read_binary(&buf).is_err());
     }
 
     #[test]
@@ -557,7 +932,7 @@ mod tests {
         write_binary(&sample(), &mut buf).unwrap();
         buf.truncate(buf.len() - 3);
         let err = read_binary(&buf).unwrap_err();
-        assert!(err.to_string().contains("truncated"), "{err}");
+        assert!(err.to_string().contains("past the end"), "{err}");
         // Truncation into the header itself.
         let err = read_binary(&buf[..20]).unwrap_err();
         assert!(err.to_string().contains("too short"), "{err}");

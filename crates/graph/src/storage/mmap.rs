@@ -15,7 +15,7 @@
 //! that happens to be misaligned) the file is copied into an 8-aligned
 //! owned buffer, byte-swapping where needed; the public API is identical.
 
-use super::format::{Header, OffsetsWidth, HEADER_LEN};
+use super::format::{Header, OffsetsWidth, SectionLayout};
 use crate::{CsrGraph, Edge, EdgeList, GraphError, VertexId};
 use memmap2::Mmap;
 use std::fs::File;
@@ -78,6 +78,7 @@ impl Backing {
 pub struct MmapCsrGraph {
     backing: Backing,
     header: Header,
+    layout: SectionLayout,
 }
 
 impl MmapCsrGraph {
@@ -105,15 +106,12 @@ impl MmapCsrGraph {
         let map = unsafe { Mmap::map(file) }?;
         let backing = Self::normalize(map)?;
         let header = Header::parse(backing.bytes())?;
-        if backing.bytes().len() != header.file_len() {
-            return Err(GraphError::Format(format!(
-                "file length {} does not match the {} bytes implied by the header \
-                 (truncated or trailing garbage)",
-                backing.bytes().len(),
-                header.file_len()
-            )));
-        }
-        let graph = MmapCsrGraph { backing, header };
+        let layout = SectionLayout::locate(&header, backing.bytes())?;
+        let graph = MmapCsrGraph {
+            backing,
+            header,
+            layout,
+        };
         graph.validate_offsets()?;
         Ok(graph)
     }
@@ -135,9 +133,11 @@ impl MmapCsrGraph {
         }
         #[cfg(target_endian = "big")]
         {
-            // The file stores little-endian sections; swap them into native
-            // order once so the hot accessors stay cast-based.
+            // The file stores little-endian sections; swap the adjacency
+            // section into native order once so the hot accessors stay
+            // cast-based.
             let header = Header::parse(&map)?;
+            let layout = SectionLayout::locate(&header, &map)?;
             let mut owned = AlignedBytes::from_slice(&map);
             let len = owned.len;
             // u64 -> u8 reinterpretation of `owned`'s initialised buffer,
@@ -145,11 +145,10 @@ impl MmapCsrGraph {
             // SAFETY: `owned` is uniquely held, so nothing aliases it.
             let bytes =
                 unsafe { std::slice::from_raw_parts_mut(owned.buf.as_mut_ptr() as *mut u8, len) };
-            let adj_start = HEADER_LEN + header.offsets_len();
-            if adj_start <= bytes.len() {
-                for chunk in bytes[adj_start..].chunks_exact_mut(4) {
-                    chunk.reverse();
-                }
+            let adj =
+                &mut bytes[layout.adjacency_pos..layout.adjacency_pos + header.adjacency_len()];
+            for chunk in adj.chunks_exact_mut(4) {
+                chunk.reverse();
             }
             Ok(Backing::Owned(owned))
         }
@@ -228,11 +227,11 @@ impl MmapCsrGraph {
         let bytes = self.backing.bytes();
         match self.header.width {
             OffsetsWidth::U32 => {
-                let at = HEADER_LEN + 4 * i;
+                let at = self.layout.offsets_pos + 4 * i;
                 u32::from_le_bytes(bytes[at..at + 4].try_into().unwrap()) as usize
             }
             OffsetsWidth::U64 => {
-                let at = HEADER_LEN + 8 * i;
+                let at = self.layout.offsets_pos + 8 * i;
                 u64::from_le_bytes(bytes[at..at + 8].try_into().unwrap()) as usize
             }
         }
@@ -248,11 +247,12 @@ impl MmapCsrGraph {
     /// The whole adjacency section as a typed slice into the mapping.
     #[inline]
     pub fn adjacency(&self) -> &[VertexId] {
-        let bytes = &self.backing.bytes()[HEADER_LEN + self.header.offsets_len()..];
+        let bytes = &self.backing.bytes()
+            [self.layout.adjacency_pos..self.layout.adjacency_pos + self.header.adjacency_len()];
         debug_assert_eq!(bytes.as_ptr() as usize % 4, 0);
-        // SAFETY: construction guarantees a 4-aligned base (normalize),
-        // native-endian u32 contents, and exactly num_directed_edges
-        // entries (file-length check against the header).
+        // SAFETY: construction guarantees a 4-aligned base (normalize plus
+        // the section table's alignment rule), native-endian u32 contents,
+        // and exactly num_directed_edges entries (section-length check).
         unsafe {
             std::slice::from_raw_parts(
                 bytes.as_ptr() as *const VertexId,
@@ -338,18 +338,31 @@ impl MmapCsrGraph {
     }
 
     /// Recomputes the FNV-1a checksum over the offsets and adjacency
-    /// sections and compares it against the header. `O(file size)`; faults
-    /// in every page.
+    /// sections and compares it against the header, then — if the header
+    /// claims sorted adjacency ([`FLAG_SORTED`](super::format::FLAG_SORTED))
+    /// — validates that every neighbor list really is sorted ascending,
+    /// rejecting a lying flag with [`GraphError::SortedFlagViolation`].
+    /// The flag check piggybacks on the checksum walk: the adjacency pages
+    /// are already resident, so it adds no extra I/O. `O(file size)`;
+    /// faults in every page.
     pub fn verify_checksum(&self) -> Result<(), GraphError> {
         let mut hasher = super::format::Fnv1a::new();
         let bytes = self.backing.bytes();
+        let offsets =
+            &bytes[self.layout.offsets_pos..self.layout.offsets_pos + self.header.offsets_len()];
         #[cfg(target_endian = "little")]
-        hasher.update(&bytes[HEADER_LEN..]);
+        {
+            hasher.update(offsets);
+            hasher.update(
+                &bytes[self.layout.adjacency_pos
+                    ..self.layout.adjacency_pos + self.header.adjacency_len()],
+            );
+        }
         #[cfg(target_endian = "big")]
         {
             // The in-memory adjacency was byte-swapped to native order at
             // load; hash the on-disk (little-endian) representation.
-            hasher.update(&bytes[HEADER_LEN..HEADER_LEN + self.header.offsets_len()]);
+            hasher.update(offsets);
             for &v in self.adjacency() {
                 hasher.update(&v.to_le_bytes());
             }
@@ -361,13 +374,29 @@ impl MmapCsrGraph {
                 self.header.checksum
             )));
         }
+        // The checksum only proves the bytes are the ones the writer hashed
+        // — not that the writer told the truth about their order. A wrong
+        // sorted claim silently breaks every binary-search lookup, so the
+        // verification pass (cache admission, `convert --verify`) checks it
+        // while the pages are still warm.
+        if self.header.sorted {
+            for v in 0..self.num_vertices() as VertexId {
+                let adj = self.neighbors(v);
+                if let Some(pos) = (1..adj.len()).find(|&i| adj[i] < adj[i - 1]) {
+                    return Err(GraphError::SortedFlagViolation {
+                        vertex: v as u64,
+                        position: pos,
+                    });
+                }
+            }
+        }
         Ok(())
     }
 }
 
 #[cfg(test)]
 mod tests {
-    use super::super::format::write_binary_file;
+    use super::super::format::{write_binary_file, FORMAT_VERSION_V1, HEADER_LEN};
     use super::*;
 
     fn temp_path(name: &str) -> std::path::PathBuf {
@@ -376,6 +405,12 @@ mod tests {
 
     fn sample() -> CsrGraph {
         CsrGraph::from_canonical_edges(6, &[(0, 1), (0, 2), (1, 2), (2, 3), (3, 4), (0, 5)])
+    }
+
+    /// Byte position of the offsets payload in a freshly written file.
+    fn offsets_pos(bytes: &[u8]) -> usize {
+        let header = Header::parse(bytes).unwrap();
+        SectionLayout::locate(&header, bytes).unwrap().offsets_pos
     }
 
     #[test]
@@ -396,7 +431,7 @@ mod tests {
             assert_eq!(m.neighbors(v), g.neighbors(v));
         }
         for i in 0..=g.num_vertices() {
-            assert_eq!(m.adjacency_start(i), g.offsets()[i]);
+            assert_eq!(m.adjacency_start(i), g.adjacency_start(i));
         }
         assert_eq!(m.edges().collect::<Vec<_>>(), g.edges().collect::<Vec<_>>());
         assert!(m.has_edge(0, 5));
@@ -441,7 +476,8 @@ mod tests {
         write_binary_file(&g, &path).unwrap();
         let mut bytes = std::fs::read(&path).unwrap();
         // Corrupt the second offset entry to be larger than the third.
-        bytes[HEADER_LEN + 4..HEADER_LEN + 8].copy_from_slice(&1000u32.to_le_bytes());
+        let at = offsets_pos(&bytes) + 4;
+        bytes[at..at + 4].copy_from_slice(&1000u32.to_le_bytes());
         std::fs::write(&path, &bytes).unwrap();
         let err = MmapCsrGraph::open(&path).unwrap_err();
         assert!(err.to_string().contains("non-decreasing"), "{err}");
@@ -472,6 +508,56 @@ mod tests {
             assert_eq!(m.neighbors(v), g.neighbors(v));
         }
         assert!(m.has_edge(0, 2));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn legacy_v1_file_maps_and_verifies() {
+        let g = sample();
+        let path = temp_path("v1compat");
+        write_binary_file(&g, &path).unwrap();
+        // Re-encode the written v2 file as its v1 equivalent: version 1
+        // stamped, section table cut out, payloads right after the header.
+        let v2 = std::fs::read(&path).unwrap();
+        let payload = offsets_pos(&v2);
+        let mut v1 = Vec::with_capacity(HEADER_LEN + (v2.len() - payload));
+        v1.extend_from_slice(&v2[..HEADER_LEN]);
+        v1[8..12].copy_from_slice(&FORMAT_VERSION_V1.to_le_bytes());
+        v1.extend_from_slice(&v2[payload..]);
+        std::fs::write(&path, &v1).unwrap();
+        let m = MmapCsrGraph::open(&path).unwrap();
+        assert_eq!(m.header().version, FORMAT_VERSION_V1);
+        assert_eq!(m.to_csr_graph(), g);
+        // The checksum covers only payload bytes, so it still verifies —
+        // and the content hash (serve cache key) is unchanged.
+        m.verify_checksum().unwrap();
+        assert_eq!(
+            super::super::format::content_hash_from_header(m.header()),
+            super::super::format::content_hash(&g),
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn verify_checksum_rejects_lying_sorted_flag() {
+        // An unsorted graph whose header is doctored to claim FLAG_SORTED:
+        // the checksum still matches (it does not cover the header), so
+        // only the sortedness walk can catch the lie.
+        let g = sample().with_scrambled_adjacency(5);
+        assert!(!g.is_sorted());
+        let path = temp_path("lying_flag");
+        write_binary_file(&g, &path).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        let flags = u32::from_le_bytes(bytes[12..16].try_into().unwrap());
+        bytes[12..16].copy_from_slice(&(flags | 1).to_le_bytes());
+        std::fs::write(&path, &bytes).unwrap();
+        let m = MmapCsrGraph::open(&path).unwrap();
+        assert!(m.is_sorted(), "doctored header should claim sorted");
+        let err = m.verify_checksum().unwrap_err();
+        assert!(
+            matches!(err, GraphError::SortedFlagViolation { .. }),
+            "{err:?}"
+        );
         let _ = std::fs::remove_file(&path);
     }
 }

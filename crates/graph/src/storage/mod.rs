@@ -24,7 +24,8 @@ pub mod stream;
 
 pub use format::{
     content_hash, content_hash_from_header, is_binary_header, offsets_width, read_binary,
-    read_binary_file, write_binary, write_binary_file, Header, OffsetsWidth, FORMAT_VERSION,
+    read_binary_file, write_binary, write_binary_file, Header, OffsetsWidth, SectionLayout,
+    FORMAT_VERSION, FORMAT_VERSION_V1,
 };
 pub use mmap::MmapCsrGraph;
 pub use stream::{

@@ -15,10 +15,11 @@
 //!    in-memory window sized by the raw degrees, sort and deduplicate each
 //!    vertex's list, and append the compacted lists to an adjacency spill
 //!    file. Memory: `O(bucket window + V)`.
-//! 4. **Assembly** — with final degrees known, write the header and
-//!    offsets section (width chosen by the [rule](super::format)), then
-//!    stream-copy the adjacency spill file, hashing both sections and
-//!    patching the checksum into the header.
+//! 4. **Assembly** — with final degrees known, write the v2 prologue
+//!    (header + section table) and the offsets section (width chosen by
+//!    the [rule](super::format)), then stream-copy the adjacency spill
+//!    file, hashing both section payloads and patching the checksum into
+//!    the header.
 //!
 //! The output is byte-identical to
 //! [`write_binary`](super::format::write_binary) applied to the heap graph
@@ -26,7 +27,9 @@
 //! the same text: adjacency sorted ascending, duplicates and self loops
 //! removed.
 
-use super::format::{offsets_width, Fnv1a, Header, OffsetsWidth, FORMAT_VERSION};
+use super::format::{
+    offsets_width, section_table_bytes, Fnv1a, Header, OffsetsWidth, FORMAT_VERSION,
+};
 use crate::io::scan_edge_list_lines;
 use crate::{GraphError, VertexId};
 use std::fs::File;
@@ -269,11 +272,14 @@ pub fn convert_edge_list_to_binary_with<P: AsRef<Path>, Q: AsRef<Path>>(
     let out_file = File::create(output)?;
     let mut out = BufWriter::new(out_file);
     out.write_all(&header.to_bytes())?;
+    // The checksum covers only the section payloads, so the table can be
+    // written before hashing starts.
+    out.write_all(&section_table_bytes(&header))?;
     let mut hasher = Fnv1a::new();
     match width {
         OffsetsWidth::U32 => {
             for &o in &final_offsets {
-                let bytes = (o as u32).to_le_bytes();
+                let bytes = crate::layout::narrow_index(o as usize).to_le_bytes();
                 hasher.update(&bytes);
                 out.write_all(&bytes)?;
             }

@@ -133,7 +133,7 @@ pub fn connected_components(graph: &CsrGraph) -> Components {
         if labels[start] != NO_VERTEX {
             continue;
         }
-        let id = count as u32;
+        let id = count as VertexId;
         count += 1;
         labels[start] = id;
         queue.push_back(start as VertexId);
